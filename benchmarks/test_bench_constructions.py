@@ -1,0 +1,71 @@
+"""Construction benchmarks and ablations (Theorems 3.1 / 9.2, Lemmas 6.1 / 6.2).
+
+Regenerates the size/shape comparisons called out in DESIGN.md:
+
+* leader vs. leaderless 1D constructions — Θ(n + p) species for both, but the
+  leaderless construction needs Θ((n + p)^2) merge reactions;
+* direct Lemma 6.1 construction vs. the general Lemma 6.2 composition for a
+  function expressible both ways (the 2D quilt of Fig. 3b);
+* Lemma 6.2 construction size as a function of the threshold ``n`` of the
+  eventually-min representation (it grows with ``d·n`` restriction terms).
+"""
+
+import pytest
+
+from repro.core.construction_1d import build_1d_crn
+from repro.core.construction_general import build_general_crn
+from repro.core.construction_leaderless import build_leaderless_1d_crn
+from repro.core.construction_quilt import build_quilt_affine_crn
+from repro.functions.catalog import minimum_spec, quilt_2d_fig3b_spec
+from repro.functions.paper_examples import fig4a_style_spec, interior_min_plus_one_spec
+from repro.verify.stable import verify_stable_computation
+
+
+def test_leader_vs_leaderless_1d(benchmark):
+    def staircase(x: int) -> int:
+        return (3 * x) // 2
+
+    def run():
+        return build_1d_crn(staircase), build_leaderless_1d_crn(staircase)
+
+    with_leader, leaderless = benchmark(run)
+    print("\n[ablation] Theorem 3.1 vs Theorem 9.2 for floor(3x/2):")
+    print(f"  with leader : {with_leader.size()}")
+    print(f"  leaderless  : {leaderless.size()}")
+    # Both are correct; the leaderless one pays quadratically many merge reactions.
+    assert leaderless.size()["reactions"] > with_leader.size()["reactions"]
+    for crn in (with_leader, leaderless):
+        report = verify_stable_computation(crn, lambda x: (3 * x[0]) // 2, inputs=[(v,) for v in range(5)])
+        assert report.passed
+
+
+def test_direct_quilt_vs_general_construction(benchmark):
+    spec = quilt_2d_fig3b_spec()
+    quilt = spec.eventually_min.pieces[0]
+
+    def run():
+        return build_quilt_affine_crn(quilt), build_general_crn(spec)
+
+    direct, general = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[ablation] Lemma 6.1 (direct) vs Lemma 6.2 (composition) for the Fig. 3b quilt:")
+    print(f"  direct  : {direct.size()}")
+    print(f"  general : {general.size()}")
+    # The general construction pays overhead for the min/fan-out plumbing.
+    assert general.size()["reactions"] >= direct.size()["reactions"]
+
+
+@pytest.mark.parametrize(
+    "spec_factory", [minimum_spec, interior_min_plus_one_spec, fig4a_style_spec],
+    ids=lambda f: f.__name__,
+)
+def test_general_construction_size_vs_threshold(benchmark, spec_factory):
+    spec = spec_factory()
+
+    def run():
+        return build_general_crn(spec)
+
+    crn = benchmark.pedantic(run, rounds=1, iterations=1)
+    threshold = max(spec.eventually_min.threshold)
+    terms = 1 + spec.dimension * threshold
+    print(f"\n[Lemma 6.2] {spec.name}: threshold n={threshold}, terms={terms}, size={crn.size()}")
+    assert crn.is_output_oblivious()

@@ -1,0 +1,52 @@
+"""Figure 1 benchmark: the CRNs for 2x, min(x1,x2) and max(x1,x2).
+
+Regenerates the content of Fig. 1: each CRN stably computes its function, the
+``2x`` and ``min`` CRNs never retract output, and the ``max`` CRN transiently
+overshoots (the quantity the composition benchmark then shows being locked in
+by a downstream consumer).
+"""
+
+import pytest
+
+from repro.functions.catalog import double_spec, maximum_spec, minimum_spec
+from repro.verify.overproduction import measure_overshoot
+from repro.verify.stable import verify_stable_computation
+
+
+FIG1_ROWS = [
+    (double_spec, [(0,), (3,), (6,)]),
+    (minimum_spec, [(0, 2), (3, 1), (4, 4)]),
+    (maximum_spec, [(0, 2), (3, 1), (4, 4)]),
+]
+
+
+@pytest.mark.parametrize("spec_factory, inputs", FIG1_ROWS, ids=lambda v: getattr(v, "__name__", ""))
+def test_fig1_stable_computation(benchmark, spec_factory, inputs):
+    spec = spec_factory()
+
+    def run():
+        return verify_stable_computation(spec.known_crn, spec.func, inputs=inputs)
+
+    report = benchmark(run)
+    assert report.passed
+    print(f"\n[Fig. 1] {spec.name}: output-oblivious={spec.known_crn.is_output_oblivious()} "
+          f"verified on {len(inputs)} inputs")
+
+
+def test_fig1_overshoot_series(benchmark):
+    """The qualitative series behind Fig. 1 / Section 1.2: max overshoots, min does not."""
+
+    def run():
+        max_spec = maximum_spec()
+        min_spec = minimum_spec()
+        return {
+            "max": measure_overshoot(max_spec.known_crn, max_spec.func, [(3, 3), (5, 5)], trials=6, seed=1),
+            "min": measure_overshoot(min_spec.known_crn, min_spec.func, [(3, 3), (5, 5)], trials=6, seed=1),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[Fig. 1] overshoot series (input -> excess output observed):")
+    for name, summary in result.items():
+        print(f"  {name}: {summary['per_input']}   max overshoot = {summary['max_overshoot']}")
+    assert result["max"]["max_overshoot"] >= 1
+    assert result["min"]["max_overshoot"] == 0

@@ -1,0 +1,50 @@
+"""Figure 2 benchmark: min(1, x) computed with and without a leader.
+
+Regenerates Fig. 2: the leaderless CRN (``X -> Y``, ``2Y -> Y``) computes
+``min(1, x)`` but consumes its output, whereas the single-leader CRN
+(``L + X -> Y``) is output-oblivious.  The benchmark also demonstrates the
+Section 9 point that ``min(1, x)`` is not superadditive, so no leaderless
+output-oblivious CRN can exist for it (Observation 9.1).
+"""
+
+import pytest
+
+from repro.core.superadditive import find_superadditivity_violation
+from repro.functions.catalog import min_one_leaderless_crn, min_one_spec
+from repro.verify.stable import verify_stable_computation
+
+
+INPUTS = [(0,), (1,), (2,), (5,)]
+
+
+def test_fig2_leaderless_crn(benchmark):
+    crn = min_one_leaderless_crn()
+
+    def run():
+        return verify_stable_computation(crn, lambda x: min(1, x[0]), inputs=INPUTS)
+
+    report = benchmark(run)
+    assert report.passed
+    print(f"\n[Fig. 2] leaderless CRN: output-oblivious={crn.is_output_oblivious()} (consumes Y via 2Y -> Y)")
+
+
+def test_fig2_leader_crn(benchmark):
+    spec = min_one_spec()
+
+    def run():
+        return verify_stable_computation(spec.known_crn, spec.func, inputs=INPUTS)
+
+    report = benchmark(run)
+    assert report.passed
+    print(f"\n[Fig. 2] leader CRN: output-oblivious={spec.known_crn.is_output_oblivious()}")
+
+
+def test_fig2_superadditivity_obstruction(benchmark):
+    """Observation 9.1: min(1, x) is not superadditive, so the leader is essential."""
+
+    def run():
+        return find_superadditivity_violation(lambda x: min(1, x[0]), 1, 5)
+
+    violation = benchmark(run)
+    assert violation is not None
+    print(f"\n[Fig. 2] superadditivity violation witness: f{violation[0]} + f{violation[1]} > f(sum)")

@@ -1,0 +1,50 @@
+"""Figure 3 benchmark: quilt-affine functions and their Lemma 6.1 CRNs.
+
+Regenerates Fig. 3a (``⌊3x/2⌋``) and Fig. 3b (the 2D bumpy quilt
+``(1,2)·x + B(x mod 3)``): the value tables the figures plot, the
+gradient/period/offset decomposition, and the size and correctness of the
+Lemma 6.1 construction (1 + d·p^d reactions).
+"""
+
+import pytest
+
+from repro.core.construction_quilt import build_quilt_affine_crn
+from repro.functions.catalog import floor_3x_over_2_spec, quilt_2d_fig3b_spec
+from repro.verify.stable import verify_stable_computation
+
+
+def test_fig3a_floor_function(benchmark):
+    spec = floor_3x_over_2_spec()
+    quilt = spec.eventually_min.pieces[0]
+
+    def run():
+        crn = build_quilt_affine_crn(quilt)
+        return crn, verify_stable_computation(crn, spec.func, inputs=[(x,) for x in range(6)])
+
+    crn, report = benchmark(run)
+    assert report.passed
+    print(f"\n[Fig. 3a] floor(3x/2) = (3/2)x + B(x mod 2), B(1) = {quilt.offset((1,))}")
+    print(f"  values 0..9: {[spec.func((x,)) for x in range(10)]}")
+    print(f"  Lemma 6.1 CRN size: {crn.size()}")
+
+
+def test_fig3b_2d_quilt(benchmark):
+    spec = quilt_2d_fig3b_spec()
+    quilt = spec.eventually_min.pieces[0]
+
+    def run():
+        crn = build_quilt_affine_crn(quilt)
+        report = verify_stable_computation(
+            crn, spec.func, inputs=[(0, 0), (1, 2), (2, 2), (3, 1)], exhaustive_limit=4_000, trials=3
+        )
+        return crn, report
+
+    crn, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.passed
+    print(f"\n[Fig. 3b] g(x) = (1,2)·x + B(x mod 3), nonzero offsets on classes (1,2),(2,2),(2,1)")
+    print("  value patch (x2 = 3 down to 0, x1 = 0..5):")
+    for x2 in range(3, -1, -1):
+        print("   " + " ".join(f"{spec.func((x1, x2)):3d}" for x1 in range(6)))
+    expected_reactions = 1 + 2 * quilt.period ** 2
+    assert len(crn.reactions) == expected_reactions
+    print(f"  Lemma 6.1 CRN: {crn.size()} (theory: 1 + d·p^d = {expected_reactions} reactions)")

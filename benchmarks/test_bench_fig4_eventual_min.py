@@ -1,0 +1,61 @@
+"""Figure 4 benchmark: an obliviously-computable 2D function and its scaling limit.
+
+Fig. 4a shows the shape Theorem 5.2 allows: arbitrary finite behaviour, 1D
+quilt-affine edges, and an eventual min of quilt-affine pieces.  Fig. 4b shows
+the ∞-scaling of such a function, which is a continuous obliviously-computable
+(min-of-linear) function.  The benchmark classifies the Fig. 4a-style function,
+builds its Lemma 6.2 CRN, and compares the numerical scaling against the exact
+min-of-gradients limit.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.characterization import build_crn_for, check_obliviously_computable
+from repro.core.scaling import infinity_scaling, scaling_of_eventually_min
+from repro.functions.paper_examples import fig4a_style_spec
+from repro.verify.stable import verify_stable_computation
+
+
+def test_fig4a_characterization_and_construction(benchmark):
+    spec = fig4a_style_spec()
+
+    def run():
+        verdict = check_obliviously_computable(spec)
+        crn = build_crn_for(spec, prefer_known=False)
+        return verdict, crn
+
+    verdict, crn = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert verdict.obliviously_computable is True
+    assert crn.is_output_oblivious()
+    print(f"\n[Fig. 4a] {spec.name}: min of {len(spec.eventually_min.pieces)} quilt-affine pieces "
+          f"beyond threshold {spec.eventually_min.threshold}")
+    print("  value patch (x2 = 5 down to 0, x1 = 0..5):")
+    for x2 in range(5, -1, -1):
+        print("   " + " ".join(f"{spec.func((x1, x2)):3d}" for x1 in range(6)))
+    print(f"  Lemma 6.2 CRN size: {crn.size()}")
+    report = verify_stable_computation(
+        crn, spec.func, inputs=[(0, 3), (2, 2), (3, 4)], method="simulation", trials=3
+    )
+    assert report.passed
+
+
+def test_fig4b_scaling_limit(benchmark):
+    spec = fig4a_style_spec()
+    probes = [(1.0, 1.0), (1.0, 2.0), (2.0, 1.0), (0.5, 3.0)]
+
+    def run():
+        return {
+            point: (
+                infinity_scaling(spec.func, point, scale=4_000),
+                float(scaling_of_eventually_min(spec.eventually_min, [Fraction(v) for v in point])),
+            )
+            for point in probes
+        }
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[Fig. 4b] scaling limit f̂(z) (numeric estimate vs. exact min of gradients):")
+    for point, (numeric, exact) in table.items():
+        print(f"  z = {point}: {numeric:.4f} vs {exact:.4f}")
+        assert numeric == pytest.approx(exact, abs=2e-2)

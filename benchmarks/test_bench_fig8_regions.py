@@ -1,0 +1,91 @@
+"""Figure 8 benchmark: hyperplane arrangements, regions, and recession cones.
+
+Regenerates the classification tables behind Fig. 8: the 2D arrangement of
+three threshold hyperplanes (Fig. 8a/8b) and the 3D arrangement of two pairs of
+parallel hyperplanes (Fig. 8c/8d), listing each eventual region with the
+dimension of its recession cone, its determined/under-determined status, and
+(for under-determined regions) its determined neighbors.
+"""
+
+import pytest
+
+from repro.geometry.hyperplanes import Hyperplane
+from repro.geometry.regions import enumerate_regions
+
+
+def classify(planes, dimension, bound):
+    regions = enumerate_regions(planes, dimension, bound=bound)
+    rows = []
+    for region in regions:
+        cone = region.recession_cone()
+        rows.append(
+            {
+                "signs": region.signs,
+                "eventual": region.is_eventual(),
+                "cone_dim": cone.dim(),
+                "determined": region.is_determined(),
+            }
+        )
+    return regions, rows
+
+
+def test_fig8a_two_dimensional_arrangement(benchmark):
+    planes = [Hyperplane((1, -1), 1), Hyperplane((-1, 1), 1), Hyperplane((1, 0), 4)]
+
+    def run():
+        return classify(planes, 2, bound=12)
+
+    regions, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[Fig. 8a/8b] 2D arrangement (3 hyperplanes):")
+    for row in rows:
+        print(f"  signs={row['signs']} eventual={row['eventual']} "
+              f"recc-dim={row['cone_dim']} determined={row['determined']}")
+    eventual = [row for row in rows if row["eventual"]]
+    assert any(row["determined"] for row in eventual)
+    assert any(not row["determined"] for row in eventual)
+
+
+def test_fig8c_three_dimensional_arrangement(benchmark):
+    planes = [
+        Hyperplane((1, -1, 0), 1),
+        Hyperplane((-1, 1, 0), 1),
+        Hyperplane((0, 1, -1), 1),
+        Hyperplane((0, -1, 1), 1),
+    ]
+
+    def run():
+        return classify(planes, 3, bound=6)
+
+    regions, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    eventual_rows = [row for row in rows if row["eventual"]]
+    print(f"\n[Fig. 8c/8d] 3D arrangement: {len(rows)} realized regions, {len(eventual_rows)} eventual")
+    dims = sorted({row["cone_dim"] for row in eventual_rows})
+    histogram = {dim: sum(1 for row in eventual_rows if row["cone_dim"] == dim) for dim in dims}
+    print(f"  recession-cone dimension histogram over eventual regions: {histogram}")
+    # Fig. 8c: 9 eventual regions — 4 determined (3D cones), 4 with 2D cones, 1 with a 1D cone.
+    assert histogram.get(3, 0) == 4
+    assert histogram.get(2, 0) == 4
+    assert histogram.get(1, 0) == 1
+
+
+def test_fig8_neighbor_structure(benchmark):
+    planes = [
+        Hyperplane((1, -1, 0), 1),
+        Hyperplane((-1, 1, 0), 1),
+        Hyperplane((0, 1, -1), 1),
+        Hyperplane((0, -1, 1), 1),
+    ]
+
+    def run():
+        regions = enumerate_regions(planes, 3, bound=6)
+        eventual = [r for r in regions if r.is_eventual()]
+        center = next(r for r in eventual if r.recession_cone().dim() == 1)
+        determined = [r for r in eventual if r.is_determined()]
+        neighbors = [r for r in determined if r.is_neighbor_of(center)]
+        return center, determined, neighbors
+
+    center, determined, neighbors = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n[Fig. 8d] the 1D-cone region has {len(neighbors)} determined neighbors "
+          f"out of {len(determined)} determined regions")
+    # Corollary 7.19: at least two determined neighbors exist.
+    assert len(neighbors) >= 2

@@ -1,0 +1,51 @@
+"""Theorem 8.2 benchmark: discrete scalings vs. continuous CRN computation.
+
+For each catalog / paper-example function that is obliviously-computable, the
+benchmark compares three quantities on a grid of real-valued points:
+
+* the numerical ∞-scaling estimate ``f(⌊cz⌋)/c`` for large ``c``;
+* the exact limit ``min_k ∇g_k · z`` read off the eventually-min representation;
+* the stable output of the continuous output-oblivious CRN built from the same
+  gradients (Section 8 / [9]).
+
+All three agree (up to the 1/c discretization error), which is the content of
+Theorem 8.2.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.continuous.construction import build_min_of_linear_continuous_crn
+from repro.continuous.functions import MinOfLinear
+from repro.core.scaling import infinity_scaling, scaling_of_eventually_min
+from repro.functions.catalog import add_spec, double_spec, floor_3x_over_2_spec, minimum_spec
+from repro.functions.paper_examples import fig4a_style_spec, fig7_spec
+
+
+CASES = [double_spec, add_spec, minimum_spec, floor_3x_over_2_spec, fig7_spec, fig4a_style_spec]
+
+
+@pytest.mark.parametrize("spec_factory", CASES, ids=lambda f: f.__name__)
+def test_scaling_correspondence(benchmark, spec_factory):
+    spec = spec_factory()
+    dimension = spec.dimension
+    probes = [(1.0,) * dimension, tuple(0.5 + 0.5 * i for i in range(1, dimension + 1))]
+
+    def run():
+        gradients = [piece.gradient for piece in spec.eventually_min.pieces]
+        continuous = build_min_of_linear_continuous_crn(MinOfLinear.from_gradients(gradients))
+        rows = []
+        for point in probes:
+            numeric = infinity_scaling(spec.func, point, scale=3_000)
+            exact = float(scaling_of_eventually_min(spec.eventually_min, [Fraction(v) for v in point]))
+            lp = continuous.max_output(point)
+            rows.append((point, numeric, exact, lp))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n[Thm 8.2] {spec.name}: z -> (numeric scaling, exact limit, continuous CRN output)")
+    for point, numeric, exact, lp in rows:
+        print(f"  {point}: {numeric:.4f}  {exact:.4f}  {lp:.4f}")
+        assert numeric == pytest.approx(exact, abs=3e-2)
+        assert lp == pytest.approx(exact, abs=1e-6)

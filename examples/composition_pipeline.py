@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Composable computation: feed-forward pipelines of output-oblivious CRNs.
+
+Reproduces Section 1.2 of the paper: computing ``2·min(x1, x2)`` by renaming
+the output of the ``min`` CRN into the input of the doubling CRN works because
+``min`` is output-oblivious — while the same concatenation applied to the
+``max`` CRN can lock in up to ``2(x1 + x2)`` outputs, so it does *not* stably
+compute ``2·max(x1, x2)``.
+
+Run with::
+
+    python examples/composition_pipeline.py
+"""
+
+from repro import concatenate, species, CRN
+from repro.functions.catalog import double_spec, maximum_spec, minimum_spec
+from repro.verify import verify_composition
+from repro.verify.stable import verify_stable_computation
+
+
+def correct_pipeline() -> None:
+    print("=== 2·min(x1, x2) by concatenation (works: min is output-oblivious) ===")
+    report = verify_composition(
+        minimum_spec().known_crn,
+        double_spec().known_crn,
+        lambda x: min(x),
+        lambda w: 2 * w[0],
+        inputs=[(0, 0), (1, 2), (2, 2), (3, 1)],
+    )
+    print(report.describe())
+    print()
+
+
+def broken_pipeline() -> None:
+    print("=== 2·max(x1, x2) by naive concatenation (fails: max consumes its output) ===")
+    report = verify_composition(
+        maximum_spec().known_crn,
+        double_spec().known_crn,
+        lambda x: max(x),
+        lambda w: 2 * w[0],
+        inputs=[(1, 1), (2, 1), (2, 2)],
+        require_output_oblivious=False,
+    )
+    print(report.describe())
+    print()
+    print("The failing inputs show schedules where the doubling reaction consumed the")
+    print("transient excess output of the max CRN before it could be retracted —")
+    print("exactly the failure mode that motivates output-oblivious composition.")
+    print()
+
+
+def three_stage_pipeline() -> None:
+    print("=== A three-stage pipeline: floor(3·min(x1, x2) / 2) ===")
+    # Stage 1: min (output-oblivious).  Stage 2: floor(3w/2) via W -> 3Z, 2Z -> Y.
+    W, Y, Z = species("W Y Z")
+    floor_crn = CRN([W >> 3 * Z, 2 * Z >> Y], (W,), Y, name="floor(3w/2)")
+    pipeline = concatenate(minimum_spec().known_crn, floor_crn, name="floor(3·min/2)")
+    print(pipeline.describe())
+    report = verify_stable_computation(
+        pipeline,
+        lambda x: (3 * min(x)) // 2,
+        inputs=[(0, 0), (1, 3), (2, 2), (4, 3), (5, 2)],
+        function_name="floor(3·min/2)",
+    )
+    print(report.describe())
+
+
+def main() -> None:
+    correct_pipeline()
+    broken_pipeline()
+    three_stage_pipeline()
+
+
+if __name__ == "__main__":
+    main()

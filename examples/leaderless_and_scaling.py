@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Leaderless computation (Section 9) and the continuous scaling limit (Section 8).
+
+Builds the Theorem 9.2 leaderless CRN for a superadditive 1D function, compares
+its size with the leader-driven Theorem 3.1 construction, converts a
+bimolecular CRN into a population protocol, and exhibits the ∞-scaling
+correspondence with continuous rate-independent CRNs (Theorem 8.2).
+
+Run with::
+
+    python examples/leaderless_and_scaling.py
+"""
+
+from fractions import Fraction
+
+from repro import build_1d_crn, build_leaderless_1d_crn, verify_stable_computation
+from repro.continuous import MinOfLinear, build_min_of_linear_continuous_crn
+from repro.core.scaling import infinity_scaling, scaling_of_eventually_min
+from repro.core.superadditive import is_superadditive_upto
+from repro.functions.catalog import minimum_spec
+from repro.functions.paper_examples import fig7_spec
+from repro.protocols import crn_to_population_protocol
+
+
+def leaderless_construction() -> None:
+    print("=== Theorem 9.2: leaderless CRN for a superadditive function ===")
+
+    def func(x: int) -> int:
+        return (3 * x) // 2
+
+    print(f"f(x) = floor(3x/2) is superadditive: {is_superadditive_upto(lambda v: func(v[0]), 1, 12)}")
+    leaderless = build_leaderless_1d_crn(func)
+    with_leader = build_1d_crn(func)
+    print(f"leaderless construction : {leaderless.size()}  (leaderless = {leaderless.is_leaderless()})")
+    print(f"Theorem 3.1 construction: {with_leader.size()}  (leaderless = {with_leader.is_leaderless()})")
+    report = verify_stable_computation(
+        leaderless, lambda x: func(x[0]), inputs=[(v,) for v in range(6)], function_name="floor(3x/2)"
+    )
+    print(report.describe())
+    print()
+
+
+def population_protocol_view() -> None:
+    print("=== Population-protocol view of the min CRN ===")
+    protocol = crn_to_population_protocol(minimum_spec().known_crn)
+    print(f"states: {protocol.states}")
+    print(f"transitions: {protocol.transitions}")
+    agents, interactions = protocol.run((6, 9), seed=0)
+    print(f"running on input (6, 9): output agents = {protocol.output_count(agents)} "
+          f"after {interactions} interactions")
+    print()
+
+
+def scaling_limit() -> None:
+    print("=== Theorem 8.2: the ∞-scaling limit of the Fig. 7 function ===")
+    spec = fig7_spec()
+    for point in [(1.0, 1.0), (1.0, 2.0), (3.0, 1.0)]:
+        numeric = infinity_scaling(spec.func, point, scale=5_000)
+        exact = scaling_of_eventually_min(spec.eventually_min, [Fraction(v) for v in point])
+        print(f"  f̂{point} ≈ {numeric:.4f}   (exact limit {exact})")
+    gradients = [piece.gradient for piece in spec.eventually_min.pieces]
+    continuous = build_min_of_linear_continuous_crn(MinOfLinear.from_gradients(gradients))
+    print("the same function as a continuous, rate-independent, output-oblivious CRN:")
+    print(continuous.describe())
+    for point in [(1.0, 1.0), (1.0, 2.0), (3.0, 1.0)]:
+        print(f"  continuous stable output at {point}: {continuous.max_output(point):.4f}")
+
+
+def main() -> None:
+    leaderless_construction()
+    population_protocol_view()
+    scaling_limit()
+
+
+if __name__ == "__main__":
+    main()

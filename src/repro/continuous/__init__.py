@@ -1,0 +1,32 @@
+"""Continuous (rate-independent) CRN model used for the Section 8 comparison.
+
+Chalk, Kornerup, Reeves and Soloveichik characterized the real-valued functions
+``R^d_{>=0} -> R_{>=0}`` stably computable by output-oblivious *continuous*
+CRNs as the superadditive, positive-continuous, piecewise rational-linear
+functions.  Theorem 8.2 of the paper shows the ∞-scalings of the discrete
+obliviously-computable functions are exactly this class.
+
+This package provides a small continuous-CRN substrate sufficient to exhibit
+that correspondence: piecewise rational-linear functions (with superadditivity
+and positive-continuity checks), a continuous CRN whose stable output is
+computed by maximizing reaction extents under species-nonnegativity (an LP,
+which is exact for the feed-forward output-oblivious constructions used here),
+and the min-of-linear construction mirroring Fig. 1.
+"""
+
+from repro.continuous.functions import (
+    LinearFunction,
+    MinOfLinear,
+    PiecewiseRationalLinear,
+)
+from repro.continuous.crn import ContinuousCRN, ContinuousReaction
+from repro.continuous.construction import build_min_of_linear_continuous_crn
+
+__all__ = [
+    "LinearFunction",
+    "MinOfLinear",
+    "PiecewiseRationalLinear",
+    "ContinuousCRN",
+    "ContinuousReaction",
+    "build_min_of_linear_continuous_crn",
+]

@@ -1,0 +1,66 @@
+"""Continuous output-oblivious construction for min-of-linear functions.
+
+Mirrors the discrete Fig. 1 constructions in the continuous model: a rational
+linear function ``(p/q)·x`` is computed by the reaction ``q X -> p Y`` (fired
+by real extents), and the minimum of several pieces by the single reaction
+``Y_1 + ... + Y_m -> Y``.  Fan-out reactions give each piece its own copy of
+each input.  The resulting continuous CRN is output-oblivious, and its maximum
+producible output equals ``min_k ∇g_k · x`` — the normal form that Theorem 8.2
+identifies as the ∞-scaling of a discrete obliviously-computable function.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List
+
+from repro.continuous.crn import ContinuousCRN, ContinuousReaction
+from repro.continuous.functions import MinOfLinear
+from repro.crn.species import Species
+
+
+def build_min_of_linear_continuous_crn(target: MinOfLinear, name: str = "") -> ContinuousCRN:
+    """Build a continuous output-oblivious CRN computing ``min_k ∇g_k · x``.
+
+    Every gradient component must be a nonnegative rational; components are
+    realized by ``q X -> p Y_k`` reactions and the minimum by a single joining
+    reaction.
+    """
+    dimension = target.dimension
+    inputs = [Species(f"X{i + 1}") for i in range(dimension)]
+    output = Species("Y")
+    reactions: List[ContinuousReaction] = []
+
+    piece_outputs: List[Species] = []
+    for k, piece in enumerate(target.pieces):
+        if not piece.is_nonnegative():
+            raise ValueError("gradients must be componentwise nonnegative")
+        piece_output = Species(f"P{k + 1}")
+        piece_outputs.append(piece_output)
+        for i, gradient in enumerate(piece.gradient):
+            gradient = Fraction(gradient)
+            if gradient == 0:
+                continue
+            copy = Species(f"X{i + 1}_{k + 1}")
+            reactions.append(
+                ContinuousReaction.build(
+                    {copy: gradient.denominator}, {piece_output: gradient.numerator}
+                )
+            )
+
+    # Fan-out: each input is split into one copy per piece that uses it.
+    for i in range(dimension):
+        copies: Dict[Species, int] = {}
+        for k, piece in enumerate(target.pieces):
+            if Fraction(piece.gradient[i]) != 0:
+                copies[Species(f"X{i + 1}_{k + 1}")] = 1
+        if copies:
+            reactions.append(ContinuousReaction.build({inputs[i]: 1}, copies))
+
+    # A piece whose gradient is identically zero contributes the constant 0,
+    # which forces the overall minimum to 0: model it as an unproducible species.
+    reactions.append(
+        ContinuousReaction.build({sp: 1 for sp in piece_outputs}, {output: 1})
+    )
+
+    return ContinuousCRN(reactions, inputs, output, name=name or "min-of-linear")

@@ -1,0 +1,139 @@
+"""A minimal continuous (rate-independent) CRN substrate.
+
+In the continuous model species have nonnegative *real* amounts and a reaction
+can fire by any nonnegative real extent as long as no species goes negative.
+For the feed-forward, output-oblivious constructions used in Section 8 the
+stable output is simply the maximum amount of output producible subject to
+those nonnegativity constraints, which is a linear program over the reaction
+extents.  That LP view is the documented substitution for the full
+rate-independent semantics of [9]; it coincides with it on every network built
+by :mod:`repro.continuous.construction` (each species is produced before it is
+consumed along the feed-forward order, so the LP optimum is reachable by a
+finite sequence of segments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crn.species import Species
+
+
+@dataclass(frozen=True)
+class ContinuousReaction:
+    """A reaction with integer stoichiometry fired by real-valued extents."""
+
+    reactants: Tuple[Tuple[Species, int], ...]
+    products: Tuple[Tuple[Species, int], ...]
+
+    @staticmethod
+    def build(reactants: Dict[Species, int], products: Dict[Species, int]) -> "ContinuousReaction":
+        """Build a reaction from reactant/product coefficient dictionaries."""
+        return ContinuousReaction(
+            tuple(sorted(reactants.items(), key=lambda kv: kv[0].name)),
+            tuple(sorted(products.items(), key=lambda kv: kv[0].name)),
+        )
+
+    def net_change(self, sp: Species) -> int:
+        """Net stoichiometric change of ``sp`` per unit extent."""
+        produced = sum(count for species_, count in self.products if species_ == sp)
+        consumed = sum(count for species_, count in self.reactants if species_ == sp)
+        return produced - consumed
+
+    def species(self) -> Tuple[Species, ...]:
+        """All species mentioned by the reaction."""
+        seen = {sp for sp, _ in self.reactants} | {sp for sp, _ in self.products}
+        return tuple(sorted(seen, key=lambda s: s.name))
+
+    def __str__(self) -> str:
+        def side(pairs: Tuple[Tuple[Species, int], ...]) -> str:
+            if not pairs:
+                return "(nothing)"
+            return " + ".join(f"{count}{sp.name}" if count != 1 else sp.name for sp, count in pairs)
+
+        return f"{side(self.reactants)} -> {side(self.products)}"
+
+
+class ContinuousCRN:
+    """A continuous CRN with designated input and output species."""
+
+    def __init__(
+        self,
+        reactions: Sequence[ContinuousReaction],
+        input_species: Sequence[Species],
+        output_species: Species,
+        name: str = "",
+    ) -> None:
+        self.reactions: Tuple[ContinuousReaction, ...] = tuple(reactions)
+        self.input_species: Tuple[Species, ...] = tuple(input_species)
+        self.output_species = output_species
+        self.name = name
+
+    @property
+    def dimension(self) -> int:
+        """The number of inputs."""
+        return len(self.input_species)
+
+    def species(self) -> Tuple[Species, ...]:
+        """Every species in the network, sorted by name."""
+        seen = set(self.input_species) | {self.output_species}
+        for rxn in self.reactions:
+            seen.update(rxn.species())
+        return tuple(sorted(seen, key=lambda s: s.name))
+
+    def is_output_oblivious(self) -> bool:
+        """True if no reaction consumes the output species."""
+        return all(
+            all(sp != self.output_species for sp, _ in rxn.reactants) for rxn in self.reactions
+        )
+
+    def max_output(self, x: Sequence[float]) -> float:
+        """The maximum amount of output producible from input amounts ``x``.
+
+        Solves ``max Y(final)`` over reaction extents ``u >= 0`` subject to
+        ``final = initial + M u >= 0`` componentwise, where ``M`` is the
+        stoichiometry matrix.  For the feed-forward output-oblivious networks
+        built in this package this equals the stably computed output.
+        """
+        from scipy.optimize import linprog
+
+        species_list = list(self.species())
+        index = {sp: i for i, sp in enumerate(species_list)}
+        if len(x) != self.dimension:
+            raise ValueError("dimension mismatch")
+
+        initial = [0.0] * len(species_list)
+        for sp, amount in zip(self.input_species, x):
+            if amount < 0:
+                raise ValueError("input amounts must be nonnegative")
+            initial[index[sp]] += float(amount)
+
+        # final = initial + M u >= 0  <=>  -M u <= initial
+        num_reactions = len(self.reactions)
+        a_ub = []
+        b_ub = []
+        for sp in species_list:
+            row = [-float(rxn.net_change(sp)) for rxn in self.reactions]
+            a_ub.append(row)
+            b_ub.append(initial[index[sp]])
+
+        # Objective: maximize Y(final) = initial_Y + sum_j net_change_Y(j) * u_j.
+        output_row = [float(rxn.net_change(self.output_species)) for rxn in self.reactions]
+        objective = [-value for value in output_row]
+        bounds = [(0.0, None)] * num_reactions
+        result = linprog(objective, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+        if result.status != 0:
+            raise RuntimeError(f"continuous CRN LP failed: {result.message}")
+        return initial[index[self.output_species]] + float(-result.fun)
+
+    def describe(self) -> str:
+        """A human-readable description of the network."""
+        lines = [f"Continuous CRN {self.name or '(unnamed)'}"]
+        lines.append(f"  inputs : {', '.join(sp.name for sp in self.input_species)}")
+        lines.append(f"  output : {self.output_species.name}")
+        lines.append(f"  output-oblivious: {self.is_output_oblivious()}")
+        for rxn in self.reactions:
+            lines.append(f"    {rxn}")
+        return "\n".join(lines)

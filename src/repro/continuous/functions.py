@@ -1,0 +1,156 @@
+"""Piecewise rational-linear real-valued functions (the continuous function class).
+
+The continuous characterization ([9], restated in Section 8) involves three
+properties: superadditivity, positive-continuity (continuity on each face
+``D_S`` of the nonnegative orthant, where ``S`` is the set of zero
+coordinates), and piecewise rational-linearity.  The classes here represent
+such functions explicitly as a min of rational-linear functions per face,
+which is the normal form Lemma 8 of [9] provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+
+RationalVector = Tuple[Fraction, ...]
+
+
+@dataclass(frozen=True)
+class LinearFunction:
+    """A rational-linear function ``z -> gradient · z``."""
+
+    gradient: RationalVector
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "gradient", tuple(Fraction(g) for g in self.gradient))
+
+    @property
+    def dimension(self) -> int:
+        """The input dimension."""
+        return len(self.gradient)
+
+    def __call__(self, z: Sequence) -> Fraction:
+        if len(z) != self.dimension:
+            raise ValueError("dimension mismatch")
+        return sum((g * Fraction(v) for g, v in zip(self.gradient, z)), start=Fraction(0))
+
+    def is_nonnegative(self) -> bool:
+        """True if the gradient is componentwise nonnegative (so the function is, on the orthant)."""
+        return all(g >= 0 for g in self.gradient)
+
+
+@dataclass(frozen=True)
+class MinOfLinear:
+    """The pointwise minimum of finitely many rational-linear functions."""
+
+    pieces: Tuple[LinearFunction, ...]
+
+    def __post_init__(self) -> None:
+        if not self.pieces:
+            raise ValueError("MinOfLinear needs at least one piece")
+        dims = {piece.dimension for piece in self.pieces}
+        if len(dims) != 1:
+            raise ValueError("all pieces must share a dimension")
+
+    @property
+    def dimension(self) -> int:
+        """The input dimension."""
+        return self.pieces[0].dimension
+
+    def __call__(self, z: Sequence) -> Fraction:
+        return min(piece(z) for piece in self.pieces)
+
+    def is_superadditive_on(self, samples: Iterable[Tuple[Sequence, Sequence]]) -> bool:
+        """Check superadditivity on sample pairs (min of linear is always superadditive; sanity hook)."""
+        for a, b in samples:
+            total = tuple(Fraction(x) + Fraction(y) for x, y in zip(a, b))
+            if self(a) + self(b) > self(total):
+                return False
+        return True
+
+    @staticmethod
+    def from_gradients(gradients: Iterable[Sequence]) -> "MinOfLinear":
+        """Build a min-of-linear function from an iterable of gradient vectors."""
+        return MinOfLinear(tuple(LinearFunction(tuple(Fraction(g) for g in gradient)) for gradient in gradients))
+
+
+class PiecewiseRationalLinear:
+    """A positive-continuous piecewise rational-linear function on ``R^d_{>=0}``.
+
+    The function is given by one :class:`MinOfLinear` per face ``D_S`` (the set
+    of points whose zero coordinates are exactly ``S``).  Faces without an
+    explicit entry fall back to the face of their closure with the fewest
+    additional zero coordinates; the all-coordinates-zero face is always 0.
+    """
+
+    def __init__(self, dimension: int, faces: Dict[FrozenSet[int], MinOfLinear], name: str = "") -> None:
+        self.dimension = int(dimension)
+        self.faces: Dict[FrozenSet[int], MinOfLinear] = {
+            frozenset(key): value for key, value in faces.items()
+        }
+        self.name = name
+        for key, value in self.faces.items():
+            if any(not 0 <= index < dimension for index in key):
+                raise ValueError(f"face index out of range: {sorted(key)}")
+            if value.dimension != dimension - len(key):
+                raise ValueError(
+                    f"the face {sorted(key)} fixes {len(key)} coordinates, so its "
+                    f"min-of-linear must have dimension {dimension - len(key)}"
+                )
+
+    def face_of(self, z: Sequence) -> FrozenSet[int]:
+        """The set of zero coordinates of ``z``."""
+        return frozenset(i for i, value in enumerate(z) if Fraction(value) == 0)
+
+    def __call__(self, z: Sequence) -> Fraction:
+        z = tuple(Fraction(value) for value in z)
+        if len(z) != self.dimension:
+            raise ValueError("dimension mismatch")
+        if any(value < 0 for value in z):
+            raise ValueError("the function is only defined on the nonnegative orthant")
+        face = self.face_of(z)
+        if len(face) == self.dimension:
+            return Fraction(0)
+        if face not in self.faces:
+            raise ValueError(
+                f"no piece is defined for the face with zero coordinates {sorted(face)}"
+            )
+        remaining = tuple(value for i, value in enumerate(z) if i not in face)
+        return self.faces[face](remaining)
+
+    # -- property checks ------------------------------------------------------------
+
+    def is_superadditive_on(self, samples: Iterable[Tuple[Sequence, Sequence]]) -> bool:
+        """Check superadditivity ``f(a) + f(b) <= f(a + b)`` on sample pairs."""
+        for a, b in samples:
+            total = tuple(Fraction(x) + Fraction(y) for x, y in zip(a, b))
+            try:
+                if self(a) + self(b) > self(total):
+                    return False
+            except ValueError:
+                continue
+        return True
+
+    def is_positive_continuous_on_rays(self, rays: Iterable[Sequence], epsilon=Fraction(1, 1000)) -> bool:
+        """A sampled continuity check along rays within a single face.
+
+        For points ``z`` and ``z + epsilon·z`` in the same face the values must
+        be close (within ``epsilon`` times the value plus a constant); exact
+        continuity holds because each face is a min of linear functions, so
+        this is a smoke check used by tests.
+        """
+        for ray in rays:
+            z = tuple(Fraction(value) for value in ray)
+            bumped = tuple(value * (1 + epsilon) for value in z)
+            if self.face_of(z) != self.face_of(bumped):
+                continue
+            difference = abs(self(bumped) - self(z))
+            if difference > epsilon * (abs(self(z)) + 1) * self.dimension:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"PiecewiseRationalLinear(name={self.name!r}, d={self.dimension}, faces={len(self.faces)})"

@@ -1,0 +1,79 @@
+"""The paper's primary contribution: characterization and constructions.
+
+This package contains:
+
+* :mod:`repro.core.specs` — :class:`FunctionSpec`, the user-facing description
+  of a function ``f : N^d -> N`` together with whatever structure is known
+  about it (semilinear representation, eventually-min representation, known
+  hand-written CRN, restriction specs).
+* :mod:`repro.core.construction_quilt` — Lemma 6.1: an output-oblivious CRN
+  for any quilt-affine function with nonnegative outputs.
+* :mod:`repro.core.construction_1d` — Theorem 3.1: the 1D construction with a
+  leader for any semilinear nondecreasing function.
+* :mod:`repro.core.construction_leaderless` — Theorem 9.2: the 1D leaderless
+  construction for semilinear superadditive functions.
+* :mod:`repro.core.construction_general` — Lemma 6.2: the general recursive
+  construction from an eventually-min representation plus restriction specs.
+* :mod:`repro.core.impossibility` — Lemma 4.1: contradiction sequences and the
+  bounded search for them (Theorem 5.4's negative characterization).
+* :mod:`repro.core.decomposition` — Section 7: domain decomposition of a
+  semilinear function into regions with quilt-affine extensions, producing the
+  eventually-min representation required by Theorem 5.2.
+* :mod:`repro.core.characterization` — the Theorem 5.2 / 5.4 decision
+  procedure assembled from the pieces above.
+* :mod:`repro.core.scaling` — Section 8: the ∞-scaling limit and the
+  correspondence with continuous (rate-independent) CRN computation.
+* :mod:`repro.core.superadditive` — Section 9: superadditivity checks and the
+  leaderless characterization in 1D.
+"""
+
+from repro.core.specs import FunctionSpec
+from repro.core.construction_quilt import build_quilt_affine_crn
+from repro.core.construction_1d import build_1d_crn
+from repro.core.construction_leaderless import build_leaderless_1d_crn
+from repro.core.construction_general import build_general_crn
+from repro.core.restrictions import hardcode_input, restriction_spec
+from repro.core.algebra import compose_specs, min_of_specs, scale_spec, sum_of_specs
+from repro.core.impossibility import (
+    ContradictionWitness,
+    verify_contradiction_pair,
+    verify_contradiction_sequence,
+    find_contradiction_witness,
+    max_contradiction_witness,
+)
+from repro.core.characterization import (
+    CharacterizationVerdict,
+    check_obliviously_computable,
+    build_crn_for,
+)
+from repro.core.decomposition import DomainDecomposition, decompose
+from repro.core.scaling import infinity_scaling, scaling_of_eventually_min
+from repro.core.superadditive import is_superadditive_upto, is_nondecreasing_upto
+
+__all__ = [
+    "FunctionSpec",
+    "build_quilt_affine_crn",
+    "build_1d_crn",
+    "build_leaderless_1d_crn",
+    "build_general_crn",
+    "hardcode_input",
+    "restriction_spec",
+    "compose_specs",
+    "min_of_specs",
+    "scale_spec",
+    "sum_of_specs",
+    "ContradictionWitness",
+    "verify_contradiction_pair",
+    "verify_contradiction_sequence",
+    "find_contradiction_witness",
+    "max_contradiction_witness",
+    "CharacterizationVerdict",
+    "check_obliviously_computable",
+    "build_crn_for",
+    "DomainDecomposition",
+    "decompose",
+    "infinity_scaling",
+    "scaling_of_eventually_min",
+    "is_superadditive_upto",
+    "is_nondecreasing_upto",
+]

@@ -1,0 +1,254 @@
+"""Closure operations on function specs: the composition calculus of Section 2.3.
+
+Observation 2.2 makes output-oblivious CRNs closed under feed-forward
+composition, and the proof of Lemma 6.2 uses three specific combinators —
+minimum, addition (fan-in of outputs), and composition — as its building
+blocks.  This module lifts those combinators to :class:`FunctionSpec` level:
+each combinator combines the callables, the eventually-min representations
+(when that is possible exactly), and the known CRNs (by concatenation), so the
+result is again a fully usable spec.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.specs import FunctionSpec
+from repro.crn.composition import concatenate
+from repro.crn.network import CRN
+from repro.crn.reaction import Reaction
+from repro.crn.species import Expression, Species
+from repro.quilt.eventually_min import EventuallyMin
+from repro.quilt.quilt_affine import QuiltAffine, all_residues
+
+
+def _common_period(pieces: Sequence[QuiltAffine]) -> int:
+    period = 1
+    for piece in pieces:
+        period = period * piece.period // math.gcd(period, piece.period)
+    return period
+
+
+def _add_quilts(a: QuiltAffine, b: QuiltAffine) -> QuiltAffine:
+    """The pointwise sum of two quilt-affine functions (again quilt-affine)."""
+    if a.dimension != b.dimension:
+        raise ValueError("cannot add quilt-affine functions of different dimensions")
+    period = _common_period([a, b])
+    gradient = tuple(x + y for x, y in zip(a.gradient, b.gradient))
+    offsets: Dict[Tuple[int, ...], Fraction] = {}
+    for residue in all_residues(a.dimension, period):
+        offsets[residue] = a.offset(residue) + b.offset(residue)
+    return QuiltAffine(gradient, period, offsets, name=f"{a.name}+{b.name}", validate=False)
+
+
+def min_of_specs(specs: Sequence[FunctionSpec], name: str = "") -> FunctionSpec:
+    """The pointwise minimum of several specs over the *same* input vector.
+
+    The eventually-min representations combine exactly (union of pieces, max of
+    thresholds); a CRN is built by feeding fan-out copies of the inputs into
+    each component CRN and joining the outputs with a single ``min`` reaction.
+    """
+    if not specs:
+        raise ValueError("min_of_specs needs at least one spec")
+    dimension = specs[0].dimension
+    if any(spec.dimension != dimension for spec in specs):
+        raise ValueError("all specs must have the same input dimension")
+
+    def func(x: Sequence[int]) -> int:
+        return min(spec(x) for spec in specs)
+
+    eventually_min: Optional[EventuallyMin] = None
+    if all(spec.eventually_min is not None for spec in specs):
+        pieces: List[QuiltAffine] = []
+        threshold = [0] * dimension
+        for spec in specs:
+            pieces.extend(spec.eventually_min.pieces)
+            threshold = [max(a, b) for a, b in zip(threshold, spec.eventually_min.threshold)]
+        eventually_min = EventuallyMin(pieces, tuple(threshold), name=name or "min-of-specs")
+
+    known_crn: Optional[CRN] = None
+    if all(spec.known_crn is not None and spec.known_crn.is_output_oblivious() for spec in specs):
+        known_crn = _fan_in_crn(specs, joiner="min", name=name or "min-of-specs")
+
+    return FunctionSpec(
+        name=name or "min(" + ",".join(spec.name for spec in specs) + ")",
+        dimension=dimension,
+        func=func,
+        eventually_min=eventually_min,
+        known_crn=known_crn,
+        expected_obliviously_computable=True
+        if all(spec.expected_obliviously_computable for spec in specs)
+        else None,
+    )
+
+
+def sum_of_specs(specs: Sequence[FunctionSpec], name: str = "") -> FunctionSpec:
+    """The pointwise sum of several specs over the same input vector.
+
+    Exact when every summand carries a *single-piece* eventually-min
+    representation (sums of genuine minima are not minima in general, so the
+    representation is dropped in that case).
+    """
+    if not specs:
+        raise ValueError("sum_of_specs needs at least one spec")
+    dimension = specs[0].dimension
+    if any(spec.dimension != dimension for spec in specs):
+        raise ValueError("all specs must have the same input dimension")
+
+    def func(x: Sequence[int]) -> int:
+        return sum(spec(x) for spec in specs)
+
+    eventually_min: Optional[EventuallyMin] = None
+    if all(
+        spec.eventually_min is not None and len(spec.eventually_min.pieces) == 1 for spec in specs
+    ):
+        total: Optional[QuiltAffine] = None
+        threshold = [0] * dimension
+        for spec in specs:
+            piece = spec.eventually_min.pieces[0]
+            total = piece if total is None else _add_quilts(total, piece)
+            threshold = [max(a, b) for a, b in zip(threshold, spec.eventually_min.threshold)]
+        eventually_min = EventuallyMin([total], tuple(threshold), name=name or "sum-of-specs")
+
+    known_crn: Optional[CRN] = None
+    if all(spec.known_crn is not None and spec.known_crn.is_output_oblivious() for spec in specs):
+        known_crn = _fan_in_crn(specs, joiner="sum", name=name or "sum-of-specs")
+
+    return FunctionSpec(
+        name=name or "+".join(spec.name for spec in specs),
+        dimension=dimension,
+        func=func,
+        eventually_min=eventually_min,
+        known_crn=known_crn,
+        expected_obliviously_computable=True
+        if all(spec.expected_obliviously_computable for spec in specs)
+        else None,
+    )
+
+
+def scale_spec(spec: FunctionSpec, factor: int, name: str = "") -> FunctionSpec:
+    """The spec of ``factor · f`` (composition with the doubling-style CRN ``W -> factor·Y``)."""
+    if factor < 0:
+        raise ValueError("the scaling factor must be nonnegative")
+
+    def func(x: Sequence[int]) -> int:
+        return factor * spec(x)
+
+    eventually_min: Optional[EventuallyMin] = None
+    if spec.eventually_min is not None:
+        scaled_pieces = []
+        for piece in spec.eventually_min.pieces:
+            gradient = tuple(g * factor for g in piece.gradient)
+            offsets = {
+                residue: piece.offset(residue) * factor
+                for residue in all_residues(piece.dimension, piece.period)
+            }
+            scaled_pieces.append(
+                QuiltAffine(gradient, piece.period, offsets, name=f"{factor}*{piece.name}", validate=False)
+            )
+        eventually_min = EventuallyMin(
+            scaled_pieces, spec.eventually_min.threshold, name=name or f"{factor}*{spec.name}"
+        )
+
+    known_crn: Optional[CRN] = None
+    if spec.known_crn is not None and spec.known_crn.is_output_oblivious() and factor > 0:
+        w, y = Species("W"), Species("Y")
+        scaler = CRN([Reaction(w, Expression({y: factor}))], (w,), y, name=f"x{factor}")
+        known_crn = concatenate(spec.known_crn, scaler, name=name or f"{factor}*{spec.name}")
+
+    return FunctionSpec(
+        name=name or f"{factor}*{spec.name}",
+        dimension=spec.dimension,
+        func=func,
+        eventually_min=eventually_min,
+        known_crn=known_crn,
+        expected_obliviously_computable=spec.expected_obliviously_computable,
+    )
+
+
+def compose_specs(outer: FunctionSpec, inner: FunctionSpec, name: str = "") -> FunctionSpec:
+    """The composition ``outer ∘ inner`` for a 1-input ``outer`` (Observation 2.2 shape).
+
+    The callable always composes; the CRN composes by concatenation when the
+    inner CRN is output-oblivious.  Eventually-min representations do not
+    compose exactly in general, so the composed spec carries none (it can be
+    re-derived by decomposition when a semilinear form is available).
+    """
+    if outer.dimension != 1:
+        raise ValueError("compose_specs requires a single-input outer function")
+
+    def func(x: Sequence[int]) -> int:
+        return outer((inner(x),))
+
+    known_crn: Optional[CRN] = None
+    if (
+        inner.known_crn is not None
+        and outer.known_crn is not None
+        and inner.known_crn.is_output_oblivious()
+    ):
+        known_crn = concatenate(
+            inner.known_crn, outer.known_crn, name=name or f"{outer.name}∘{inner.name}"
+        )
+
+    return FunctionSpec(
+        name=name or f"{outer.name}∘{inner.name}",
+        dimension=inner.dimension,
+        func=func,
+        known_crn=known_crn,
+        expected_obliviously_computable=(
+            True
+            if inner.expected_obliviously_computable and outer.expected_obliviously_computable
+            else None
+        ),
+    )
+
+
+def _fan_in_crn(specs: Sequence[FunctionSpec], joiner: str, name: str) -> CRN:
+    """Run each spec's CRN on its own copy of the inputs and join the outputs.
+
+    ``joiner="min"`` adds the single reaction ``O_1 + ... + O_m -> Y``;
+    ``joiner="sum"`` adds one reaction ``O_k -> Y`` per component.
+    """
+    dimension = specs[0].dimension
+    inputs = tuple(Species(f"X{i + 1}") for i in range(dimension))
+    output = Species("Y")
+    leader = Species("L")
+
+    reactions: List[Reaction] = []
+    leader_products: Dict[Species, int] = {}
+    component_outputs: List[Species] = []
+    demands: List[List[Species]] = [[] for _ in range(dimension)]
+
+    for index, spec in enumerate(specs):
+        component = spec.known_crn.with_prefix(f"c{index}_")
+        reactions.extend(component.reactions)
+        component_outputs.append(component.output_species)
+        if component.leader is not None:
+            leader_products[component.leader] = leader_products.get(component.leader, 0) + 1
+        for coordinate, input_sp in enumerate(component.input_species):
+            demands[coordinate].append(input_sp)
+
+    for coordinate in range(dimension):
+        products: Dict[Species, int] = {}
+        for sp in demands[coordinate]:
+            products[sp] = products.get(sp, 0) + 1
+        reactions.append(Reaction(inputs[coordinate], Expression(products), name=f"fanout{coordinate}"))
+
+    if joiner == "min":
+        reactions.append(
+            Reaction(Expression({sp: 1 for sp in component_outputs}), output, name="join-min")
+        )
+    elif joiner == "sum":
+        for sp in component_outputs:
+            reactions.append(Reaction(sp, output, name="join-sum"))
+    else:
+        raise ValueError(f"unknown joiner {joiner!r}")
+
+    crn_leader: Optional[Species] = None
+    if leader_products:
+        crn_leader = leader
+        reactions.append(Reaction(leader, Expression(leader_products), name="leader-split"))
+
+    return CRN(reactions, inputs, output, leader=crn_leader, name=name)

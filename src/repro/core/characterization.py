@@ -1,0 +1,262 @@
+"""The Theorem 5.2 / 5.4 decision procedure and the construction dispatcher.
+
+:func:`check_obliviously_computable` assembles the pieces of the paper's
+characterization into a (partially heuristic, but faithful) decision procedure:
+
+* condition (i) — nondecreasing — is checked on a bounded grid (a violation is
+  conclusive non-computability by Observation 2.1);
+* condition (ii) — eventually a min of quilt-affine functions — is taken from
+  the spec when provided, derived by the Section 7 domain decomposition when a
+  semilinear representation is available, or recovered by 1D fitting for
+  ``d = 1`` (Theorem 3.1);
+* condition (iii) — the recursive condition — is checked by recursing into
+  the fixed-input restrictions up to the threshold of condition (ii);
+* the negative side (Theorem 5.4) is backed by a bounded search for a
+  Lemma 4.1 contradiction witness, which is reported whenever it exists.
+
+:func:`build_crn_for` dispatches to the appropriate construction
+(Theorem 3.1 for 1D, Lemma 6.2 in general) after deriving the missing
+structure, and returns an output-oblivious CRN that stably computes the
+function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.construction_1d import build_1d_crn
+from repro.core.construction_general import build_general_crn
+from repro.core.decomposition import DomainDecomposition, decompose
+from repro.core.impossibility import ContradictionWitness, find_contradiction_witness
+from repro.core.specs import FunctionSpec
+from repro.crn.network import CRN
+from repro.quilt.eventually_min import EventuallyMin
+from repro.quilt.fitting import fit_eventually_quilt_affine_1d
+
+
+@dataclass
+class CharacterizationVerdict:
+    """The outcome of checking Theorem 5.2's conditions for one function."""
+
+    name: str
+    obliviously_computable: Optional[bool]
+    """True / False when the procedure reached a verdict, None when inconclusive."""
+
+    conclusive: bool
+    """Whether the verdict is backed by a complete (bounded-but-sufficient) check."""
+
+    reasons: List[str] = field(default_factory=list)
+    eventually_min: Optional[EventuallyMin] = None
+    decomposition: Optional[DomainDecomposition] = None
+    witness: Optional[ContradictionWitness] = None
+
+    def __bool__(self) -> bool:
+        return bool(self.obliviously_computable)
+
+    def describe(self) -> str:
+        """A multi-line human-readable report."""
+        verdict = {True: "obliviously-computable", False: "NOT obliviously-computable", None: "inconclusive"}
+        lines = [f"{self.name}: {verdict[self.obliviously_computable]}"]
+        for reason in self.reasons:
+            lines.append(f"  - {reason}")
+        if self.witness is not None:
+            lines.append(f"  - Lemma 4.1 witness: {self.witness.describe()}")
+        return "\n".join(lines)
+
+
+def _check_1d(spec: FunctionSpec, monotonicity_bound: int) -> CharacterizationVerdict:
+    reasons: List[str] = []
+    try:
+        structure = fit_eventually_quilt_affine_1d(lambda x: spec((x,)))
+    except ValueError as error:
+        reasons.append(f"1D fitting failed: {error}")
+        return CharacterizationVerdict(
+            name=spec.name, obliviously_computable=None, conclusive=False, reasons=reasons
+        )
+    reasons.append(
+        "Theorem 3.1: semilinear nondecreasing 1D functions are obliviously-computable "
+        f"(eventually quilt-affine with start={structure.start}, period={structure.period})"
+    )
+    eventually_min = EventuallyMin(
+        [structure.to_quilt_affine()], (structure.start,), name=f"{spec.name}-eventual"
+    )
+    return CharacterizationVerdict(
+        name=spec.name,
+        obliviously_computable=True,
+        conclusive=True,
+        reasons=reasons,
+        eventually_min=eventually_min,
+    )
+
+
+def check_obliviously_computable(
+    spec: FunctionSpec,
+    monotonicity_bound: int = 8,
+    witness_terms: int = 5,
+    recursion_depth: int = 0,
+) -> CharacterizationVerdict:
+    """Decide (as far as the bounded checks allow) whether ``spec`` satisfies Theorem 5.2."""
+    reasons: List[str] = []
+
+    if spec.dimension == 0:
+        return CharacterizationVerdict(
+            name=spec.name,
+            obliviously_computable=True,
+            conclusive=True,
+            reasons=["a constant (0-input) function is trivially obliviously-computable"],
+        )
+
+    # Condition (i): nondecreasing (Observation 2.1).
+    if not spec.is_nondecreasing_upto(monotonicity_bound):
+        reasons.append(
+            "condition (i) fails: the function is not nondecreasing "
+            "(Observation 2.1 rules out oblivious computation)"
+        )
+        return CharacterizationVerdict(
+            name=spec.name, obliviously_computable=False, conclusive=True, reasons=reasons
+        )
+    reasons.append(f"condition (i) holds on the grid [0, {monotonicity_bound})^d")
+
+    if spec.dimension == 1:
+        verdict = _check_1d(spec, monotonicity_bound)
+        verdict.reasons = reasons + verdict.reasons
+        return verdict
+
+    # Condition (ii): eventually a minimum of quilt-affine functions.
+    eventually_min = spec.eventually_min
+    decomposition: Optional[DomainDecomposition] = None
+    if eventually_min is None and spec.semilinear is not None:
+        decomposition = decompose(spec)
+        if decomposition.succeeded():
+            eventually_min = decomposition.eventually_min
+            reasons.append(
+                "condition (ii): the Section 7 decomposition produced "
+                f"{len(eventually_min.pieces)} quilt-affine pieces with threshold "
+                f"{eventually_min.threshold}"
+            )
+        else:
+            reasons.append(f"condition (ii) check failed: {decomposition.failure_reason}")
+    elif eventually_min is not None:
+        if eventually_min.agrees_with(spec.func):
+            reasons.append("condition (ii): the provided eventually-min representation is consistent")
+        else:
+            reasons.append(
+                "the provided eventually-min representation disagrees with the function; ignoring it"
+            )
+            eventually_min = None
+
+    if eventually_min is None:
+        # Negative characterization (Theorem 5.4): look for a contradiction witness.
+        witness = find_contradiction_witness(
+            spec.func, spec.dimension, terms=witness_terms
+        )
+        if witness is not None:
+            reasons.append(
+                "Theorem 5.4: a Lemma 4.1 contradiction sequence exists, so the function "
+                "is not obliviously-computable"
+            )
+            return CharacterizationVerdict(
+                name=spec.name,
+                obliviously_computable=False,
+                conclusive=True,
+                reasons=reasons,
+                decomposition=decomposition,
+                witness=witness,
+            )
+        reasons.append(
+            "no eventually-min representation could be established and no contradiction "
+            "witness was found within the search bounds"
+        )
+        return CharacterizationVerdict(
+            name=spec.name,
+            obliviously_computable=None,
+            conclusive=False,
+            reasons=reasons,
+            decomposition=decomposition,
+        )
+
+    # Condition (iii): recursive restrictions up to the threshold.
+    threshold = max(eventually_min.threshold) if eventually_min.threshold else 0
+    for index in range(spec.dimension):
+        for value in range(threshold):
+            restriction = spec.restriction(index, value)
+            sub_verdict = check_obliviously_computable(
+                restriction,
+                monotonicity_bound=monotonicity_bound,
+                witness_terms=witness_terms,
+                recursion_depth=recursion_depth + 1,
+            )
+            if sub_verdict.obliviously_computable is False:
+                reasons.append(
+                    f"condition (iii) fails: restriction x{index + 1}={value} is not "
+                    "obliviously-computable"
+                )
+                return CharacterizationVerdict(
+                    name=spec.name,
+                    obliviously_computable=False,
+                    conclusive=sub_verdict.conclusive,
+                    reasons=reasons,
+                    eventually_min=eventually_min,
+                    decomposition=decomposition,
+                )
+            if sub_verdict.obliviously_computable is None:
+                reasons.append(
+                    f"condition (iii) is inconclusive for restriction x{index + 1}={value}"
+                )
+                return CharacterizationVerdict(
+                    name=spec.name,
+                    obliviously_computable=None,
+                    conclusive=False,
+                    reasons=reasons,
+                    eventually_min=eventually_min,
+                    decomposition=decomposition,
+                )
+    if threshold > 0:
+        reasons.append(
+            f"condition (iii) holds: all {spec.dimension * threshold} fixed-input "
+            "restrictions below the threshold are obliviously-computable"
+        )
+    else:
+        reasons.append("condition (iii) is vacuous (threshold 0)")
+
+    return CharacterizationVerdict(
+        name=spec.name,
+        obliviously_computable=True,
+        conclusive=True,
+        reasons=reasons,
+        eventually_min=eventually_min,
+        decomposition=decomposition,
+    )
+
+
+def build_crn_for(spec: FunctionSpec, name: str = "", prefer_known: bool = True) -> CRN:
+    """Build an output-oblivious CRN stably computing ``spec``.
+
+    Dispatch order: the hand-written CRN from the paper if present (and
+    ``prefer_known``), the Theorem 3.1 construction for 1D functions, and the
+    Lemma 6.2 general construction otherwise (deriving the eventually-min
+    representation by decomposition when necessary).
+    """
+    if prefer_known and spec.known_crn is not None:
+        return spec.known_crn
+    if spec.dimension == 0:
+        raise ValueError("use a 1-input constant function spec to build a constant CRN")
+    if spec.dimension == 1:
+        return build_1d_crn(lambda t: spec((t,)), name=name or spec.name)
+
+    working = spec
+    if working.eventually_min is None:
+        if working.semilinear is None:
+            raise ValueError(
+                f"{spec.name}: building the general construction requires either an "
+                "eventually-min representation or a semilinear representation to decompose"
+            )
+        decomposition = decompose(working)
+        if not decomposition.succeeded():
+            raise ValueError(
+                f"{spec.name}: decomposition failed ({decomposition.failure_reason}); "
+                "the function is likely not obliviously-computable"
+            )
+        working = working.with_eventually_min(decomposition.eventually_min)
+    return build_general_crn(working, name=name or spec.name)

@@ -1,0 +1,127 @@
+"""Theorem 3.1: the 1D construction with a leader.
+
+Every semilinear nondecreasing ``f : N -> N`` is eventually quilt-affine
+(Fig. 5): there are ``n``, a period ``p``, and periodic finite differences
+``δ_0, ..., δ_{p-1}`` such that ``f(x+1) - f(x) = δ_{x mod p}`` for ``x >= n``.
+The construction uses a leader that counts the inputs it has consumed —
+exactly below ``n`` and modulo ``p`` beyond ``n`` — and releases the correct
+finite difference at each step:
+
+    L            ->  f(0) Y + L_0
+    L_i + X      ->  [f(i+1) - f(i)] Y + L_{i+1}      (i = 0, ..., n-2)
+    L_{n-1} + X  ->  [f(n) - f(n-1)] Y + P_{n mod p}
+    P_a + X      ->  δ_a Y + P_{a+1 mod p}
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.crn.network import CRN
+from repro.crn.reaction import Reaction
+from repro.crn.species import Expression, Species
+from repro.quilt.fitting import EventuallyPeriodic1D, fit_eventually_quilt_affine_1d
+
+
+def build_1d_crn(
+    func: Callable[[int], int] | EventuallyPeriodic1D,
+    input_name: str = "X",
+    output_name: str = "Y",
+    leader_name: str = "L",
+    prefix: str = "",
+    name: str = "",
+    max_start: int = 200,
+    max_period: int = 36,
+) -> CRN:
+    """Build the Theorem 3.1 output-oblivious CRN for a 1D semilinear nondecreasing function.
+
+    ``func`` may be either a callable (in which case the eventually-periodic
+    structure is recovered by :func:`fit_eventually_quilt_affine_1d`) or an
+    already-fitted :class:`EventuallyPeriodic1D`.
+    """
+    if isinstance(func, EventuallyPeriodic1D):
+        structure = func
+    else:
+        structure = fit_eventually_quilt_affine_1d(
+            lambda x: int(func(x)), max_start=max_start, max_period=max_period
+        )
+
+    start = structure.start
+    period = structure.period
+    deltas = structure.deltas
+    values = structure.initial_values
+
+    input_species = Species(prefix + input_name if prefix else input_name)
+    output = Species(prefix + output_name if prefix else output_name)
+    leader = Species(prefix + leader_name if prefix else leader_name)
+
+    counting_states: Dict[int, Species] = {
+        i: Species(f"{prefix}L{i}") for i in range(start)
+    }
+    periodic_states: Dict[int, Species] = {
+        a: Species(f"{prefix}P{a}") for a in range(period)
+    }
+
+    def state_after(count: int) -> Species:
+        """The leader state after consuming ``count`` inputs."""
+        if count < start:
+            return counting_states[count]
+        return periodic_states[count % period]
+
+    reactions: List[Reaction] = []
+
+    # Initial reaction: release f(0) outputs and enter the state for count 0.
+    initial_products: Dict[Species, int] = {state_after(0): 1}
+    if values[0] > 0:
+        initial_products[output] = values[0]
+    reactions.append(Reaction(leader, Expression(initial_products), name="init"))
+
+    # Counting phase: exact differences f(i+1) - f(i) for i < start.
+    for i in range(start):
+        difference = structure.value(i + 1) - structure.value(i)
+        if difference < 0:
+            raise ValueError("the function is not nondecreasing")
+        products: Dict[Species, int] = {state_after(i + 1): 1}
+        if difference > 0:
+            products[output] = difference
+        reactions.append(
+            Reaction(
+                Expression({counting_states[i]: 1, input_species: 1}),
+                Expression(products),
+                name=f"count-{i}",
+            )
+        )
+
+    # Periodic phase: differences δ_a for counts >= start.
+    for a in range(period):
+        delta = deltas[a]
+        if delta < 0:
+            raise ValueError("the function is not nondecreasing")
+        products = {periodic_states[(a + 1) % period]: 1}
+        if delta > 0:
+            products[output] = delta
+        reactions.append(
+            Reaction(
+                Expression({periodic_states[a]: 1, input_species: 1}),
+                Expression(products),
+                name=f"period-{a}",
+            )
+        )
+
+    return CRN(
+        reactions,
+        (input_species,),
+        output,
+        leader=leader,
+        name=name or "theorem-3.1",
+    )
+
+
+def construction_size_1d(structure: EventuallyPeriodic1D) -> Dict[str, int]:
+    """Species and reaction counts of the Theorem 3.1 construction (Θ(n + p))."""
+    return {
+        "species": 3 + structure.start + structure.period,
+        "reactions": 1 + structure.start + structure.period,
+        "start": structure.start,
+        "period": structure.period,
+    }

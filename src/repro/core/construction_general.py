@@ -1,0 +1,282 @@
+"""Lemma 6.2: the general construction for obliviously-computable functions.
+
+Given a function ``f : N^d -> N`` satisfying the three conditions of
+Theorem 5.2, the paper expresses ``f`` as the composition (Equation 1)
+
+    f(x) = min[ f(x ∨ n),
+                f_[x(i)->j](x) + 1_{x(i)>j}(x) · f(x ∨ n)   (i=1..d, j=0..n-1) ]
+
+and builds an output-oblivious CRN for each piece:
+
+* ``f(x ∨ n) = min_k g_k((x - n)^+ + n)`` — for each quilt-affine piece, a
+  per-coordinate truncated-subtraction module ``(n+1)X -> nX + W`` feeds the
+  Lemma 6.1 CRN for the translated (nonnegative) piece ``g_k(x + n)``, and a
+  single ``min`` reaction combines the piece outputs;
+* ``f_[x(i)->j]`` — the recursive construction on the restriction (Theorem 3.1
+  when the restriction is one-dimensional);
+* ``c(a, b, x) = a + 1_{x(i)>j}(x)·b`` — the two-reaction indicator gadget
+  ``A -> T`` and ``(j+1)X_i + B -> (j+1)X_i + T``;
+* a final ``min`` reaction over all the terms, and a fan-out reaction per
+  input so every module receives its own copy of the input.
+
+The whole network is output-oblivious because every module is, and the global
+leader splits into one leader per module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.construction_1d import build_1d_crn
+from repro.core.construction_quilt import build_quilt_affine_crn
+from repro.core.specs import FunctionSpec
+from repro.crn.network import CRN
+from repro.crn.reaction import Reaction
+from repro.crn.species import Expression, Species
+from repro.quilt.eventually_min import EventuallyMin
+
+
+class _ModuleParts:
+    """Reactions plus wiring information for one sub-module of the construction."""
+
+    def __init__(
+        self,
+        reactions: List[Reaction],
+        input_copies: List[List[Species]],
+        output: Species,
+        leaders: List[Species],
+    ) -> None:
+        self.reactions = reactions
+        self.input_copies = input_copies
+        self.output = output
+        self.leaders = leaders
+
+
+def _build_eventual_module(
+    eventually_min: EventuallyMin,
+    n: int,
+    prefix: str,
+) -> _ModuleParts:
+    """A module computing ``f(x ∨ n) = min_k g_k((x - n)^+ + n)``."""
+    dimension = eventually_min.dimension
+    shift = tuple([n] * dimension)
+    reactions: List[Reaction] = []
+    input_copies: List[List[Species]] = [[] for _ in range(dimension)]
+    leaders: List[Species] = []
+    piece_outputs: List[Species] = []
+
+    for k, piece in enumerate(eventually_min.pieces):
+        translated = piece.translate(shift)
+        quilt_prefix = f"{prefix}g{k}_"
+        quilt_input_names = [f"{quilt_prefix}W{i + 1}" for i in range(dimension)]
+        quilt = build_quilt_affine_crn(
+            translated,
+            input_names=quilt_input_names,
+            output_name="O",
+            leader_name="QL",
+            prefix=quilt_prefix,
+            name=f"{quilt_prefix}quilt",
+        )
+        reactions.extend(quilt.reactions)
+        leaders.append(quilt.leader)
+        piece_outputs.append(quilt.output_species)
+
+        for i, quilt_input in enumerate(quilt.input_species):
+            if n == 0:
+                # x ∨ 0 = x: wire the input copy straight into the quilt module.
+                input_copies[i].append(quilt_input)
+            else:
+                # Truncated subtraction (x - n)^+ via (n+1)V -> nV + W.
+                copy = Species(f"{prefix}g{k}_V{i + 1}")
+                input_copies[i].append(copy)
+                reactions.append(
+                    Reaction(
+                        Expression({copy: n + 1}),
+                        Expression({copy: n, quilt_input: 1}),
+                        name=f"{prefix}sub{k}_{i + 1}",
+                    )
+                )
+
+    module_output = Species(f"{prefix}OUT")
+    reactions.append(
+        Reaction(
+            Expression({sp: 1 for sp in piece_outputs}),
+            module_output,
+            name=f"{prefix}min",
+        )
+    )
+    return _ModuleParts(reactions, input_copies, module_output, leaders)
+
+
+def _build_restriction_module(
+    spec: FunctionSpec,
+    index: int,
+    value: int,
+    prefix: str,
+) -> _ModuleParts:
+    """A module computing the fixed-input restriction ``f_[x(index) -> value]``.
+
+    The module's input copies cover only the coordinates other than ``index``
+    (the restriction ignores that coordinate); the corresponding entry of
+    ``input_copies`` is left empty.
+    """
+    restriction = spec.restriction(index, value)
+    if restriction.dimension == 0:
+        # Constant function: a single leader-driven reaction emits the value.
+        constant = restriction(())
+        output = Species(f"{prefix}ROUT")
+        leader = Species(f"{prefix}RL")
+        products: Dict[Species, int] = {}
+        if constant > 0:
+            products[output] = constant
+        if not products:
+            # The reaction must produce something; re-emit the leader as a sink.
+            products[Species(f"{prefix}RDONE")] = 1
+        reactions = [Reaction(leader, Expression(products), name=f"{prefix}const")]
+        return _ModuleParts(reactions, [[] for _ in range(spec.dimension)], output, [leader])
+
+    if restriction.dimension == 1:
+        crn = build_1d_crn(
+            lambda t: restriction((t,)),
+            prefix=prefix,
+            name=f"{prefix}restriction",
+        )
+    else:
+        crn = build_general_crn(restriction, name=f"{prefix}restriction", _prefix=prefix)
+
+    input_copies: List[List[Species]] = [[] for _ in range(spec.dimension)]
+    remaining = [i for i in range(spec.dimension) if i != index]
+    for coordinate, input_sp in zip(remaining, crn.input_species):
+        input_copies[coordinate].append(input_sp)
+    leaders = [crn.leader] if crn.leader is not None else []
+    return _ModuleParts(list(crn.reactions), input_copies, crn.output_species, leaders)
+
+
+def build_general_crn(
+    spec: FunctionSpec,
+    name: str = "",
+    _prefix: str = "",
+) -> CRN:
+    """Build the Lemma 6.2 output-oblivious CRN for a function satisfying Theorem 5.2.
+
+    Requirements on ``spec``:
+
+    * ``dimension >= 1``;
+    * for ``dimension == 1`` the callable alone suffices (Theorem 3.1 is used);
+    * for ``dimension >= 2`` an :class:`EventuallyMin` representation must be
+      attached (``spec.eventually_min``); use
+      :func:`repro.core.characterization.build_crn_for` to derive it
+      automatically from a semilinear representation first.
+    * restrictions of dimension >= 2 must either carry their own eventually-min
+      structure (via ``spec.restriction_specs``) or be one-dimensional.
+    """
+    if spec.dimension < 1:
+        raise ValueError("the construction needs at least one input")
+    if spec.dimension == 1:
+        crn = build_1d_crn(lambda t: spec((t,)), prefix=_prefix, name=name or spec.name)
+        return crn
+    if spec.eventually_min is None:
+        raise ValueError(
+            f"{spec.name}: the general construction needs an eventually-min "
+            "representation (Theorem 5.2 condition (ii)); attach one or call "
+            "repro.core.build_crn_for to derive it"
+        )
+
+    dimension = spec.dimension
+    eventually_min = spec.eventually_min
+    n = max(eventually_min.threshold) if eventually_min.threshold else 0
+    prefix = _prefix or "m_"
+
+    inputs = tuple(Species(f"{prefix}X{i + 1}") for i in range(dimension))
+    output = Species(f"{prefix}Y" if _prefix else "Y")
+    global_leader = Species(f"{prefix}L" if _prefix else "L")
+
+    reactions: List[Reaction] = []
+    module_leaders: List[Species] = []
+    demands: List[List[Species]] = [[] for _ in range(dimension)]
+    term_outputs: List[Species] = []
+
+    # -- term 0: f(x ∨ n) -------------------------------------------------------------
+    term0 = _build_eventual_module(eventually_min, n, prefix=f"{prefix}t0_")
+    reactions.extend(term0.reactions)
+    module_leaders.extend(term0.leaders)
+    for i in range(dimension):
+        demands[i].extend(term0.input_copies[i])
+    term_outputs.append(term0.output)
+
+    # -- terms (i, j): f_[x(i)->j](x) + 1_{x(i)>j}(x) · f(x ∨ n) ------------------------
+    for index in range(dimension):
+        for value in range(n):
+            term_prefix = f"{prefix}t{index + 1}_{value}_"
+
+            restriction = _build_restriction_module(spec, index, value, prefix=f"{term_prefix}r_")
+            reactions.extend(restriction.reactions)
+            module_leaders.extend(restriction.leaders)
+            for i in range(dimension):
+                demands[i].extend(restriction.input_copies[i])
+
+            eventual = _build_eventual_module(eventually_min, n, prefix=f"{term_prefix}e_")
+            reactions.extend(eventual.reactions)
+            module_leaders.extend(eventual.leaders)
+            for i in range(dimension):
+                demands[i].extend(eventual.input_copies[i])
+
+            # Indicator gadget c(a, b, x) = a + 1_{x(index) > value} · b.
+            term_output = Species(f"{term_prefix}T")
+            gate_copy = Species(f"{term_prefix}GATE")
+            demands[index].append(gate_copy)
+            reactions.append(
+                Reaction(restriction.output, term_output, name=f"{term_prefix}pass_a")
+            )
+            reactions.append(
+                Reaction(
+                    Expression({gate_copy: value + 1, eventual.output: 1}),
+                    Expression({gate_copy: value + 1, term_output: 1}),
+                    name=f"{term_prefix}gate_b",
+                )
+            )
+            term_outputs.append(term_output)
+
+    # -- final min over all terms --------------------------------------------------------
+    reactions.append(
+        Reaction(
+            Expression({sp: 1 for sp in term_outputs}),
+            output,
+            name=f"{prefix}final_min",
+        )
+    )
+
+    # -- fan-out of each input into every module copy -------------------------------------
+    for i in range(dimension):
+        copies = demands[i]
+        if not copies:
+            continue
+        products: Dict[Species, int] = {}
+        for sp in copies:
+            products[sp] = products.get(sp, 0) + 1
+        reactions.append(
+            Reaction(inputs[i], Expression(products), name=f"{prefix}fanout_{i + 1}")
+        )
+
+    # -- leader split ----------------------------------------------------------------------
+    if module_leaders:
+        leader_products: Dict[Species, int] = {}
+        for sp in module_leaders:
+            leader_products[sp] = leader_products.get(sp, 0) + 1
+        reactions.append(
+            Reaction(global_leader, Expression(leader_products), name=f"{prefix}leader_split")
+        )
+
+    return CRN(
+        reactions,
+        inputs,
+        output,
+        leader=global_leader,
+        name=name or f"lemma-6.2[{spec.name}]",
+    )
+
+
+def construction_size_general(spec: FunctionSpec) -> Dict[str, int]:
+    """Species / reaction counts of the Lemma 6.2 construction for ``spec``."""
+    crn = build_general_crn(spec)
+    return crn.size()

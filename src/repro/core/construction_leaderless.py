@@ -1,0 +1,165 @@
+"""Theorem 9.2: the leaderless 1D construction for superadditive functions.
+
+Without a leader, every copy of the input may independently start a counting
+chain, so several "auxiliary leader" species can coexist.  The construction
+adds pairwise *merge* reactions between auxiliary leaders that combine their
+counts and release the corrective difference
+
+    D = f(i + j) - f(i) - f(j)  >=  0   (by superadditivity),
+
+which is exactly the output that was undercounted by running the two chains
+independently.  For states in the periodic phase the corrective difference is
+well defined because the finite differences are periodic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.crn.network import CRN
+from repro.crn.reaction import Reaction
+from repro.crn.species import Expression, Species
+from repro.quilt.fitting import EventuallyPeriodic1D, fit_eventually_quilt_affine_1d
+
+
+class _StateTable:
+    """Auxiliary-leader states of the leaderless construction and their semantics."""
+
+    def __init__(self, structure: EventuallyPeriodic1D, prefix: str) -> None:
+        self.structure = structure
+        # The counting phase needs exact states only for counts 1 .. start-1;
+        # any count >= max(start, 1) is tracked modulo the period.
+        self.threshold = max(structure.start, 1)
+        self.period = structure.period
+        self.counting: Dict[int, Species] = {
+            i: Species(f"{prefix}L{i}") for i in range(1, self.threshold)
+        }
+        self.periodic: Dict[int, Species] = {
+            a: Species(f"{prefix}P{a}") for a in range(self.period)
+        }
+
+    def state_for(self, count: int) -> Species:
+        """The species representing an auxiliary leader that has absorbed ``count`` inputs."""
+        if count < 1:
+            raise ValueError("auxiliary leader states start at count 1")
+        if count < self.threshold:
+            return self.counting[count]
+        return self.periodic[count % self.period]
+
+    def representative(self, species: Species) -> int:
+        """A count value represented by the given state (the smallest one)."""
+        for count, sp in self.counting.items():
+            if sp == species:
+                return count
+        for a, sp in self.periodic.items():
+            if sp == species:
+                offset = (a - self.threshold) % self.period
+                return self.threshold + offset
+        raise KeyError(f"{species} is not an auxiliary leader state")
+
+    def all_states(self) -> List[Species]:
+        """Every auxiliary leader species."""
+        return list(self.counting.values()) + list(self.periodic.values())
+
+
+def build_leaderless_1d_crn(
+    func: Callable[[int], int] | EventuallyPeriodic1D,
+    input_name: str = "X",
+    output_name: str = "Y",
+    prefix: str = "",
+    name: str = "",
+    max_start: int = 200,
+    max_period: int = 36,
+    check_superadditive_upto: int = 30,
+) -> CRN:
+    """Build the Theorem 9.2 leaderless output-oblivious CRN.
+
+    ``func`` must be semilinear and superadditive (which implies nondecreasing
+    and ``f(0) = 0``); a bounded superadditivity check guards against misuse.
+    """
+    if isinstance(func, EventuallyPeriodic1D):
+        structure = func
+        evaluate = structure.value
+    else:
+        evaluate = lambda x: int(func(x))
+        structure = fit_eventually_quilt_affine_1d(
+            evaluate, max_start=max_start, max_period=max_period
+        )
+
+    if evaluate(0) != 0:
+        raise ValueError("a superadditive function must satisfy f(0) = 0")
+    for a in range(check_superadditive_upto):
+        for b in range(check_superadditive_upto):
+            if evaluate(a) + evaluate(b) > evaluate(a + b):
+                raise ValueError(
+                    f"the function is not superadditive: f({a}) + f({b}) > f({a + b})"
+                )
+
+    table = _StateTable(structure, prefix)
+    input_species = Species(prefix + input_name if prefix else input_name)
+    output = Species(prefix + output_name if prefix else output_name)
+
+    reactions: List[Reaction] = []
+
+    def value_of(count: int) -> int:
+        return structure.value(count)
+
+    def emit(products: Dict[Species, int], amount: int) -> Dict[Species, int]:
+        if amount < 0:
+            raise ValueError("negative output difference; the function is not superadditive")
+        if amount > 0:
+            products[output] = products.get(output, 0) + amount
+        return products
+
+    # First reaction: a lone input becomes the state for count 1, emitting f(1).
+    first_products = emit({table.state_for(1): 1}, value_of(1))
+    reactions.append(Reaction(input_species, Expression(first_products), name="seed"))
+
+    # Sequential reactions: a state absorbs one more input.
+    for state in table.all_states():
+        count = table.representative(state)
+        difference = value_of(count + 1) - value_of(count)
+        products = emit({table.state_for(count + 1): 1}, difference)
+        reactions.append(
+            Reaction(
+                Expression({state: 1, input_species: 1}),
+                Expression(products),
+                name=f"absorb-{state.name}",
+            )
+        )
+
+    # Merge reactions: two auxiliary leaders combine, releasing the corrective
+    # difference D = f(i+j) - f(i) - f(j) >= 0.
+    states = table.all_states()
+    for index_a, state_a in enumerate(states):
+        for state_b in states[index_a:]:
+            count_a = table.representative(state_a)
+            count_b = table.representative(state_b)
+            correction = value_of(count_a + count_b) - value_of(count_a) - value_of(count_b)
+            target = table.state_for(count_a + count_b)
+            products = emit({target: 1}, correction)
+            if state_a == state_b:
+                reactants = Expression({state_a: 2})
+            else:
+                reactants = Expression({state_a: 1, state_b: 1})
+            reactions.append(
+                Reaction(reactants, Expression(products), name=f"merge-{state_a.name}-{state_b.name}")
+            )
+
+    return CRN(
+        reactions,
+        (input_species,),
+        output,
+        leader=None,
+        name=name or "theorem-9.2",
+    )
+
+
+def construction_size_leaderless(structure: EventuallyPeriodic1D) -> Dict[str, int]:
+    """Species and reaction counts of the Theorem 9.2 construction (Θ((n + p)^2) reactions)."""
+    states = max(structure.start, 1) - 1 + structure.period
+    return {
+        "species": 2 + states,
+        "reactions": 1 + states + states * (states + 1) // 2,
+        "states": states,
+    }

@@ -1,0 +1,114 @@
+"""Lemma 6.1: an output-oblivious CRN for any quilt-affine ``g : N^d -> N``.
+
+The construction uses a single leader that walks through the congruence
+classes of ``Z^d / p Z^d``: species ``L_a`` for each class ``a`` act as
+auxiliary leader states.  The initial reaction releases ``g(0)`` outputs and
+puts the leader in state ``L_0``; thereafter the reaction
+
+    L_a + X_i  ->  δ^i_a Y + L_{a + e_i}
+
+consumes one input of coordinate ``i`` and releases the (periodic, nonnegative
+integer) finite difference ``δ^i_a = g(x + e_i) - g(x)`` for ``x ≡ a``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crn.network import CRN
+from repro.crn.reaction import Reaction
+from repro.crn.species import Expression, Species
+from repro.quilt.quilt_affine import QuiltAffine, all_residues, residue_of
+
+
+def _leader_state_name(prefix: str, residue: Sequence[int]) -> str:
+    return prefix + "L_" + "_".join(str(v) for v in residue)
+
+
+def build_quilt_affine_crn(
+    g: QuiltAffine,
+    input_names: Optional[Sequence[str]] = None,
+    output_name: str = "Y",
+    leader_name: str = "L",
+    prefix: str = "",
+    name: str = "",
+) -> CRN:
+    """Build the Lemma 6.1 output-oblivious CRN stably computing ``g``.
+
+    Parameters
+    ----------
+    g:
+        The quilt-affine function.  Must have nonnegative values (checked at
+        the residue representatives) and nonnegative integer finite
+        differences (guaranteed when ``g`` is nondecreasing and integer-valued).
+    input_names / output_name / leader_name / prefix:
+        Species naming controls, used when the CRN is embedded as a module of
+        a larger construction.
+    """
+    dimension = g.dimension
+    period = g.period
+    if input_names is None:
+        input_names = [f"{prefix}X{i + 1}" for i in range(dimension)]
+    if len(input_names) != dimension:
+        raise ValueError(
+            f"expected {dimension} input names, got {len(input_names)}"
+        )
+
+    g_zero = g.value(tuple([0] * dimension))
+    if g_zero.denominator != 1 or g_zero < 0:
+        raise ValueError(
+            f"g(0) = {g_zero} must be a nonnegative integer for the Lemma 6.1 construction"
+        )
+    if not g.has_nonnegative_range_upto(period):
+        raise ValueError(
+            "the quilt-affine function takes negative values; translate it first "
+            "(Lemma 6.2 uses g(x + n) which is nonnegative)"
+        )
+
+    inputs = tuple(Species(name_) for name_ in input_names)
+    output = Species(prefix + output_name if prefix else output_name)
+    leader = Species(prefix + leader_name if prefix else leader_name)
+
+    leader_states: Dict[Tuple[int, ...], Species] = {
+        residue: Species(_leader_state_name(prefix, residue))
+        for residue in all_residues(dimension, period)
+    }
+
+    reactions: List[Reaction] = []
+    zero_residue = tuple([0] * dimension)
+    initial_products: Dict[Species, int] = {leader_states[zero_residue]: 1}
+    if int(g_zero) > 0:
+        initial_products[output] = int(g_zero)
+    reactions.append(Reaction(leader, Expression(initial_products), name="init"))
+
+    deltas = g.finite_difference_table()
+    for residue in all_residues(dimension, period):
+        for i in range(dimension):
+            delta = deltas[(i, residue)]
+            if delta < 0:
+                raise ValueError(
+                    f"finite difference δ^{i}_{residue} = {delta} is negative; "
+                    "the function is not nondecreasing"
+                )
+            successor = tuple(
+                (value + (1 if j == i else 0)) % period for j, value in enumerate(residue)
+            )
+            products: Dict[Species, int] = {leader_states[successor]: 1}
+            if delta > 0:
+                products[output] = delta
+            reactants: Dict[Species, int] = {leader_states[residue]: 1, inputs[i]: 1}
+            reactions.append(
+                Reaction(
+                    Expression(reactants),
+                    Expression(products),
+                    name=f"step-{i}-{residue}",
+                )
+            )
+
+    return CRN(
+        reactions,
+        inputs,
+        output,
+        leader=leader,
+        name=name or (g.name and f"quilt[{g.name}]") or "quilt-affine",
+    )

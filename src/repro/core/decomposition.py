@@ -1,0 +1,391 @@
+"""Section 7: domain decomposition of a semilinear function.
+
+Given a semilinear nondecreasing function ``f`` in explicit piecewise-affine
+form, this module reconstructs the data that Theorem 7.1 guarantees exists when
+``f`` is obliviously-computable:
+
+1. the threshold hyperplanes of the representation and the induced regions
+   (Definition 7.2), classified into determined / under-determined by the
+   dimension of their recession cones (Section 7.3);
+2. the unique quilt-affine extension from each determined eventual region
+   (Lemma 7.7), recovered by sampling ``f`` deep inside the region;
+3. a quilt-affine extension from each under-determined eventual region,
+   obtained by the gradient-averaging construction of Lemma 7.16 (with the
+   offset-maximization rule for congruence classes that miss the region) or,
+   when all neighbor gradients agree orthogonally to the region, by reusing a
+   neighbor's extension as in Lemma 7.20;
+4. the eventually-min representation ``f(x) = min_k g_k(x)`` for ``x >= n``
+   (Theorem 7.1), verified on a sampled grid.
+
+When step 3 fails — no candidate extension both agrees with ``f`` on the
+region and eventually dominates ``f`` — the decomposition reports failure,
+which is exactly the behaviour of non-obliviously-computable functions such as
+the depressed-diagonal example of Equation (2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.specs import FunctionSpec
+from repro.geometry.hyperplanes import Hyperplane
+from repro.geometry.regions import Region, enumerate_regions
+from repro.quilt.eventually_min import EventuallyMin
+from repro.quilt.quilt_affine import QuiltAffine, all_residues, residue_of
+from repro.semilinear.functions import SemilinearFunction
+
+
+IntPoint = Tuple[int, ...]
+
+
+@dataclass
+class RegionExtension:
+    """A region together with the quilt-affine extension of ``f`` from it."""
+
+    region: Region
+    extension: QuiltAffine
+    determined: bool
+
+
+@dataclass
+class DomainDecomposition:
+    """The result of decomposing a semilinear function (Section 7)."""
+
+    name: str
+    dimension: int
+    hyperplanes: List[Hyperplane]
+    period: int
+    regions: List[Region]
+    determined: List[Region]
+    under_determined_eventual: List[Region]
+    extensions: List[RegionExtension]
+    eventually_min: Optional[EventuallyMin]
+    failure_reason: str = ""
+
+    def succeeded(self) -> bool:
+        """True if an eventually-min representation was found and verified."""
+        return self.eventually_min is not None
+
+    def summary(self) -> Dict[str, object]:
+        """A compact dictionary summary used by benchmarks and reports."""
+        return {
+            "function": self.name,
+            "hyperplanes": len(self.hyperplanes),
+            "period": self.period,
+            "regions": len(self.regions),
+            "determined": len(self.determined),
+            "under_determined_eventual": len(self.under_determined_eventual),
+            "pieces": len(self.eventually_min.pieces) if self.eventually_min else 0,
+            "threshold": self.eventually_min.threshold if self.eventually_min else None,
+            "succeeded": self.succeeded(),
+            "failure_reason": self.failure_reason,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Extension fitting helpers
+# ---------------------------------------------------------------------------
+
+
+def _deep_base_point(region: Region, period: int, margin: int, search_bound: int = 60) -> Optional[IntPoint]:
+    """A point of the region whose surrounding box of side ``margin`` stays in the region."""
+    cone = region.recession_cone()
+    direction = cone.interior_vector() or cone.positive_vector()
+    base = region.sample_point(search_bound)
+    if base is None:
+        return None
+    if direction is None:
+        return base
+
+    def box_inside(point: IntPoint) -> bool:
+        for delta in itertools.product(range(0, margin + 1, max(1, margin // 2)), repeat=len(point)):
+            if not region.contains(tuple(p + d for p, d in zip(point, delta))):
+                return False
+        return True
+
+    candidate = base
+    for _ in range(80):
+        if box_inside(candidate):
+            return candidate
+        candidate = tuple(c + period * d for c, d in zip(candidate, direction))
+    return None
+
+
+def _fit_determined_extension(
+    region: Region,
+    func: Callable[[Sequence[int]], int],
+    period: int,
+) -> Optional[QuiltAffine]:
+    """The unique quilt-affine extension from a determined region (Lemma 7.7)."""
+    dimension = region.dimension
+    margin = 2 * period * max(1, dimension)
+    base = _deep_base_point(region, period, margin)
+    if base is None:
+        return None
+
+    gradient: List[Fraction] = []
+    for i in range(dimension):
+        step = tuple(v + (period if j == i else 0) for j, v in enumerate(base))
+        if not region.contains(step):
+            return None
+        gradient.append(Fraction(int(func(step)) - int(func(base)), period))
+    gradient_tuple = tuple(gradient)
+
+    offsets: Dict[Tuple[int, ...], Fraction] = {}
+    for residue in all_residues(dimension, period):
+        point = tuple(b + ((r - b) % period) for b, r in zip(base, residue))
+        if not region.contains(point):
+            return None
+        linear = sum((g * v for g, v in zip(gradient_tuple, point)), start=Fraction(0))
+        offsets[residue_of(point, period)] = Fraction(int(func(point))) - linear
+
+    return QuiltAffine(gradient_tuple, period, offsets, name="determined-extension", validate=False)
+
+
+def _region_points_by_residue(
+    region: Region,
+    period: int,
+    scan_bound: int,
+    deep_count: int = 4,
+) -> Dict[Tuple[int, ...], List[IntPoint]]:
+    """Region points grouped by congruence class mod ``period``."""
+    groups: Dict[Tuple[int, ...], List[IntPoint]] = {}
+    for point in region.integer_points_upto(scan_bound):
+        groups.setdefault(residue_of(point, period), []).append(point)
+    # Add points deeper along the recession cone so the affine behaviour is sampled
+    # away from the finite irregularities near the origin.
+    cone = region.recession_cone()
+    direction = cone.positive_vector() or cone.interior_vector()
+    if direction is not None:
+        for point in list(itertools.chain.from_iterable(groups.values())):
+            current = point
+            for _ in range(deep_count):
+                current = tuple(c + period * d for c, d in zip(current, direction))
+                if region.contains(current):
+                    groups.setdefault(residue_of(current, period), []).append(current)
+    return groups
+
+
+def _fit_under_determined_extension(
+    region: Region,
+    func: Callable[[Sequence[int]], int],
+    period: int,
+    neighbor_extensions: List[QuiltAffine],
+    eventual_probe: Callable[[QuiltAffine], bool],
+    max_period_multiplier: int = 4,
+    scan_bound: int = 24,
+) -> Optional[QuiltAffine]:
+    """An extension from an under-determined eventual region (Lemmas 7.16 / 7.20)."""
+    dimension = region.dimension
+    if not neighbor_extensions:
+        return None
+
+    # Lemma 7.20 case first: a determined neighbor's extension may already agree
+    # with f on the region (this also covers the case where all neighbor
+    # gradients coincide orthogonally to the region).
+    region_points = list(region.integer_points_upto(scan_bound))
+    for neighbor in neighbor_extensions:
+        if region_points and all(neighbor(x) == int(func(x)) for x in region_points):
+            if eventual_probe(neighbor):
+                return neighbor
+
+    # Lemma 7.16: average the neighbor gradients and fit periodic offsets.
+    count = len(neighbor_extensions)
+    average = tuple(
+        sum((g.gradient[i] for g in neighbor_extensions), start=Fraction(0)) / count
+        for i in range(dimension)
+    )
+
+    for multiplier in range(1, max_period_multiplier + 1):
+        star_period = period * multiplier
+        if any((g * star_period).denominator != 1 for g in average):
+            continue
+        groups = _region_points_by_residue(region, star_period, scan_bound)
+        if not groups:
+            continue
+        offsets: Dict[Tuple[int, ...], Fraction] = {}
+        consistent = True
+        for residue, points in groups.items():
+            values = {
+                Fraction(int(func(x)))
+                - sum((g * v for g, v in zip(average, x)), start=Fraction(0))
+                for x in points
+            }
+            if len(values) != 1:
+                consistent = False
+                break
+            offsets[residue] = next(iter(values))
+        if not consistent:
+            continue
+
+        # Offsets for congruence classes that miss the region: as large as
+        # possible while keeping the function nondecreasing (the
+        # offset-maximization rule in the proof of Lemma 7.16).
+        defined = dict(offsets)
+        for residue in all_residues(dimension, star_period):
+            if residue in defined:
+                continue
+            best: Optional[Fraction] = None
+            for known_residue, known_offset in defined.items():
+                displacement = tuple(
+                    (k - r) % star_period for k, r in zip(known_residue, residue)
+                )
+                candidate = known_offset + sum(
+                    (g * d for g, d in zip(average, displacement)), start=Fraction(0)
+                )
+                if best is None or candidate < best:
+                    best = candidate
+            offsets[residue] = best if best is not None else Fraction(0)
+
+        try:
+            extension = QuiltAffine(
+                average, star_period, offsets, name="averaged-extension", validate=False
+            )
+        except ValueError:
+            continue
+        if eventual_probe(extension):
+            return extension
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The decomposition driver
+# ---------------------------------------------------------------------------
+
+
+def _collect_hyperplanes(semilinear: SemilinearFunction) -> List[Hyperplane]:
+    seen = {}
+    for atom in semilinear.threshold_atoms():
+        key = (atom.coefficients, atom.bound)
+        if key not in seen:
+            seen[key] = Hyperplane(atom.coefficients, atom.bound)
+    return list(seen.values())
+
+
+def _probe_points(dimension: int, far: int = 137, near: int = 4) -> List[IntPoint]:
+    """Probe points mixing small and large coordinates so far-out regions are discovered."""
+    values = list(range(near)) + [far + offset for offset in range(near)]
+    return list(itertools.product(values, repeat=dimension))
+
+
+def decompose(
+    target: FunctionSpec | SemilinearFunction,
+    scan_bound: int = 10,
+    verification_width: Optional[int] = None,
+    max_threshold: int = 12,
+) -> DomainDecomposition:
+    """Decompose a semilinear function and extract its eventually-min representation.
+
+    ``target`` is either a :class:`FunctionSpec` with a semilinear
+    representation attached, or a bare :class:`SemilinearFunction`.
+    """
+    if isinstance(target, FunctionSpec):
+        if target.semilinear is None:
+            raise ValueError(
+                f"{target.name}: decomposition needs an explicit semilinear representation"
+            )
+        semilinear = target.semilinear
+        func: Callable[[Sequence[int]], int] = target.func
+        name = target.name
+    else:
+        semilinear = target
+        func = semilinear.as_callable()
+        name = semilinear.name or "semilinear"
+
+    dimension = semilinear.dimension
+    period = semilinear.global_period()
+    hyperplanes = _collect_hyperplanes(semilinear)
+    regions = enumerate_regions(
+        hyperplanes, dimension, bound=scan_bound, extra_points=_probe_points(dimension)
+    )
+    eventual_regions = [region for region in regions if region.is_eventual()]
+    determined = [region for region in eventual_regions if region.is_determined()]
+    under_eventual = [region for region in eventual_regions if region.is_under_determined()]
+
+    extensions: List[RegionExtension] = []
+    failure = ""
+
+    def eventual_probe(extension: QuiltAffine) -> bool:
+        """Check that ``extension`` dominates ``f`` on a sampled eventual grid."""
+        width = verification_width or (2 * extension.period + 2)
+        start = max(max_threshold, 2 * period)
+        points = itertools.product(range(start, start + width), repeat=dimension)
+        return all(extension.value(x) >= int(func(x)) for x in points)
+
+    determined_extensions: Dict[int, QuiltAffine] = {}
+    for i, region in enumerate(determined):
+        extension = _fit_determined_extension(region, func, period)
+        if extension is None:
+            failure = f"could not fit the unique extension from determined region {region}"
+            break
+        if not eventual_probe(extension):
+            # Lemma 7.9: the unique extension from a determined region must
+            # eventually dominate f; if it does not, f has a contradiction
+            # sequence (Lemma 4.1) and is not obliviously-computable.
+            failure = (
+                f"the unique extension from determined region {region} does not "
+                "eventually dominate f (Lemma 7.9 fails); f is not obliviously-computable"
+            )
+            break
+        determined_extensions[i] = extension
+        extensions.append(RegionExtension(region, extension, determined=True))
+
+    if not failure:
+        for region in under_eventual:
+            neighbor_extensions = [
+                determined_extensions[i]
+                for i, det_region in enumerate(determined)
+                if det_region.recession_cone().contains_cone(region.recession_cone())
+            ]
+            extension = _fit_under_determined_extension(
+                region,
+                func,
+                period,
+                neighbor_extensions,
+                eventual_probe,
+                scan_bound=max(scan_bound * 2, 4 * period),
+            )
+            if extension is None:
+                failure = (
+                    "no quilt-affine extension from under-determined region "
+                    f"{region} eventually dominates f (Lemma 7.16/7.20 both fail); "
+                    "f is likely not obliviously-computable"
+                )
+                break
+            extensions.append(RegionExtension(region, extension, determined=False))
+
+    eventually_min: Optional[EventuallyMin] = None
+    if not failure and extensions:
+        pieces = [item.extension for item in extensions]
+        candidate_widths = verification_width or None
+        for threshold in range(0, max_threshold + 1):
+            candidate = EventuallyMin(
+                pieces, tuple([threshold] * dimension), name=f"{name}-eventual-min"
+            )
+            width = candidate_widths or (candidate.common_period() + 3)
+            if candidate.agrees_with(func, width=width):
+                eventually_min = candidate
+                break
+        if eventually_min is None:
+            failure = (
+                "the fitted extensions never agree with f as a minimum within the "
+                f"threshold bound {max_threshold}"
+            )
+    elif not failure:
+        failure = "no eventual regions were found (is the representation total?)"
+
+    return DomainDecomposition(
+        name=name,
+        dimension=dimension,
+        hyperplanes=hyperplanes,
+        period=period,
+        regions=regions,
+        determined=determined,
+        under_determined_eventual=under_eventual,
+        extensions=extensions,
+        eventually_min=eventually_min,
+        failure_reason=failure,
+    )

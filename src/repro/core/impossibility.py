@@ -1,0 +1,175 @@
+"""Lemma 4.1: contradiction sequences ruling out oblivious computability.
+
+Lemma 4.1: if there is an increasing sequence ``a_1 < a_2 < ...`` such that for
+all ``i < j`` there is ``Δ_ij`` with
+
+    f(a_i + Δ_ij) - f(a_i)  >  f(a_j + Δ_ij) - f(a_j),
+
+then ``f`` is not obliviously-computable.  The proof pumps a reaction sequence
+from the smaller input to the larger one (via Dickson's lemma) to force an
+output-oblivious CRN to overproduce.
+
+This module provides
+
+* :func:`verify_contradiction_pair` / :func:`verify_contradiction_sequence` —
+  exact checks of the Lemma 4.1 inequality for explicit witnesses;
+* :func:`max_contradiction_witness` — the paper's explicit witness for ``max``
+  (``a_i = (i, 0)``, ``Δ_ij = (0, j)``, Fig. 6);
+* :func:`find_contradiction_witness` — a bounded search for a *linear* witness
+  family ``a_i = base + i·step`` with ``Δ_ij`` depending only on ``j``, which
+  covers every counterexample used in the paper (``max``, the depressed
+  diagonal of Eq. (2), ...) and provides the negative evidence used by the
+  Theorem 5.4 checker.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+
+IntPoint = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ContradictionWitness:
+    """A linear family witnessing the Lemma 4.1 condition.
+
+    The witness describes ``a_i = base + i * step`` for ``i = 1, 2, ...`` and
+    ``Δ_ij = delta_base + j * delta_step`` (depending only on ``j``).  The
+    ``checked_terms`` attribute records how many pairs ``i < j`` were verified
+    exactly.
+    """
+
+    base: IntPoint
+    step: IntPoint
+    delta_base: IntPoint
+    delta_step: IntPoint
+    checked_terms: int
+
+    def a(self, i: int) -> IntPoint:
+        """The i-th sequence element ``a_i`` (1-based)."""
+        return tuple(b + i * s for b, s in zip(self.base, self.step))
+
+    def delta(self, j: int) -> IntPoint:
+        """The displacement ``Δ_ij`` used for the pair ``(i, j)`` (depends only on j)."""
+        return tuple(b + j * s for b, s in zip(self.delta_base, self.delta_step))
+
+    def describe(self) -> str:
+        """A human-readable description of the witness family."""
+        return (
+            f"a_i = {self.base} + i*{self.step},  Δ_ij = {self.delta_base} + j*{self.delta_step} "
+            f"(verified on {self.checked_terms} terms)"
+        )
+
+
+def verify_contradiction_pair(
+    func: Callable[[Sequence[int]], int],
+    a_small: Sequence[int],
+    a_large: Sequence[int],
+    delta: Sequence[int],
+) -> bool:
+    """Check the Lemma 4.1 inequality for one pair ``a_i <= a_j`` and one ``Δ``."""
+    a_small = tuple(int(v) for v in a_small)
+    a_large = tuple(int(v) for v in a_large)
+    delta = tuple(int(v) for v in delta)
+    if not all(s <= l for s, l in zip(a_small, a_large)):
+        raise ValueError("the first point must be componentwise <= the second")
+    left = int(func(tuple(a + d for a, d in zip(a_small, delta)))) - int(func(a_small))
+    right = int(func(tuple(a + d for a, d in zip(a_large, delta)))) - int(func(a_large))
+    return left > right
+
+
+def verify_contradiction_sequence(
+    func: Callable[[Sequence[int]], int],
+    points: Sequence[Sequence[int]],
+    deltas: Callable[[int, int], Sequence[int]],
+) -> bool:
+    """Check the Lemma 4.1 condition for an explicit finite prefix of a sequence.
+
+    ``points`` is the increasing prefix ``a_1, ..., a_k``; ``deltas(i, j)``
+    returns ``Δ_ij`` for 0-based indices ``i < j``.
+    """
+    points = [tuple(int(v) for v in p) for p in points]
+    for earlier, later in zip(points, points[1:]):
+        if not all(a <= b for a, b in zip(earlier, later)) or earlier == later:
+            raise ValueError("the sequence must be strictly increasing (componentwise <=, not equal)")
+    for i in range(len(points)):
+        for j in range(i + 1, len(points)):
+            if not verify_contradiction_pair(func, points[i], points[j], deltas(i, j)):
+                return False
+    return True
+
+
+def verify_witness(
+    func: Callable[[Sequence[int]], int],
+    witness: ContradictionWitness,
+    terms: int = 6,
+) -> bool:
+    """Re-verify a :class:`ContradictionWitness` on the first ``terms`` sequence elements."""
+    points = [witness.a(i) for i in range(1, terms + 1)]
+    return verify_contradiction_sequence(func, points, lambda i, j: witness.delta(j + 1))
+
+
+def max_contradiction_witness(dimension: int = 2) -> ContradictionWitness:
+    """The paper's explicit Lemma 4.1 witness for ``max`` (Fig. 6).
+
+    ``a_i = (i, 0, ..., 0)`` and ``Δ_ij = (0, j, 0, ..., 0)``.
+    """
+    if dimension < 2:
+        raise ValueError("max needs at least two inputs")
+    zero = tuple([0] * dimension)
+    step = tuple([1] + [0] * (dimension - 1))
+    delta_step = tuple([0, 1] + [0] * (dimension - 2))
+    return ContradictionWitness(
+        base=zero, step=step, delta_base=zero, delta_step=delta_step, checked_terms=0
+    )
+
+
+def find_contradiction_witness(
+    func: Callable[[Sequence[int]], int],
+    dimension: int,
+    direction_bound: int = 2,
+    offset_bound: int = 3,
+    terms: int = 5,
+) -> Optional[ContradictionWitness]:
+    """Bounded search for a linear Lemma 4.1 witness family.
+
+    The search space is: base points with coordinates < ``offset_bound``,
+    nonzero step directions with coordinates <= ``direction_bound``, and
+    displacement families ``Δ_ij = delta_base + j*delta_step`` with small
+    coordinates.  A candidate is accepted if the Lemma 4.1 inequality holds for
+    every pair ``i < j`` among the first ``terms`` elements.
+
+    Returns ``None`` when no witness is found within the bounds — which is
+    evidence (not proof) that the function has no contradiction sequence, the
+    "no bad sequence" part of Theorem 5.4.
+    """
+    coordinate_range = range(direction_bound + 1)
+    nonzero_steps = [
+        step
+        for step in itertools.product(coordinate_range, repeat=dimension)
+        if any(step)
+    ]
+    bases = list(itertools.product(range(offset_bound), repeat=dimension))
+    delta_steps = nonzero_steps
+    delta_bases = list(itertools.product(range(offset_bound), repeat=dimension))
+
+    for step in nonzero_steps:
+        for base in bases:
+            for delta_step in delta_steps:
+                for delta_base in delta_bases:
+                    candidate = ContradictionWitness(
+                        base=base,
+                        step=step,
+                        delta_base=delta_base,
+                        delta_step=delta_step,
+                        checked_terms=terms,
+                    )
+                    try:
+                        if verify_witness(func, candidate, terms=terms):
+                            return candidate
+                    except ValueError:
+                        continue
+    return None

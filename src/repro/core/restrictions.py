@@ -1,0 +1,62 @@
+"""Fixed-input restrictions (Observation 5.3).
+
+Condition (iii) of Theorem 5.2 is recursive: every restriction
+``f_[x(i) -> j]`` obtained by hard-coding one input must itself be
+obliviously-computable.  Observation 5.3 shows the CRN-level counterpart: from
+an output-oblivious CRN for ``f`` one obtains an output-oblivious CRN for the
+restriction by renaming the leader and the ``i``-th input species and adding an
+initial reaction ``L -> j X'_i + L'`` that injects the hard-coded input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.specs import FunctionSpec
+from repro.crn.network import CRN
+from repro.crn.reaction import Reaction
+from repro.crn.species import Expression, Species
+
+
+def hardcode_input(crn: CRN, index: int, value: int, suffix: str = "_fixed") -> CRN:
+    """The Observation 5.3 transformation: hard-code input ``index`` to ``value``.
+
+    The resulting CRN has the same input species tuple as ``crn`` (the
+    hard-coded coordinate is simply ignored: providing copies of the original
+    ``X_i`` has no effect because every occurrence of it inside the reactions
+    has been renamed).  It stably computes ``f_[x(index) -> value]`` and is
+    output-oblivious whenever ``crn`` is.
+    """
+    if crn.leader is None:
+        raise ValueError(
+            "the Observation 5.3 transformation requires a leader to inject the hard-coded input"
+        )
+    if not 0 <= index < crn.dimension:
+        raise ValueError(f"input index {index} out of range for dimension {crn.dimension}")
+    value = int(value)
+    if value < 0:
+        raise ValueError("the hard-coded value must be nonnegative")
+
+    old_input = crn.input_species[index]
+    old_leader = crn.leader
+    new_input = Species(old_input.name + suffix)
+    new_leader = Species(old_leader.name + suffix)
+
+    renamed = crn.renamed({old_input: new_input, old_leader: new_leader})
+    injection_products: Dict[Species, int] = {new_leader: 1}
+    if value > 0:
+        injection_products[new_input] = value
+    injection = Reaction(old_leader, Expression(injection_products), name="hardcode-input")
+
+    return CRN(
+        list(renamed.reactions) + [injection],
+        crn.input_species,
+        renamed.output_species,
+        leader=old_leader,
+        name=f"{crn.name or 'f'}[x{index + 1}={value}]",
+    )
+
+
+def restriction_spec(spec: FunctionSpec, index: int, value: int) -> FunctionSpec:
+    """The spec of the restriction ``f_[x(index) -> value]`` (delegates to the spec)."""
+    return spec.restriction(index, value)

@@ -1,0 +1,109 @@
+"""Section 8: the ∞-scaling limit and the continuous-CRN correspondence.
+
+Definition 8.1: the ∞-scaling of ``f : N^d -> N`` is
+``f̂(z) = lim_{c -> ∞} f(⌊cz⌋)/c`` for ``z ∈ R^d_{>=0}``.  Theorem 8.2 shows
+that the ∞-scaling of an obliviously-computable discrete function is exactly a
+function obliviously-computable by a *continuous* CRN in the sense of Chalk,
+Kornerup, Reeves and Soloveichik: superadditive, positive-continuous, and
+piecewise rational-linear — and conversely every such continuous function is
+the scaling of some obliviously-computable discrete function.
+
+For an eventually-min representation the scaling limit is exact and rational:
+the periodic offsets vanish in the limit, so ``f̂(z) = min_k ∇g_k · z`` on the
+strictly positive orthant, and on each face (some coordinates fixed to zero)
+the same formula applies to the corresponding restriction.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.specs import FunctionSpec
+from repro.quilt.eventually_min import EventuallyMin
+
+
+def infinity_scaling(
+    func: Callable[[Sequence[int]], int],
+    z: Sequence[float],
+    scale: int = 10_000,
+) -> float:
+    """A numerical estimate of the ∞-scaling ``f̂(z) ≈ f(⌊scale·z⌋)/scale``."""
+    point = tuple(int(scale * value) for value in z)
+    return int(func(point)) / scale
+
+
+def scaling_of_eventually_min(eventually_min: EventuallyMin, z: Sequence) -> Fraction:
+    """The exact scaling limit ``min_k ∇g_k · z`` for strictly positive ``z``."""
+    z = tuple(Fraction(value) for value in z)
+    if len(z) != eventually_min.dimension:
+        raise ValueError("dimension mismatch")
+    if any(value <= 0 for value in z):
+        raise ValueError(
+            "the closed-form scaling limit min_k ∇g_k·z only applies on the strictly "
+            "positive orthant; use scaling_on_face for boundary points"
+        )
+    best: Optional[Fraction] = None
+    for piece in eventually_min.pieces:
+        value = sum((g * v for g, v in zip(piece.gradient, z)), start=Fraction(0))
+        if best is None or value < best:
+            best = value
+    return best
+
+
+def scaling_on_face(
+    spec: FunctionSpec,
+    z: Sequence,
+    zero_coordinates: FrozenSet[int] = frozenset(),
+    scale: int = 10_000,
+) -> Fraction:
+    """The scaling limit on a face ``D_S`` where the coordinates in ``S`` are zero.
+
+    If the relevant restriction of ``spec`` carries an eventually-min
+    representation the limit is computed exactly; otherwise it falls back to
+    the numerical estimate (as an exact Fraction of the sampled value).
+    """
+    z = tuple(Fraction(value) for value in z)
+    for index in zero_coordinates:
+        if z[index] != 0:
+            raise ValueError(f"coordinate {index} must be zero on this face")
+
+    current = spec
+    # Repeatedly fix the zero coordinates (highest index first so indices stay valid).
+    for index in sorted(zero_coordinates, reverse=True):
+        current = current.restriction(index, 0)
+    remaining = [value for index, value in enumerate(z) if index not in zero_coordinates]
+
+    if current.dimension == 0:
+        return Fraction(0)
+    if current.eventually_min is not None and all(value > 0 for value in remaining):
+        return scaling_of_eventually_min(current.eventually_min, remaining)
+    point = tuple(int(scale * value) for value in remaining)
+    return Fraction(int(current(point)), scale)
+
+
+def scaling_is_superadditive(
+    func: Callable[[Sequence[int]], int],
+    dimension: int,
+    samples: Sequence[Tuple[Sequence[float], Sequence[float]]],
+    scale: int = 2_000,
+    tolerance: float = 1e-2,
+) -> bool:
+    """Numerically check superadditivity of the ∞-scaling on sample pairs.
+
+    Theorem 8.2 guarantees this holds for obliviously-computable ``f``; the
+    check is used by tests and the Fig. 4b benchmark.
+    """
+    for a, b in samples:
+        total = tuple(x + y for x, y in zip(a, b))
+        fa = infinity_scaling(func, a, scale)
+        fb = infinity_scaling(func, b, scale)
+        fab = infinity_scaling(func, total, scale)
+        if fa + fb > fab + tolerance:
+            return False
+    return True
+
+
+def scaling_gradient_table(eventually_min: EventuallyMin) -> List[Tuple[Fraction, ...]]:
+    """The gradients of all quilt-affine pieces — the linear pieces of the scaling limit."""
+    return [piece.gradient for piece in eventually_min.pieces]

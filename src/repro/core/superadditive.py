@@ -1,0 +1,87 @@
+"""Superadditivity and monotonicity checks (Section 9 and Observation 2.1).
+
+* Observation 2.1: every obliviously-computable function is nondecreasing.
+* Observation 9.1: every function obliviously-computable *without a leader* is
+  superadditive.
+* Theorem 9.2: for 1D functions, semilinear + superadditive characterizes the
+  leaderless obliviously-computable functions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+
+IntPoint = Tuple[int, ...]
+
+
+def _grid(dimension: int, bound: int) -> Iterable[IntPoint]:
+    return itertools.product(range(bound), repeat=dimension)
+
+
+def is_nondecreasing_upto(
+    func: Callable[[Sequence[int]], int], dimension: int, bound: int
+) -> bool:
+    """Check ``x <= y  =>  f(x) <= f(y)`` for all unit steps within ``[0, bound)^d``."""
+    for x in _grid(dimension, bound):
+        fx = int(func(x))
+        for i in range(dimension):
+            step = tuple(v + (1 if j == i else 0) for j, v in enumerate(x))
+            if max(step) < bound and int(func(step)) < fx:
+                return False
+    return True
+
+
+def find_monotonicity_violation(
+    func: Callable[[Sequence[int]], int], dimension: int, bound: int
+) -> Optional[Tuple[IntPoint, IntPoint]]:
+    """A pair ``(x, y)`` with ``x <= y`` and ``f(x) > f(y)``, or None if none exists in the box."""
+    for x in _grid(dimension, bound):
+        fx = int(func(x))
+        for i in range(dimension):
+            step = tuple(v + (1 if j == i else 0) for j, v in enumerate(x))
+            if max(step) < bound and int(func(step)) < fx:
+                return x, step
+    return None
+
+
+def is_superadditive_upto(
+    func: Callable[[Sequence[int]], int], dimension: int, bound: int
+) -> bool:
+    """Check ``f(x) + f(y) <= f(x + y)`` for all ``x, y`` in ``[0, bound)^d``."""
+    points = list(_grid(dimension, bound))
+    for x in points:
+        fx = int(func(x))
+        for y in points:
+            total = tuple(a + b for a, b in zip(x, y))
+            if fx + int(func(y)) > int(func(total)):
+                return False
+    return True
+
+
+def find_superadditivity_violation(
+    func: Callable[[Sequence[int]], int], dimension: int, bound: int
+) -> Optional[Tuple[IntPoint, IntPoint]]:
+    """A pair ``(x, y)`` violating superadditivity, or None if none exists in the box."""
+    points = list(_grid(dimension, bound))
+    for x in points:
+        fx = int(func(x))
+        for y in points:
+            total = tuple(a + b for a, b in zip(x, y))
+            if fx + int(func(y)) > int(func(total)):
+                return x, y
+    return None
+
+
+def superadditive_implies_nondecreasing(
+    func: Callable[[Sequence[int]], int], dimension: int, bound: int
+) -> bool:
+    """Sanity helper: a superadditive function (with f(0)=0) is nondecreasing.
+
+    Used by tests to confirm the implication the paper states in the proof of
+    Theorem 9.2 (``f(x+1) >= f(x) + f(1) >= f(x)``).
+    """
+    if not is_superadditive_upto(func, dimension, bound):
+        return True  # vacuously: the implication only claims something for superadditive f
+    return is_nondecreasing_upto(func, dimension, bound)

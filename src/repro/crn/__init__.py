@@ -1,0 +1,66 @@
+"""Discrete chemical reaction network (CRN) substrate.
+
+This package implements the discrete (stochastic) CRN model used throughout
+the paper: species, reactions, configurations, reaction networks, bounded
+reachability, stable computation, and composition by concatenation
+(Section 2 of the paper).
+
+The public surface is re-exported here so that users can write::
+
+    from repro.crn import Species, Reaction, CRN, Configuration, concatenate
+"""
+
+from repro.crn.species import Species, Expression, species
+from repro.crn.configuration import Configuration
+from repro.crn.reaction import Reaction, parse_reaction
+from repro.crn.network import CRN
+from repro.crn.composition import (
+    concatenate,
+    parallel_composition,
+    fan_out_network,
+    rename_disjoint,
+)
+from repro.crn.stoichiometry import (
+    StoichiometricMatrix,
+    stoichiometric_matrix,
+    conservation_laws,
+    dead_reactions,
+    producible_species,
+    species_dependency_graph,
+)
+from repro.crn.reachability import (
+    ReachabilityResult,
+    StableComputationVerdict,
+    check_stable_computation_at,
+    reachable_configurations,
+    reachability_graph,
+    stable_configurations,
+    stably_computes_exhaustive,
+)
+
+__all__ = [
+    "Species",
+    "Expression",
+    "species",
+    "Configuration",
+    "Reaction",
+    "parse_reaction",
+    "CRN",
+    "concatenate",
+    "parallel_composition",
+    "fan_out_network",
+    "rename_disjoint",
+    "StoichiometricMatrix",
+    "stoichiometric_matrix",
+    "conservation_laws",
+    "dead_reactions",
+    "producible_species",
+    "species_dependency_graph",
+    "ReachabilityResult",
+    "StableComputationVerdict",
+    "check_stable_computation_at",
+    "reachable_configurations",
+    "reachability_graph",
+    "stable_configurations",
+    "stably_computes_exhaustive",
+]

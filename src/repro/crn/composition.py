@@ -1,0 +1,198 @@
+"""Composition of CRNs by concatenation (Section 2.3 of the paper).
+
+The primitive is :func:`concatenate`: rename the upstream CRN's output species
+to match the downstream CRN's input species, make every other species name
+disjoint, and add a reaction ``L -> L_f + L_g`` that splits the global leader
+into one leader per component.  Observation 2.2 states that the concatenation
+stably computes the composition ``g ∘ f`` whenever the upstream CRN is
+output-oblivious.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crn.network import CRN
+from repro.crn.reaction import Reaction
+from repro.crn.species import Expression, Species
+
+
+def rename_disjoint(upstream: CRN, downstream: CRN, shared: Sequence[Species] = ()) -> Tuple[CRN, CRN]:
+    """Rename species so the two networks share only the species in ``shared``.
+
+    Both networks get a prefix (``up_`` / ``down_``) on every species except
+    the explicitly shared ones.  Returns the renamed pair.
+    """
+    shared_set = set(shared)
+    return (
+        upstream.with_prefix("up_", keep=shared_set),
+        downstream.with_prefix("down_", keep=shared_set),
+    )
+
+
+def concatenate(
+    upstream: CRN,
+    downstream: CRN,
+    downstream_input_index: int = 0,
+    name: str = "",
+    require_output_oblivious: bool = True,
+    extra_upstream: Sequence[CRN] = (),
+) -> CRN:
+    """Concatenate CRNs: feed ``upstream``'s output into ``downstream``'s input.
+
+    Implements the construction of Section 2.3: the output species of the
+    upstream CRN is identified with the chosen input species of the downstream
+    CRN, all other species names are made disjoint, and a leader-splitting
+    reaction ``L -> L_f + L_g`` is added so each component has its own leader.
+
+    Parameters
+    ----------
+    upstream:
+        The CRN computing ``f``.  Must be output-oblivious for the composition
+        to be guaranteed correct (Observation 2.2); pass
+        ``require_output_oblivious=False`` to build the (possibly incorrect)
+        concatenation anyway, e.g. to demonstrate the failure mode in the
+        paper's Section 1.2.
+    downstream:
+        The CRN computing ``g``.
+    downstream_input_index:
+        Which input of the downstream CRN receives the upstream output.
+    extra_upstream:
+        Additional output-oblivious upstream CRNs feeding the *other* inputs of
+        the downstream CRN (general feed-forward composition).  The i-th extra
+        upstream feeds downstream input ``i`` skipping ``downstream_input_index``.
+
+    Returns
+    -------
+    CRN
+        The concatenated network.  Its input species are the concatenation of
+        all upstream input tuples; its output species is the downstream output.
+    """
+    if require_output_oblivious and not upstream.is_output_oblivious():
+        raise ValueError(
+            "the upstream CRN is not output-oblivious; the concatenation is not "
+            "guaranteed to stably compute the composition (pass "
+            "require_output_oblivious=False to build it anyway)"
+        )
+    if not 0 <= downstream_input_index < downstream.dimension:
+        raise ValueError(
+            f"downstream_input_index {downstream_input_index} out of range for a "
+            f"downstream CRN with {downstream.dimension} inputs"
+        )
+    remaining_inputs = [
+        i for i in range(downstream.dimension) if i != downstream_input_index
+    ]
+    if len(extra_upstream) > len(remaining_inputs):
+        raise ValueError(
+            f"too many extra upstream CRNs ({len(extra_upstream)}) for "
+            f"{len(remaining_inputs)} remaining downstream inputs"
+        )
+    for extra in extra_upstream:
+        if require_output_oblivious and not extra.is_output_oblivious():
+            raise ValueError("every upstream CRN must be output-oblivious")
+
+    upstreams: List[Tuple[CRN, int]] = [(upstream, downstream_input_index)]
+    for extra, index in zip(extra_upstream, remaining_inputs):
+        upstreams.append((extra, index))
+
+    # Make all component species disjoint, then identify wires.
+    renamed_upstreams: List[Tuple[CRN, int]] = []
+    for position, (component, index) in enumerate(upstreams):
+        renamed_upstreams.append((component.with_prefix(f"u{position}_"), index))
+    renamed_downstream = downstream.with_prefix("d_")
+
+    # Wire each upstream output to the corresponding downstream input.
+    wire_map: Dict[Species, Species] = {}
+    for component, index in renamed_upstreams:
+        wire_map[component.output_species] = renamed_downstream.input_species[index]
+    wired_upstreams = [
+        (component.renamed(wire_map), index) for component, index in renamed_upstreams
+    ]
+
+    # Assemble the global network.
+    global_leader = Species("L")
+    fed_indices = {index for _, index in wired_upstreams}
+    global_inputs: List[Species] = []
+    for component, _ in wired_upstreams:
+        global_inputs.extend(component.input_species)
+    # Downstream inputs not fed by an upstream stay as free global inputs.
+    for i, sp in enumerate(renamed_downstream.input_species):
+        if i not in fed_indices:
+            global_inputs.append(sp)
+
+    reactions: List[Reaction] = []
+    leader_products: Dict[Species, int] = {}
+    for component, _ in wired_upstreams:
+        reactions.extend(component.reactions)
+        if component.leader is not None:
+            leader_products[component.leader] = leader_products.get(component.leader, 0) + 1
+    reactions.extend(renamed_downstream.reactions)
+    if renamed_downstream.leader is not None:
+        leader_products[renamed_downstream.leader] = (
+            leader_products.get(renamed_downstream.leader, 0) + 1
+        )
+
+    leader: Optional[Species]
+    if leader_products:
+        leader = global_leader
+        reactions.append(Reaction(global_leader, Expression(leader_products), name="leader-split"))
+    else:
+        leader = None
+
+    return CRN(
+        reactions,
+        tuple(global_inputs),
+        renamed_downstream.output_species,
+        leader=leader,
+        name=name or f"{downstream.name or 'g'}∘{upstream.name or 'f'}",
+    )
+
+
+def parallel_composition(components: Sequence[CRN], name: str = "") -> CRN:
+    """Run several CRNs side by side on disjoint species, sharing nothing.
+
+    The result has the concatenation of all input tuples and the output species
+    of the *first* component (parallel composition is mostly useful as a
+    building block: footnote 6 of the paper notes a function with vector output
+    is computable iff each component is, by parallel CRNs).
+    """
+    if not components:
+        raise ValueError("parallel_composition requires at least one component")
+    renamed = [component.with_prefix(f"p{i}_") for i, component in enumerate(components)]
+    global_leader = Species("L")
+    reactions: List[Reaction] = []
+    leader_products: Dict[Species, int] = {}
+    inputs: List[Species] = []
+    for component in renamed:
+        reactions.extend(component.reactions)
+        inputs.extend(component.input_species)
+        if component.leader is not None:
+            leader_products[component.leader] = leader_products.get(component.leader, 0) + 1
+    leader: Optional[Species]
+    if leader_products:
+        leader = global_leader
+        reactions.append(Reaction(global_leader, Expression(leader_products), name="leader-split"))
+    else:
+        leader = None
+    return CRN(
+        reactions,
+        tuple(inputs),
+        renamed[0].output_species,
+        leader=leader,
+        name=name or "parallel(" + ",".join(c.name or "?" for c in components) + ")",
+    )
+
+
+def fan_out_network(source: Species, copies: Sequence[Species]) -> List[Reaction]:
+    """Reactions duplicating each copy of ``source`` into one copy of each species.
+
+    This is the "fan out" operation used in the proof of Lemma 6.2: a reaction
+    ``X -> X^1 + ... + X^m`` lets ``m`` downstream modules each receive an
+    independent copy of the input.
+    """
+    if not copies:
+        raise ValueError("fan_out_network requires at least one target species")
+    products: Dict[Species, int] = {}
+    for sp in copies:
+        products[sp] = products.get(sp, 0) + 1
+    return [Reaction(source, Expression(products), name=f"fanout-{source.name}")]

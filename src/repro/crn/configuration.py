@@ -1,0 +1,179 @@
+"""Configurations: nonnegative-integer vectors of species counts.
+
+A configuration ``C`` assigns a count ``C(S) >= 0`` to every species ``S``.
+Configurations support pointwise arithmetic (addition, subtraction with
+nonnegativity checking), pointwise comparison (``<=`` is the partial order used
+by Dickson's lemma arguments in the paper), and hashing of a frozen snapshot so
+they can be used as vertices of reachability graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.crn.species import Species
+
+
+class Configuration:
+    """A multiset of species, i.e. a vector in ``N^S``.
+
+    The representation is sparse: species with count zero are not stored.
+    Configurations are immutable from the caller's perspective; all operations
+    return new configurations.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Mapping[Species, int] | None = None) -> None:
+        cleaned: Dict[Species, int] = {}
+        for sp, count in dict(counts or {}).items():
+            if not isinstance(sp, Species):
+                raise TypeError(f"configuration keys must be Species, got {type(sp).__name__}")
+            if not isinstance(count, int) or isinstance(count, bool):
+                raise TypeError(f"species counts must be integers, got {count!r}")
+            if count < 0:
+                raise ValueError(f"species counts must be nonnegative, got {sp.name}={count}")
+            if count > 0:
+                cleaned[sp] = count
+        self._counts = cleaned
+
+    # -- accessors -----------------------------------------------------------
+
+    def __getitem__(self, sp: Species) -> int:
+        return self._counts.get(sp, 0)
+
+    def get(self, sp: Species, default: int = 0) -> int:
+        """The count of ``sp``, or ``default`` if absent."""
+        return self._counts.get(sp, default)
+
+    def species(self) -> Tuple[Species, ...]:
+        """Species present with a positive count, sorted by name."""
+        return tuple(sorted(self._counts, key=lambda s: s.name))
+
+    def counts(self) -> Dict[Species, int]:
+        """A copy of the sparse species -> count mapping."""
+        return dict(self._counts)
+
+    def total(self) -> int:
+        """Total molecular count."""
+        return sum(self._counts.values())
+
+    def support(self) -> frozenset:
+        """The set of species present with positive count."""
+        return frozenset(self._counts)
+
+    def __iter__(self) -> Iterator[Species]:
+        return iter(self._counts)
+
+    def items(self) -> Iterable[Tuple[Species, int]]:
+        """Iterate over (species, count) pairs with positive count."""
+        return self._counts.items()
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __bool__(self) -> bool:
+        return bool(self._counts)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: "Configuration") -> "Configuration":
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        merged = dict(self._counts)
+        for sp, count in other._counts.items():
+            merged[sp] = merged.get(sp, 0) + count
+        return Configuration(merged)
+
+    def __sub__(self, other: "Configuration") -> "Configuration":
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        result = dict(self._counts)
+        for sp, count in other._counts.items():
+            new = result.get(sp, 0) - count
+            if new < 0:
+                raise ValueError(
+                    f"configuration subtraction would make {sp.name} negative "
+                    f"({result.get(sp, 0)} - {count})"
+                )
+            if new == 0:
+                result.pop(sp, None)
+            else:
+                result[sp] = new
+        return Configuration(result)
+
+    def scaled(self, factor: int) -> "Configuration":
+        """Return this configuration with every count multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("scaling factor must be nonnegative")
+        return Configuration({sp: count * factor for sp, count in self._counts.items()})
+
+    def updated(self, sp: Species, count: int) -> "Configuration":
+        """Return a copy with the count of ``sp`` set to ``count``."""
+        new = dict(self._counts)
+        if count == 0:
+            new.pop(sp, None)
+        else:
+            new[sp] = count
+        return Configuration(new)
+
+    # -- comparison ----------------------------------------------------------
+
+    def __le__(self, other: "Configuration") -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return all(count <= other[sp] for sp, count in self._counts.items())
+
+    def __ge__(self, other: "Configuration") -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return other <= self
+
+    def __lt__(self, other: "Configuration") -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self <= other and self != other
+
+    def __gt__(self, other: "Configuration") -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return other < self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._counts.items()))
+
+    # -- display -------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self._counts:
+            return "{}"
+        parts = [f"{count} {sp.name}" for sp, count in sorted(self._counts.items(), key=lambda kv: kv[0].name)]
+        return "{" + ", ".join(parts) + "}"
+
+    def __repr__(self) -> str:
+        return f"Configuration({self!s})"
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def zero() -> "Configuration":
+        """The empty configuration."""
+        return Configuration({})
+
+    @staticmethod
+    def single(sp: Species, count: int = 1) -> "Configuration":
+        """A configuration containing only ``count`` copies of ``sp``."""
+        return Configuration({sp: count})
+
+    @staticmethod
+    def from_counts(**kwargs: int) -> "Configuration":
+        """Build a configuration from keyword arguments keyed by species name.
+
+        Example: ``Configuration.from_counts(X1=3, X2=5, L=1)``.
+        """
+        return Configuration({Species(name): count for name, count in kwargs.items()})

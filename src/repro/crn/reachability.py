@@ -1,0 +1,273 @@
+"""Bounded exhaustive reachability and stable-computation checking.
+
+The paper defines stable computation (Section 2.2): a CRN stably computes
+``f`` if for every input ``x`` and every configuration ``C`` reachable from the
+initial configuration ``I_x``, some *stable* configuration ``O`` with
+``O(Y) = f(x)`` remains reachable from ``C``.  A configuration is stable when
+the output count can never change again.
+
+For small inputs this is decidable by exhaustive search of the (finite portion
+of the) reachability graph.  :func:`stably_computes_exhaustive` performs that
+check exactly whenever the reachable set fits within the configured bound, and
+reports an inconclusive result otherwise (larger inputs are handled by the
+randomized verifier in :mod:`repro.verify.stable`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.crn.configuration import Configuration
+from repro.crn.network import CRN
+
+
+@dataclass
+class ReachabilityResult:
+    """Result of a bounded exhaustive reachability exploration."""
+
+    configurations: List[Configuration]
+    """Every configuration discovered, in BFS order (index 0 is the initial one)."""
+
+    edges: Dict[int, List[int]]
+    """Adjacency (by index into ``configurations``) of the one-step reachability graph."""
+
+    exhausted: bool
+    """True if the entire reachable set was explored within the bound."""
+
+    initial: Configuration
+    """The initial configuration the exploration started from."""
+
+    def index_of(self, config: Configuration) -> Optional[int]:
+        """Index of ``config`` in :attr:`configurations`, or ``None`` if absent."""
+        if not hasattr(self, "_index"):
+            self._index = {c: i for i, c in enumerate(self.configurations)}
+        return self._index.get(config)
+
+    def __len__(self) -> int:
+        return len(self.configurations)
+
+
+def reachable_configurations(
+    crn: CRN,
+    initial: Configuration,
+    max_configurations: int = 50_000,
+) -> ReachabilityResult:
+    """Breadth-first exploration of all configurations reachable from ``initial``.
+
+    Exploration stops (with ``exhausted=False``) once ``max_configurations``
+    distinct configurations have been discovered.
+    """
+    index: Dict[Configuration, int] = {initial: 0}
+    configs: List[Configuration] = [initial]
+    edges: Dict[int, List[int]] = {0: []}
+    queue: deque[int] = deque([0])
+    exhausted = True
+
+    while queue:
+        current_index = queue.popleft()
+        current = configs[current_index]
+        for rxn in crn.reactions:
+            if not rxn.applicable(current):
+                continue
+            successor = rxn.apply(current)
+            successor_index = index.get(successor)
+            if successor_index is None:
+                if len(configs) >= max_configurations:
+                    exhausted = False
+                    continue
+                successor_index = len(configs)
+                index[successor] = successor_index
+                configs.append(successor)
+                edges[successor_index] = []
+                queue.append(successor_index)
+            edges[current_index].append(successor_index)
+
+    return ReachabilityResult(configurations=configs, edges=edges, exhausted=exhausted, initial=initial)
+
+
+def reachability_graph(crn: CRN, initial: Configuration, max_configurations: int = 50_000):
+    """The reachability graph as a :class:`networkx.DiGraph` (nodes are indices).
+
+    Node attribute ``config`` holds the :class:`Configuration`; attribute
+    ``output`` holds the output-species count.
+    """
+    import networkx as nx
+
+    result = reachable_configurations(crn, initial, max_configurations)
+    graph = nx.DiGraph()
+    for i, config in enumerate(result.configurations):
+        graph.add_node(i, config=config, output=crn.output_count(config))
+    for source, targets in result.edges.items():
+        for target in targets:
+            graph.add_edge(source, target)
+    graph.graph["exhausted"] = result.exhausted
+    return graph
+
+
+def _reachable_output_sets(result: ReachabilityResult, crn: CRN) -> List[Set[int]]:
+    """For each configuration, the set of output counts reachable from it.
+
+    Computed by propagating sets backwards over the condensation (strongly
+    connected components in reverse topological order), which is exact when the
+    exploration was exhaustive.
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(result.configurations)))
+    for source, targets in result.edges.items():
+        graph.add_edges_from((source, target) for target in set(targets))
+
+    condensation = nx.condensation(graph)
+    component_outputs: Dict[int, Set[int]] = {}
+    for component in reversed(list(nx.topological_sort(condensation))):
+        members = condensation.nodes[component]["members"]
+        outputs: Set[int] = {crn.output_count(result.configurations[m]) for m in members}
+        for successor in condensation.successors(component):
+            outputs |= component_outputs[successor]
+        component_outputs[component] = outputs
+
+    node_to_component = condensation.graph["mapping"]
+    return [component_outputs[node_to_component[i]] for i in range(len(result.configurations))]
+
+
+def stable_configurations(
+    crn: CRN,
+    initial: Configuration,
+    max_configurations: int = 50_000,
+) -> Tuple[List[Configuration], ReachabilityResult]:
+    """All *stable* configurations reachable from ``initial``.
+
+    A configuration is stable when every configuration reachable from it has
+    the same output count.  Requires the exploration to be exhaustive to be
+    exact; if the bound is hit, the returned list is a sound under-approximation
+    restricted to the explored portion.
+    """
+    result = reachable_configurations(crn, initial, max_configurations)
+    reachable_outputs = _reachable_output_sets(result, crn)
+    stable = [
+        config
+        for i, config in enumerate(result.configurations)
+        if reachable_outputs[i] == {crn.output_count(config)}
+    ]
+    return stable, result
+
+
+@dataclass
+class StableComputationVerdict:
+    """Outcome of an exhaustive stable-computation check for one input."""
+
+    input_value: Tuple[int, ...]
+    expected_output: int
+    holds: bool
+    conclusive: bool
+    reachable_count: int
+    failure_reason: str = ""
+    counterexample: Optional[Configuration] = None
+
+    def __bool__(self) -> bool:
+        return self.holds and self.conclusive
+
+
+def check_stable_computation_at(
+    crn: CRN,
+    x: Sequence[int],
+    expected: int,
+    max_configurations: int = 50_000,
+) -> StableComputationVerdict:
+    """Exhaustively check that ``crn`` stably computes ``expected`` on input ``x``.
+
+    The check follows the definition directly: every reachable configuration
+    must be able to reach a stable configuration with the correct output count.
+    """
+    initial = crn.initial_configuration(x)
+    result = reachable_configurations(crn, initial, max_configurations)
+    if not result.exhausted:
+        return StableComputationVerdict(
+            input_value=tuple(x),
+            expected_output=expected,
+            holds=False,
+            conclusive=False,
+            reachable_count=len(result),
+            failure_reason=f"reachable set exceeds bound {max_configurations}",
+        )
+
+    reachable_outputs = _reachable_output_sets(result, crn)
+    correct_stable_indices = {
+        i
+        for i, config in enumerate(result.configurations)
+        if reachable_outputs[i] == {expected} and crn.output_count(config) == expected
+    }
+    if not correct_stable_indices:
+        # No correct stable configuration reachable at all.
+        bad_index = 0
+        return StableComputationVerdict(
+            input_value=tuple(x),
+            expected_output=expected,
+            holds=False,
+            conclusive=True,
+            reachable_count=len(result),
+            failure_reason="no correct stable configuration is reachable from the initial configuration",
+            counterexample=result.configurations[bad_index],
+        )
+
+    # Reverse reachability from the correct stable configurations: every
+    # configuration must be able to reach one of them.
+    reverse_edges: Dict[int, List[int]] = {i: [] for i in range(len(result.configurations))}
+    for source, targets in result.edges.items():
+        for target in set(targets):
+            reverse_edges[target].append(source)
+    can_reach_correct: Set[int] = set()
+    queue: deque[int] = deque(correct_stable_indices)
+    can_reach_correct.update(correct_stable_indices)
+    while queue:
+        node = queue.popleft()
+        for predecessor in reverse_edges[node]:
+            if predecessor not in can_reach_correct:
+                can_reach_correct.add(predecessor)
+                queue.append(predecessor)
+
+    for i, config in enumerate(result.configurations):
+        if i not in can_reach_correct:
+            return StableComputationVerdict(
+                input_value=tuple(x),
+                expected_output=expected,
+                holds=False,
+                conclusive=True,
+                reachable_count=len(result),
+                failure_reason=(
+                    "a reachable configuration cannot reach any correct stable configuration"
+                ),
+                counterexample=config,
+            )
+
+    return StableComputationVerdict(
+        input_value=tuple(x),
+        expected_output=expected,
+        holds=True,
+        conclusive=True,
+        reachable_count=len(result),
+    )
+
+
+def stably_computes_exhaustive(
+    crn: CRN,
+    function,
+    inputs: Iterable[Sequence[int]],
+    max_configurations: int = 50_000,
+) -> List[StableComputationVerdict]:
+    """Check stable computation of ``function`` on each input in ``inputs``.
+
+    ``function`` is a callable taking a tuple of ints and returning an int.
+    Returns one verdict per input; the overall check passes when every verdict
+    is conclusive and holds.
+    """
+    verdicts = []
+    for x in inputs:
+        x = tuple(x)
+        verdicts.append(
+            check_stable_computation_at(crn, x, int(function(x)), max_configurations)
+        )
+    return verdicts

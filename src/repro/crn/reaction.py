@@ -1,0 +1,226 @@
+"""Reactions: pairs (reactants, products) of species multisets.
+
+A reaction ``(R, P)`` is applicable to a configuration ``C`` when ``R <= C``
+pointwise, and applying it yields ``C - R + P`` (Section 2.2 of the paper).
+Reactions optionally carry a mass-action rate constant used only by the
+stochastic (Gillespie) simulator; stable computation is rate-independent.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.crn.configuration import Configuration
+from repro.crn.species import Expression, Species, _as_expression
+
+
+class Reaction:
+    """A single chemical reaction with optional rate constant.
+
+    Parameters
+    ----------
+    reactants, products:
+        Species multisets (as :class:`Expression`, mappings, or single species).
+    rate:
+        Mass-action rate constant, used by the stochastic simulator only.
+    name:
+        Optional human-readable label.
+    """
+
+    __slots__ = ("_reactants", "_products", "rate", "name")
+
+    def __init__(
+        self,
+        reactants: Union[Expression, Species, Mapping[Species, int], int],
+        products: Union[Expression, Species, Mapping[Species, int], int],
+        rate: float = 1.0,
+        name: str = "",
+    ) -> None:
+        self._reactants = _as_expression(reactants)
+        self._products = _as_expression(products)
+        if self._reactants.is_empty() and self._products.is_empty():
+            raise ValueError("a reaction must have at least one reactant or product")
+        if not (isinstance(rate, (int, float)) and math.isfinite(rate) and rate > 0):
+            raise ValueError(f"reaction rate must be a positive finite number, got {rate!r}")
+        self.rate = float(rate)
+        self.name = name
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def reactants(self) -> Expression:
+        """The reactant side of the reaction."""
+        return self._reactants
+
+    @property
+    def products(self) -> Expression:
+        """The product side of the reaction."""
+        return self._products
+
+    def species(self) -> Tuple[Species, ...]:
+        """All species appearing in the reaction, sorted by name."""
+        seen = set(self._reactants.species()) | set(self._products.species())
+        return tuple(sorted(seen, key=lambda s: s.name))
+
+    def reactant_count(self, sp: Species) -> int:
+        """Stoichiometric coefficient of ``sp`` on the reactant side."""
+        return self._reactants.count(sp)
+
+    def product_count(self, sp: Species) -> int:
+        """Stoichiometric coefficient of ``sp`` on the product side."""
+        return self._products.count(sp)
+
+    def net_change(self, sp: Species) -> int:
+        """Net change in the count of ``sp`` when this reaction fires once."""
+        return self._products.count(sp) - self._reactants.count(sp)
+
+    def net_changes(self) -> Dict[Species, int]:
+        """Net change for every species with a nonzero net change."""
+        changes: Dict[Species, int] = {}
+        for sp in self.species():
+            delta = self.net_change(sp)
+            if delta != 0:
+                changes[sp] = delta
+        return changes
+
+    def order(self) -> int:
+        """The molecularity (total reactant count) of the reaction."""
+        return self._reactants.total()
+
+    def is_unimolecular(self) -> bool:
+        """True if the reaction has exactly one reactant molecule."""
+        return self.order() == 1
+
+    def is_bimolecular(self) -> bool:
+        """True if the reaction has exactly two reactant molecules."""
+        return self.order() == 2
+
+    def consumes(self, sp: Species) -> bool:
+        """True if ``sp`` appears as a reactant (regardless of net change)."""
+        return self._reactants.count(sp) > 0
+
+    def produces(self, sp: Species) -> bool:
+        """True if ``sp`` appears as a product (regardless of net change)."""
+        return self._products.count(sp) > 0
+
+    def is_catalyst(self, sp: Species) -> bool:
+        """True if ``sp`` appears on both sides with equal coefficient."""
+        r = self._reactants.count(sp)
+        return r > 0 and r == self._products.count(sp)
+
+    # -- semantics -----------------------------------------------------------
+
+    def applicable(self, config: Configuration) -> bool:
+        """True if the reaction can fire in ``config`` (all reactants present)."""
+        return all(config[sp] >= count for sp, count in self._reactants.counts.items())
+
+    def apply(self, config: Configuration) -> Configuration:
+        """Fire the reaction once: return ``config - reactants + products``.
+
+        Raises ``ValueError`` if the reaction is not applicable.
+        """
+        if not self.applicable(config):
+            raise ValueError(f"reaction {self} is not applicable to {config}")
+        counts = config.counts()
+        for sp, count in self._reactants.counts.items():
+            counts[sp] = counts.get(sp, 0) - count
+        for sp, count in self._products.counts.items():
+            counts[sp] = counts.get(sp, 0) + count
+        return Configuration({sp: c for sp, c in counts.items() if c > 0})
+
+    def propensity(self, config: Configuration) -> float:
+        """Mass-action propensity of this reaction in ``config``.
+
+        Uses the standard stochastic mass-action form: the rate constant times
+        the number of distinct reactant multisets, i.e. a product of binomial
+        coefficients ``C(count, coefficient)`` over the reactant species.
+        """
+        total = self.rate
+        for sp, count in self._reactants.counts.items():
+            available = config[sp]
+            if available < count:
+                return 0.0
+            total *= math.comb(available, count)
+        return total
+
+    # -- transformations -----------------------------------------------------
+
+    def renamed(self, mapping: Mapping[Species, Species]) -> "Reaction":
+        """Return a copy with species renamed according to ``mapping``.
+
+        Species absent from the mapping are left unchanged.  The mapping may
+        merge species (used when identifying an upstream output with a
+        downstream input during concatenation).
+        """
+        def rename_side(expr: Expression) -> Dict[Species, int]:
+            out: Dict[Species, int] = {}
+            for sp, count in expr.counts.items():
+                new_sp = mapping.get(sp, sp)
+                out[new_sp] = out.get(new_sp, 0) + count
+            return out
+
+        return Reaction(
+            Expression(rename_side(self._reactants)),
+            Expression(rename_side(self._products)),
+            rate=self.rate,
+            name=self.name,
+        )
+
+    def with_rate(self, rate: float) -> "Reaction":
+        """Return a copy of this reaction with a different rate constant."""
+        return Reaction(self._reactants, self._products, rate=rate, name=self.name)
+
+    def reversed(self) -> "Reaction":
+        """Return the reverse reaction (products become reactants)."""
+        return Reaction(self._products, self._reactants, rate=self.rate, name=self.name)
+
+    # -- comparison / display ------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Reaction):
+            return NotImplemented
+        return self._reactants == other._reactants and self._products == other._products
+
+    def __hash__(self) -> int:
+        return hash((self._reactants, self._products))
+
+    def __str__(self) -> str:
+        return f"{self._reactants} -> {self._products}"
+
+    def __repr__(self) -> str:
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Reaction({self._reactants!s} -> {self._products!s}, rate={self.rate}{label})"
+
+
+_TERM_RE = re.compile(r"^\s*(\d*)\s*([A-Za-z_][A-Za-z0-9_']*)\s*$")
+
+
+def _parse_side(text: str) -> Expression:
+    """Parse one side of a reaction string into an :class:`Expression`."""
+    text = text.strip()
+    if text in ("", "0", "(nothing)", "∅", "null"):
+        return Expression({})
+    counts: Dict[Species, int] = {}
+    for term in text.split("+"):
+        match = _TERM_RE.match(term)
+        if not match:
+            raise ValueError(f"cannot parse reaction term {term!r}")
+        coefficient = int(match.group(1)) if match.group(1) else 1
+        sp = Species(match.group(2))
+        counts[sp] = counts.get(sp, 0) + coefficient
+    return Expression(counts)
+
+
+def parse_reaction(text: str, rate: float = 1.0, name: str = "") -> Reaction:
+    """Parse a reaction from a string such as ``"A + 2B -> C"``.
+
+    The arrow may be written ``->`` or ``→``.  The empty side may be written
+    ``0``, ``null``, or ``∅``.
+    """
+    normalized = text.replace("→", "->")
+    if "->" not in normalized:
+        raise ValueError(f"reaction string must contain '->': {text!r}")
+    left, right = normalized.split("->", 1)
+    return Reaction(_parse_side(left), _parse_side(right), rate=rate, name=name)

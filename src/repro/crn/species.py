@@ -1,0 +1,206 @@
+"""Species and the small expression DSL used to build reactions.
+
+A :class:`Species` is an immutable named chemical species.  Species support a
+light-weight arithmetic DSL so that reactions read like chemistry::
+
+    X, Y = species("X Y")
+    rxn = (2 * X) >> (3 * Y)        # 2X -> 3Y
+    rxn = (X + Y) >> Y              # X + Y -> Y
+
+The DSL builds :class:`Expression` objects (integer linear combinations of
+species) and the ``>>`` operator produces a :class:`repro.crn.reaction.Reaction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple, Union
+
+
+@dataclass(frozen=True, order=True)
+class Species:
+    """An immutable chemical species identified by its name.
+
+    Parameters
+    ----------
+    name:
+        The species name.  Names are compared literally; two species with the
+        same name are the same species.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("species name must be a non-empty string")
+        if any(ch.isspace() for ch in self.name):
+            raise ValueError(f"species name may not contain whitespace: {self.name!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Species({self.name!r})"
+
+    # -- expression DSL -----------------------------------------------------
+
+    def __add__(self, other: Union["Species", "Expression", int]) -> "Expression":
+        return Expression({self: 1}) + other
+
+    def __radd__(self, other: Union["Species", "Expression", int]) -> "Expression":
+        return Expression({self: 1}) + other
+
+    def __mul__(self, coefficient: int) -> "Expression":
+        return Expression({self: 1}) * coefficient
+
+    def __rmul__(self, coefficient: int) -> "Expression":
+        return Expression({self: 1}) * coefficient
+
+    def __rshift__(self, other: Union["Species", "Expression", int]) -> "Reaction":
+        return Expression({self: 1}) >> other
+
+    def __rrshift__(self, other: Union["Species", "Expression", int]) -> "Reaction":
+        return _as_expression(other) >> Expression({self: 1})
+
+    def renamed(self, name: str) -> "Species":
+        """Return a species identical to this one but with a different name."""
+        return Species(name)
+
+    def with_prefix(self, prefix: str) -> "Species":
+        """Return this species with ``prefix`` prepended to its name."""
+        return Species(prefix + self.name)
+
+
+class Expression:
+    """An integer linear combination of species, e.g. ``2X + Y``.
+
+    Expressions are the reactant / product sides of reactions.  The empty
+    expression (``Expression({})``) denotes "nothing" and can be written with
+    the integer literal ``0`` in the DSL, as in ``(K + Y) >> 0`` for the
+    reaction ``K + Y -> (nothing)``.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Mapping[Species, int] | None = None) -> None:
+        cleaned: Dict[Species, int] = {}
+        for sp, count in dict(counts or {}).items():
+            if not isinstance(sp, Species):
+                raise TypeError(f"expression keys must be Species, got {type(sp).__name__}")
+            if not isinstance(count, int):
+                raise TypeError(f"stoichiometric coefficients must be int, got {count!r}")
+            if count < 0:
+                raise ValueError(f"stoichiometric coefficients must be nonnegative, got {count}")
+            if count > 0:
+                cleaned[sp] = count
+        self._counts = cleaned
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def counts(self) -> Dict[Species, int]:
+        """A copy of the species -> coefficient mapping."""
+        return dict(self._counts)
+
+    def species(self) -> Tuple[Species, ...]:
+        """All species that appear with a positive coefficient, sorted by name."""
+        return tuple(sorted(self._counts, key=lambda s: s.name))
+
+    def count(self, sp: Species) -> int:
+        """The coefficient of ``sp`` in this expression (0 if absent)."""
+        return self._counts.get(sp, 0)
+
+    def total(self) -> int:
+        """The total molecularity (sum of coefficients)."""
+        return sum(self._counts.values())
+
+    def is_empty(self) -> bool:
+        """True if this is the empty (zero) expression."""
+        return not self._counts
+
+    # -- algebra -------------------------------------------------------------
+
+    def __add__(self, other: Union["Expression", Species, int]) -> "Expression":
+        other_expr = _as_expression(other)
+        merged = dict(self._counts)
+        for sp, count in other_expr._counts.items():
+            merged[sp] = merged.get(sp, 0) + count
+        return Expression(merged)
+
+    __radd__ = __add__
+
+    def __mul__(self, coefficient: int) -> "Expression":
+        if not isinstance(coefficient, int):
+            raise TypeError("expressions can only be scaled by integers")
+        if coefficient < 0:
+            raise ValueError("expressions cannot be scaled by negative integers")
+        return Expression({sp: count * coefficient for sp, count in self._counts.items()})
+
+    __rmul__ = __mul__
+
+    def __rshift__(self, other: Union["Expression", Species, int]) -> "Reaction":
+        from repro.crn.reaction import Reaction
+
+        return Reaction(self, _as_expression(other))
+
+    def __rrshift__(self, other: Union["Expression", Species, int]) -> "Reaction":
+        from repro.crn.reaction import Reaction
+
+        return Reaction(_as_expression(other), self)
+
+    # -- comparisons ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int) and other == 0:
+            return self.is_empty()
+        if not isinstance(other, Expression):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._counts.items()))
+
+    def __str__(self) -> str:
+        if not self._counts:
+            return "(nothing)"
+        parts: List[str] = []
+        for sp in self.species():
+            count = self._counts[sp]
+            parts.append(sp.name if count == 1 else f"{count}{sp.name}")
+        return " + ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Expression({self!s})"
+
+
+def _as_expression(value: Union[Expression, Species, int, Mapping[Species, int]]) -> Expression:
+    """Coerce a DSL value into an :class:`Expression`."""
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, Species):
+        return Expression({value: 1})
+    if isinstance(value, int):
+        if value != 0:
+            raise ValueError("only the integer 0 (meaning 'nothing') may appear in a reaction")
+        return Expression({})
+    if isinstance(value, Mapping):
+        return Expression(value)
+    raise TypeError(f"cannot interpret {value!r} as a reaction expression")
+
+
+def species(names: Union[str, Iterable[str]]) -> Tuple[Species, ...]:
+    """Create several species at once.
+
+    ``names`` is either a whitespace-separated string (``"X1 X2 Y"``) or an
+    iterable of name strings.  Returns a tuple of :class:`Species` in the same
+    order, so it can be unpacked::
+
+        X1, X2, Y = species("X1 X2 Y")
+    """
+    if isinstance(names, str):
+        name_list = names.split()
+    else:
+        name_list = list(names)
+    if not name_list:
+        raise ValueError("species() requires at least one name")
+    return tuple(Species(name) for name in name_list)

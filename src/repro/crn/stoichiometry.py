@@ -1,0 +1,168 @@
+"""Stoichiometric analysis of CRNs: matrices, conservation laws, structural audits.
+
+These are standard reaction-network analyses used by the tests and examples to
+sanity-check constructions:
+
+* the stoichiometry matrix ``M`` (species × reactions, net change per firing);
+* conservation laws (nonnegative-integer left null vectors of ``M``), e.g. the
+  Theorem 3.1 construction conserves the total leader-state count at 1;
+* the species production/consumption graph and dead-species / dead-reaction
+  detection (a reaction that can never fire from any valid initial
+  configuration indicates a wiring bug in a composed construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.crn.network import CRN
+from repro.crn.species import Species
+from repro.geometry.linalg import rational_nullspace
+
+
+@dataclass
+class StoichiometricMatrix:
+    """The net-change matrix of a CRN, with named rows (species) and columns (reactions)."""
+
+    species: Tuple[Species, ...]
+    matrix: Tuple[Tuple[int, ...], ...]
+    """``matrix[i][j]`` is the net change of ``species[i]`` when reaction ``j`` fires."""
+
+    def row(self, sp: Species) -> Tuple[int, ...]:
+        """The net-change row of one species across all reactions."""
+        return self.matrix[self.species.index(sp)]
+
+    def column(self, reaction_index: int) -> Tuple[int, ...]:
+        """The net-change column of one reaction across all species."""
+        return tuple(row[reaction_index] for row in self.matrix)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(number of species, number of reactions)."""
+        return (len(self.matrix), len(self.matrix[0]) if self.matrix else 0)
+
+
+def stoichiometric_matrix(crn: CRN) -> StoichiometricMatrix:
+    """Build the stoichiometric (net-change) matrix of ``crn``."""
+    species = crn.species()
+    rows = []
+    for sp in species:
+        rows.append(tuple(rxn.net_change(sp) for rxn in crn.reactions))
+    return StoichiometricMatrix(species=species, matrix=tuple(rows))
+
+
+def conservation_laws(crn: CRN) -> List[Dict[Species, Fraction]]:
+    """A basis of the conservation laws of ``crn``.
+
+    A conservation law is a vector ``c`` over species with ``c · M = 0``: the
+    weighted total ``Σ c(S)·count(S)`` is invariant under every reaction.  The
+    returned basis spans the left null space of the stoichiometry matrix; the
+    basis vectors are rational and not necessarily nonnegative.
+    """
+    matrix = stoichiometric_matrix(crn)
+    species = matrix.species
+    reactions = matrix.shape[1]
+    if reactions == 0:
+        return [
+            {sp: Fraction(1) if sp == target else Fraction(0) for sp in species}
+            for target in species
+        ]
+    # c · M = 0  <=>  M^T c = 0: the null space of the transposed matrix.
+    transposed = [
+        [Fraction(matrix.matrix[i][j]) for i in range(len(species))] for j in range(reactions)
+    ]
+    basis = rational_nullspace(transposed, len(species))
+    return [dict(zip(species, vector)) for vector in basis]
+
+
+def conserved_quantity(law: Dict[Species, Fraction], counts: Dict[Species, int]) -> Fraction:
+    """Evaluate a conservation law on a configuration-like count dictionary."""
+    return sum((law.get(sp, Fraction(0)) * count for sp, count in counts.items()), start=Fraction(0))
+
+
+def leader_state_conservation(crn: CRN, leader_states: Sequence[Species]) -> bool:
+    """True if the total count of the given species is conserved by every reaction.
+
+    Used to check the leader-state invariant of the Theorem 3.1 / Lemma 6.1
+    constructions: exactly one of the leader-state species is present at any
+    time (their total never changes once it is 1).
+    """
+    states = set(leader_states)
+    for rxn in crn.reactions:
+        delta = sum(rxn.net_change(sp) for sp in states)
+        if delta != 0:
+            return False
+    return True
+
+
+def producible_species(crn: CRN) -> Set[Species]:
+    """Species that can ever be present starting from some valid initial configuration.
+
+    Computed as a fixed point: the inputs and the leader are present initially;
+    a reaction whose reactants are all producible makes its products producible.
+    """
+    available: Set[Species] = set(crn.input_species)
+    if crn.leader is not None:
+        available.add(crn.leader)
+    changed = True
+    while changed:
+        changed = False
+        for rxn in crn.reactions:
+            if all(sp in available for sp in rxn.reactants.species()):
+                for sp in rxn.products.species():
+                    if sp not in available:
+                        available.add(sp)
+                        changed = True
+    return available
+
+
+def dead_reactions(crn: CRN) -> List:
+    """Reactions that can never fire because some reactant is never producible.
+
+    A nonempty result almost always indicates a wiring bug in a composed
+    construction (e.g. a module input that was never connected to a fan-out).
+    """
+    available = producible_species(crn)
+    return [
+        rxn for rxn in crn.reactions
+        if any(sp not in available for sp in rxn.reactants.species())
+    ]
+
+
+def unproducible_species(crn: CRN) -> Set[Species]:
+    """Species mentioned by the CRN that can never be present (excluding unused declarations)."""
+    available = producible_species(crn)
+    return {sp for sp in crn.species() if sp not in available}
+
+
+def species_dependency_graph(crn: CRN):
+    """A directed graph with an edge ``A -> B`` when some reaction consumes A and produces B.
+
+    Returned as a :class:`networkx.DiGraph`; useful for visualizing the
+    feed-forward structure of composed constructions.
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(crn.species())
+    for rxn in crn.reactions:
+        for reactant in rxn.reactants.species():
+            for product in rxn.products.species():
+                if reactant != product:
+                    graph.add_edge(reactant, product)
+    return graph
+
+
+def is_feed_forward(crn: CRN) -> bool:
+    """True if the species dependency graph is acyclic (a feed-forward pipeline).
+
+    Output-oblivious constructions built by concatenation are typically
+    feed-forward at the module level, though individual modules (e.g. the
+    leader-state cycles of Lemma 6.1) may contain cycles — this predicate is a
+    coarse structural indicator, not a correctness condition.
+    """
+    import networkx as nx
+
+    return nx.is_directed_acyclic_graph(species_dependency_graph(crn))

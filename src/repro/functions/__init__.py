@@ -1,0 +1,66 @@
+"""Ready-made function specifications, including every example used in the paper.
+
+:mod:`repro.functions.catalog` contains the elementary building-block functions
+(Fig. 1, Fig. 2, Fig. 3) and a handful of standard semilinear functions used by
+tests and benchmarks.  :mod:`repro.functions.paper_examples` contains the more
+structured examples: the three-region function of Fig. 7, the depressed-diagonal
+counterexample of Eq. (2), and a concrete function with the Fig. 4a shape
+(finite irregular behaviour, 1D quilt-affine edges, and an eventual min of
+quilt-affine pieces).
+"""
+
+from repro.functions.catalog import (
+    double_spec,
+    identity_spec,
+    constant_spec,
+    add_spec,
+    minimum_spec,
+    maximum_spec,
+    min_one_spec,
+    min_one_leaderless_crn,
+    floor_3x_over_2_spec,
+    quilt_2d_fig3b_spec,
+    threshold_capped_spec,
+    all_catalog_specs,
+)
+from repro.functions.paper_examples import (
+    fig7_spec,
+    eq2_counterexample_spec,
+    fig4a_style_spec,
+    interior_min_plus_one_spec,
+    all_paper_example_specs,
+)
+from repro.functions.extended import (
+    minimum_3d_spec,
+    weighted_floor_spec,
+    capped_sum_spec,
+    tropical_polynomial_spec,
+    min3_with_offset_spec,
+    all_extended_specs,
+)
+
+__all__ = [
+    "double_spec",
+    "identity_spec",
+    "constant_spec",
+    "add_spec",
+    "minimum_spec",
+    "maximum_spec",
+    "min_one_spec",
+    "min_one_leaderless_crn",
+    "floor_3x_over_2_spec",
+    "quilt_2d_fig3b_spec",
+    "threshold_capped_spec",
+    "all_catalog_specs",
+    "fig7_spec",
+    "eq2_counterexample_spec",
+    "fig4a_style_spec",
+    "interior_min_plus_one_spec",
+    "all_paper_example_specs",
+    "minimum_3d_spec",
+    "weighted_floor_spec",
+    "capped_sum_spec",
+    "tropical_polynomial_spec",
+    "min3_with_offset_spec",
+    "all_extended_specs",
+]

@@ -1,0 +1,292 @@
+"""Elementary function specs and the hand-written CRNs of Figs. 1-3.
+
+Each factory returns a fresh :class:`~repro.core.specs.FunctionSpec`; the known
+CRNs are exactly the reaction systems printed in the paper.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence
+
+from repro.core.specs import FunctionSpec
+from repro.crn.network import CRN
+from repro.crn.reaction import Reaction
+from repro.crn.species import Expression, Species, species
+from repro.quilt.eventually_min import EventuallyMin
+from repro.quilt.quilt_affine import QuiltAffine
+from repro.semilinear.functions import AffinePiece, SemilinearFunction
+from repro.semilinear.sets import ThresholdSet, UniversalSet
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1: f(x) = 2x, min, max
+# ---------------------------------------------------------------------------
+
+
+def double_spec() -> FunctionSpec:
+    """``f(x) = 2x`` with the one-reaction CRN ``X -> 2Y`` (Fig. 1, left)."""
+    x, y = species("X Y")
+    crn = CRN([x >> 2 * y], (x,), y, leader=None, name="double")
+    quilt = QuiltAffine.affine((2,), 0, name="2x")
+    return FunctionSpec(
+        name="2x",
+        dimension=1,
+        func=lambda v: 2 * int(v[0]),
+        semilinear=SemilinearFunction.affine((2,), 0, name="2x"),
+        eventually_min=EventuallyMin([quilt], (0,), name="2x"),
+        known_crn=crn,
+        expected_obliviously_computable=True,
+    )
+
+
+def identity_spec() -> FunctionSpec:
+    """``f(x) = x`` with the CRN ``X -> Y``."""
+    x, y = species("X Y")
+    crn = CRN([x >> y], (x,), y, leader=None, name="identity")
+    return FunctionSpec(
+        name="identity",
+        dimension=1,
+        func=lambda v: int(v[0]),
+        semilinear=SemilinearFunction.affine((1,), 0, name="identity"),
+        eventually_min=EventuallyMin([QuiltAffine.affine((1,), 0)], (0,), name="identity"),
+        known_crn=crn,
+        expected_obliviously_computable=True,
+    )
+
+
+def constant_spec(value: int, dimension: int = 1) -> FunctionSpec:
+    """The constant function ``f(x) = value`` with the leader-driven CRN ``L -> value·Y``."""
+    if value < 0:
+        raise ValueError("constants must be nonnegative")
+    inputs = species(" ".join(f"X{i + 1}" for i in range(dimension)))
+    y = Species("Y")
+    leader = Species("L")
+    products = Expression({y: value}) if value > 0 else Expression({Species("Done"): 1})
+    crn = CRN([Reaction(leader, products)], inputs, y, leader=leader, name=f"const{value}")
+    gradient = tuple([0] * dimension)
+    return FunctionSpec(
+        name=f"const{value}",
+        dimension=dimension,
+        func=lambda v: value,
+        semilinear=SemilinearFunction.affine(gradient, value, name=f"const{value}"),
+        eventually_min=EventuallyMin(
+            [QuiltAffine.affine(gradient, value)], tuple([0] * dimension), name=f"const{value}"
+        ),
+        known_crn=crn,
+        expected_obliviously_computable=True,
+    )
+
+
+def add_spec() -> FunctionSpec:
+    """``f(x1, x2) = x1 + x2`` with the CRN ``X1 -> Y, X2 -> Y``."""
+    x1, x2, y = species("X1 X2 Y")
+    crn = CRN([x1 >> y, x2 >> y], (x1, x2), y, leader=None, name="add")
+    return FunctionSpec(
+        name="x1+x2",
+        dimension=2,
+        func=lambda v: int(v[0]) + int(v[1]),
+        semilinear=SemilinearFunction.affine((1, 1), 0, name="x1+x2"),
+        eventually_min=EventuallyMin([QuiltAffine.affine((1, 1), 0)], (0, 0), name="x1+x2"),
+        known_crn=crn,
+        expected_obliviously_computable=True,
+    )
+
+
+def minimum_spec(dimension: int = 2) -> FunctionSpec:
+    """``min(x1, ..., xd)`` with the single-reaction CRN ``X1 + ... + Xd -> Y`` (Fig. 1, middle)."""
+    if dimension < 2:
+        raise ValueError("minimum needs at least two inputs")
+    inputs = species(" ".join(f"X{i + 1}" for i in range(dimension)))
+    y = Species("Y")
+    crn = CRN(
+        [Reaction(Expression({sp: 1 for sp in inputs}), y)],
+        inputs,
+        y,
+        leader=None,
+        name="min",
+    )
+    pieces = [
+        QuiltAffine.affine(tuple(1 if j == i else 0 for j in range(dimension)), 0)
+        for i in range(dimension)
+    ]
+    dominant = tuple([1] + [-1] * (dimension - 1))
+    semilinear = SemilinearFunction(
+        [
+            AffinePiece(
+                ThresholdSet(tuple(-v for v in dominant), 0),
+                tuple(Fraction(1) if i == 0 else Fraction(0) for i in range(dimension)),
+                Fraction(0),
+            ),
+            AffinePiece(
+                UniversalSet(dimension),
+                tuple(Fraction(0) if i == 0 else (Fraction(1) if i == 1 else Fraction(0)) for i in range(dimension)),
+                Fraction(0),
+            ),
+        ],
+        name="min",
+    ) if dimension == 2 else None
+    return FunctionSpec(
+        name="min",
+        dimension=dimension,
+        func=lambda v: min(int(value) for value in v),
+        semilinear=semilinear,
+        eventually_min=EventuallyMin(pieces, tuple([0] * dimension), name="min"),
+        known_crn=crn,
+        expected_obliviously_computable=True,
+    )
+
+
+def maximum_spec(dimension: int = 2) -> FunctionSpec:
+    """``max(x1, x2)`` with the paper's four-reaction CRN (Fig. 1, right).
+
+    The CRN stably computes ``max`` but is *not* output-oblivious (it consumes
+    ``Y``), and Section 4 proves no output-oblivious CRN exists for it.
+    """
+    if dimension != 2:
+        raise ValueError("the catalog max spec is the two-input one from Fig. 1")
+    x1, x2, y, z1, z2, k = species("X1 X2 Y Z1 Z2 K")
+    crn = CRN(
+        [
+            x1 >> z1 + y,
+            x2 >> z2 + y,
+            z1 + z2 >> k,
+            k + y >> 0,
+        ],
+        (x1, x2),
+        y,
+        leader=None,
+        name="max",
+    )
+    semilinear = SemilinearFunction(
+        [
+            AffinePiece(ThresholdSet((1, -1), 1), (Fraction(1), Fraction(0)), Fraction(0)),
+            AffinePiece(UniversalSet(2), (Fraction(0), Fraction(1)), Fraction(0)),
+        ],
+        name="max",
+    )
+    return FunctionSpec(
+        name="max",
+        dimension=2,
+        func=lambda v: max(int(v[0]), int(v[1])),
+        semilinear=semilinear,
+        known_crn=crn,
+        expected_obliviously_computable=False,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2: min(1, x) with and without a leader
+# ---------------------------------------------------------------------------
+
+
+def min_one_spec() -> FunctionSpec:
+    """``f(x) = min(1, x)`` with the output-oblivious leader CRN ``L + X -> Y`` (Fig. 2, right)."""
+    x, y, leader = species("X Y L")
+    crn = CRN([leader + x >> y], (x,), y, leader=leader, name="min(1,x)-leader")
+    semilinear = SemilinearFunction(
+        [
+            AffinePiece(ThresholdSet((1,), 1), (Fraction(0),), Fraction(1)),
+            AffinePiece(UniversalSet(1), (Fraction(0),), Fraction(0)),
+        ],
+        name="min(1,x)",
+    )
+    quilt = QuiltAffine.affine((0,), 1, name="one")
+    return FunctionSpec(
+        name="min(1,x)",
+        dimension=1,
+        func=lambda v: min(1, int(v[0])),
+        semilinear=semilinear,
+        eventually_min=EventuallyMin([quilt], (1,), name="min(1,x)"),
+        known_crn=crn,
+        expected_obliviously_computable=True,
+    )
+
+
+def min_one_leaderless_crn() -> CRN:
+    """The leaderless but non-output-oblivious CRN for ``min(1, x)`` (Fig. 2, left).
+
+    Reactions ``X -> Y`` and ``2Y -> Y``: every input becomes an output, and
+    excess outputs annihilate each other down to one.
+    """
+    x, y = species("X Y")
+    return CRN([x >> y, 2 * y >> y], (x,), y, leader=None, name="min(1,x)-leaderless")
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3: quilt-affine examples
+# ---------------------------------------------------------------------------
+
+
+def floor_3x_over_2_spec() -> FunctionSpec:
+    """``f(x) = ⌊3x/2⌋`` (Fig. 3a) with the CRN ``X -> 3Z, 2Z -> Y`` from Section 1.4."""
+    x, y, z = species("X Y Z")
+    crn = CRN([x >> 3 * z, 2 * z >> y], (x,), y, leader=None, name="floor(3x/2)")
+    quilt = QuiltAffine.floor_linear((3,), 2, name="floor(3x/2)")
+    return FunctionSpec(
+        name="floor(3x/2)",
+        dimension=1,
+        func=lambda v: (3 * int(v[0])) // 2,
+        eventually_min=EventuallyMin([quilt], (0,), name="floor(3x/2)"),
+        known_crn=crn,
+        expected_obliviously_computable=True,
+    )
+
+
+def quilt_2d_fig3b_spec() -> FunctionSpec:
+    """The 2D quilt-affine function of Fig. 3b: ``g(x) = (1,2)·x + B(x mod 3)``.
+
+    ``B`` is zero except on the classes ``(1,2), (2,2), (2,1)`` where it is
+    ``-1`` (the paper leaves the nonzero values unspecified; ``-1`` keeps the
+    function nondecreasing and integer-valued, giving the pictured "bumpy
+    quilt").
+    """
+    offsets = {(1, 2): -1, (2, 2): -1, (2, 1): -1}
+    quilt = QuiltAffine((1, 2), 3, offsets, name="fig3b")
+
+    def evaluate(v: Sequence[int]) -> int:
+        return quilt((int(v[0]), int(v[1])))
+
+    return FunctionSpec(
+        name="fig3b-quilt",
+        dimension=2,
+        func=evaluate,
+        eventually_min=EventuallyMin([quilt], (0, 0), name="fig3b-quilt"),
+        expected_obliviously_computable=True,
+    )
+
+
+def threshold_capped_spec(cap: int = 3) -> FunctionSpec:
+    """``f(x) = min(x, cap)`` — a 1D nondecreasing semilinear function with a plateau."""
+    if cap < 0:
+        raise ValueError("the cap must be nonnegative")
+    semilinear = SemilinearFunction(
+        [
+            AffinePiece(ThresholdSet((1,), cap), (Fraction(0),), Fraction(cap)),
+            AffinePiece(UniversalSet(1), (Fraction(1),), Fraction(0)),
+        ],
+        name=f"min(x,{cap})",
+    )
+    return FunctionSpec(
+        name=f"min(x,{cap})",
+        dimension=1,
+        func=lambda v: min(int(v[0]), cap),
+        semilinear=semilinear,
+        expected_obliviously_computable=True,
+    )
+
+
+def all_catalog_specs() -> List[FunctionSpec]:
+    """Every catalog spec (used by sweep-style tests and benchmarks)."""
+    return [
+        double_spec(),
+        identity_spec(),
+        constant_spec(2),
+        add_spec(),
+        minimum_spec(),
+        maximum_spec(),
+        min_one_spec(),
+        floor_3x_over_2_spec(),
+        quilt_2d_fig3b_spec(),
+        threshold_capped_spec(),
+    ]

@@ -1,0 +1,134 @@
+"""Additional obliviously-computable functions beyond the paper's worked examples.
+
+These exercise parts of the machinery the paper only mentions in passing:
+three-input functions (the characterization is stated for arbitrary ``d``),
+weighted floor-of-linear functions, and tropical-style combinations of the
+basic building blocks.  All are built with explicit eventually-min
+representations so the Lemma 6.2 construction and the scaling-limit machinery
+can be applied to them directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from fractions import Fraction
+from typing import List, Sequence
+
+from repro.core.specs import FunctionSpec
+from repro.crn.network import CRN
+from repro.crn.reaction import Reaction
+from repro.crn.species import Expression, Species
+from repro.quilt.eventually_min import EventuallyMin
+from repro.quilt.quilt_affine import QuiltAffine
+
+
+def minimum_3d_spec() -> FunctionSpec:
+    """``min(x1, x2, x3)`` — the natural 3-input generalization of Fig. 1."""
+    inputs = tuple(Species(f"X{i + 1}") for i in range(3))
+    y = Species("Y")
+    crn = CRN(
+        [Reaction(Expression({sp: 1 for sp in inputs}), y)], inputs, y, leader=None, name="min3"
+    )
+    pieces = [
+        QuiltAffine.affine(tuple(1 if j == i else 0 for j in range(3)), 0) for i in range(3)
+    ]
+    return FunctionSpec(
+        name="min3",
+        dimension=3,
+        func=lambda v: min(int(value) for value in v),
+        eventually_min=EventuallyMin(pieces, (0, 0, 0), name="min3"),
+        known_crn=crn,
+        expected_obliviously_computable=True,
+    )
+
+
+def weighted_floor_spec() -> FunctionSpec:
+    """``f(x1, x2) = ⌊(2x1 + 3x2)/4⌋`` — a 2D floor-of-linear (quilt-affine, period 4)."""
+    quilt = QuiltAffine.floor_linear((2, 3), 4, name="floor((2x1+3x2)/4)")
+    return FunctionSpec(
+        name="floor((2x1+3x2)/4)",
+        dimension=2,
+        func=lambda v: (2 * int(v[0]) + 3 * int(v[1])) // 4,
+        eventually_min=EventuallyMin([quilt], (0, 0), name="floor((2x1+3x2)/4)"),
+        expected_obliviously_computable=True,
+    )
+
+
+def capped_sum_spec(cap: int = 4) -> FunctionSpec:
+    """``f(x1, x2) = min(x1 + x2, cap)`` — a 2D plateau function (min of affine pieces)."""
+    if cap < 0:
+        raise ValueError("the cap must be nonnegative")
+    pieces = [QuiltAffine.affine((1, 1), 0, name="x1+x2"), QuiltAffine.affine((0, 0), cap, name=f"{cap}")]
+    return FunctionSpec(
+        name=f"min(x1+x2,{cap})",
+        dimension=2,
+        func=lambda v: min(int(v[0]) + int(v[1]), cap),
+        eventually_min=EventuallyMin(pieces, (0, 0), name=f"min(x1+x2,{cap})"),
+        expected_obliviously_computable=True,
+    )
+
+
+def tropical_polynomial_spec() -> FunctionSpec:
+    """``f(x) = min(2x1 + 1, x1 + x2, 2x2 + 1)`` — a min of three affine pieces (a tropical polynomial)."""
+    pieces = [
+        QuiltAffine.affine((2, 0), 1, name="2x1+1"),
+        QuiltAffine.affine((1, 1), 0, name="x1+x2"),
+        QuiltAffine.affine((0, 2), 1, name="2x2+1"),
+    ]
+
+    def evaluate(v: Sequence[int]) -> int:
+        x1, x2 = int(v[0]), int(v[1])
+        return min(2 * x1 + 1, x1 + x2, 2 * x2 + 1)
+
+    return FunctionSpec(
+        name="tropical(min(2x1+1,x1+x2,2x2+1))",
+        dimension=2,
+        func=evaluate,
+        eventually_min=EventuallyMin(pieces, (0, 0), name="tropical"),
+        expected_obliviously_computable=True,
+    )
+
+
+def min3_with_offset_spec() -> FunctionSpec:
+    """``f(x) = min(x1, x2, x3) + ⌊(x1 + x2 + x3)/3⌋`` restricted... kept simple:
+    ``min(x1 + 1, x2 + 1, x3 + 1, ⌈(x1 + x2 + x3)/3⌉ + 1)`` a 3D min with a fractional-gradient piece."""
+    ceil_third = QuiltAffine(
+        (Fraction(1, 3), Fraction(1, 3), Fraction(1, 3)),
+        3,
+        {
+            residue: Fraction((-(sum(residue)) % 3), 3) + 1
+            for residue in itertools.product(range(3), repeat=3)
+        },
+        name="ceil(sum/3)+1",
+        validate=False,
+    )
+    pieces = [
+        QuiltAffine.affine((1, 0, 0), 1),
+        QuiltAffine.affine((0, 1, 0), 1),
+        QuiltAffine.affine((0, 0, 1), 1),
+        ceil_third,
+    ]
+
+    def evaluate(v: Sequence[int]) -> int:
+        x1, x2, x3 = (int(value) for value in v)
+        return min(x1 + 1, x2 + 1, x3 + 1, math.ceil((x1 + x2 + x3) / 3) + 1)
+
+    return FunctionSpec(
+        name="min3-with-average-cap",
+        dimension=3,
+        func=evaluate,
+        eventually_min=EventuallyMin(pieces, (0, 0, 0), name="min3-with-average-cap"),
+        expected_obliviously_computable=True,
+    )
+
+
+def all_extended_specs() -> List[FunctionSpec]:
+    """Every extended-catalog spec."""
+    return [
+        minimum_3d_spec(),
+        weighted_floor_spec(),
+        capped_sum_spec(),
+        tropical_polynomial_spec(),
+        min3_with_offset_spec(),
+    ]

@@ -1,0 +1,177 @@
+"""The structured examples of Sections 5-7: Fig. 4a, Fig. 7, and Equation (2).
+
+These are the functions the paper uses to illustrate the shape of
+obliviously-computable functions (Fig. 4a, Fig. 7) and the behaviour the
+characterization must rule out (Eq. (2), the affine function depressed along
+the diagonal).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import List, Sequence
+
+from repro.core.specs import FunctionSpec
+from repro.quilt.eventually_min import EventuallyMin
+from repro.quilt.quilt_affine import QuiltAffine
+from repro.semilinear.functions import AffinePiece, SemilinearFunction
+from repro.semilinear.sets import ThresholdSet, UniversalSet
+
+
+def _diagonal_pieces(
+    above_gradient, above_offset, below_gradient, below_offset, diagonal_gradient, diagonal_offset, name
+) -> SemilinearFunction:
+    """A 2D semilinear function with separate behaviour above / below / on the diagonal."""
+    above = ThresholdSet((-1, 1), 1)   # x2 - x1 >= 1, i.e. x1 < x2
+    below = ThresholdSet((1, -1), 1)   # x1 - x2 >= 1, i.e. x1 > x2
+    return SemilinearFunction(
+        [
+            AffinePiece(above, above_gradient, above_offset),
+            AffinePiece(below, below_gradient, below_offset),
+            AffinePiece(UniversalSet(2), diagonal_gradient, diagonal_offset),
+        ],
+        name=name,
+    )
+
+
+def fig7_spec() -> FunctionSpec:
+    """The three-region example of Fig. 7 / Section 7.1.
+
+    ``f(x1, x2) = x1 + 1`` for ``x1 < x2`` (region D1), ``x2 + 1`` for
+    ``x1 > x2`` (region D2), and ``x1`` on the diagonal (region U).  The
+    decomposition recovers the unique extensions ``g1 = x1 + 1``,
+    ``g2 = x2 + 1`` from the determined regions and the averaged extension
+    ``gU = ⌈(x1 + x2)/2⌉`` from the under-determined diagonal.
+    """
+    def evaluate(v: Sequence[int]) -> int:
+        x1, x2 = int(v[0]), int(v[1])
+        if x1 < x2:
+            return x1 + 1
+        if x1 > x2:
+            return x2 + 1
+        return x1
+
+    semilinear = _diagonal_pieces(
+        (Fraction(1), Fraction(0)), Fraction(1),
+        (Fraction(0), Fraction(1)), Fraction(1),
+        (Fraction(1), Fraction(0)), Fraction(0),
+        name="fig7",
+    )
+
+    g1 = QuiltAffine.affine((1, 0), 1, name="g1=x1+1")
+    g2 = QuiltAffine.affine((0, 1), 1, name="g2=x2+1")
+    ceil_avg = QuiltAffine(
+        (Fraction(1, 2), Fraction(1, 2)),
+        2,
+        {(0, 0): 0, (1, 1): 0, (0, 1): Fraction(1, 2), (1, 0): Fraction(1, 2)},
+        name="gU=ceil((x1+x2)/2)",
+    )
+    eventually_min = EventuallyMin([g1, g2, ceil_avg], (0, 0), name="fig7")
+
+    return FunctionSpec(
+        name="fig7",
+        dimension=2,
+        func=evaluate,
+        semilinear=semilinear,
+        eventually_min=eventually_min,
+        expected_obliviously_computable=True,
+    )
+
+
+def eq2_counterexample_spec() -> FunctionSpec:
+    """Equation (2): ``x1 + x2 + 1`` off the diagonal, ``x1 + x2`` on it.
+
+    Semilinear and nondecreasing, but the depressed diagonal admits no
+    quilt-affine extension that eventually dominates ``f``, so the function is
+    *not* obliviously-computable (shown directly via Lemma 4.1 with
+    ``a_i = (i, 0)`` and ``Δ_ij = (0, j)``).
+    """
+    def evaluate(v: Sequence[int]) -> int:
+        x1, x2 = int(v[0]), int(v[1])
+        return x1 + x2 + (0 if x1 == x2 else 1)
+
+    semilinear = _diagonal_pieces(
+        (Fraction(1), Fraction(1)), Fraction(1),
+        (Fraction(1), Fraction(1)), Fraction(1),
+        (Fraction(1), Fraction(1)), Fraction(0),
+        name="eq2",
+    )
+    return FunctionSpec(
+        name="eq2-depressed-diagonal",
+        dimension=2,
+        func=evaluate,
+        semilinear=semilinear,
+        expected_obliviously_computable=False,
+    )
+
+
+def fig4a_style_spec() -> FunctionSpec:
+    """A concrete function with the Fig. 4a shape.
+
+    * arbitrary (plateau) behaviour in the finite region ``x < (2,2)``:
+      ``f = min(x1, x2)`` there (values 0 and 1);
+    * eventually (for ``x >= (2,2)``) the minimum of three quilt-affine pieces
+      ``x1``, ``x2``, and ``⌈(x1+x2)/2⌉ - 1``;
+    * 1D quilt-affine behaviour along the lines ``x_i ∈ {0, 1}`` (the
+      restrictions are ``0`` and ``min(1, x)``).
+    """
+    ceil_avg_minus_one = QuiltAffine(
+        (Fraction(1, 2), Fraction(1, 2)),
+        2,
+        {(0, 0): -1, (1, 1): -1, (0, 1): Fraction(-1, 2), (1, 0): Fraction(-1, 2)},
+        name="ceil((x1+x2)/2)-1",
+    )
+    g1 = QuiltAffine.affine((1, 0), 0, name="x1")
+    g2 = QuiltAffine.affine((0, 1), 0, name="x2")
+    eventually_min = EventuallyMin([g1, g2, ceil_avg_minus_one], (2, 2), name="fig4a")
+
+    def evaluate(v: Sequence[int]) -> int:
+        x1, x2 = int(v[0]), int(v[1])
+        if x1 < 2 or x2 < 2:
+            return min(x1, x2, 1)
+        return min(x1, x2, math.ceil((x1 + x2) / 2) - 1)
+
+    return FunctionSpec(
+        name="fig4a-style",
+        dimension=2,
+        func=evaluate,
+        eventually_min=eventually_min,
+        expected_obliviously_computable=True,
+    )
+
+
+def interior_min_plus_one_spec() -> FunctionSpec:
+    """``f(x) = min(x1, x2) + 1`` when both inputs are positive, else 0.
+
+    A small nonzero-threshold example exercising the full Lemma 6.2 recursion:
+    the eventual region (``x >= (1,1)``) is a min of two quilt-affine pieces
+    and the boundary restrictions are the constant 0.
+    """
+    g1 = QuiltAffine.affine((1, 0), 1, name="x1+1")
+    g2 = QuiltAffine.affine((0, 1), 1, name="x2+1")
+    eventually_min = EventuallyMin([g1, g2], (1, 1), name="interior-min-plus-one")
+
+    def evaluate(v: Sequence[int]) -> int:
+        x1, x2 = int(v[0]), int(v[1])
+        if x1 == 0 or x2 == 0:
+            return 0
+        return min(x1, x2) + 1
+
+    return FunctionSpec(
+        name="interior-min-plus-one",
+        dimension=2,
+        func=evaluate,
+        eventually_min=eventually_min,
+        expected_obliviously_computable=True,
+    )
+
+
+def all_paper_example_specs() -> List[FunctionSpec]:
+    """All structured paper examples (Fig. 4a, Fig. 7, Eq. (2), and the interior-min example)."""
+    return [
+        fig7_spec(),
+        eq2_counterexample_spec(),
+        fig4a_style_spec(),
+        interior_min_plus_one_spec(),
+    ]

@@ -1,0 +1,44 @@
+"""Polyhedral geometry substrate for the domain decomposition of Section 7.
+
+The paper decomposes ``N^d`` into convex polyhedral *regions* induced by the
+threshold hyperplanes of a semilinear function, classifies each region by the
+dimension of its *recession cone* (determined vs. under-determined), and
+relates under-determined regions to their *neighbors*.  This package provides
+those geometric objects:
+
+* :class:`Hyperplane` — an integer threshold hyperplane shifted off the lattice;
+* :class:`Region` — a sign-pattern region ``{x >= 0 : S(Tx - h) >= 0}``;
+* :class:`Cone` — a polyhedral cone with dimension computation, containment,
+  and interior-vector search;
+* rational linear algebra helpers (exact rank / null space / projection).
+"""
+
+from repro.geometry.linalg import (
+    rational_rank,
+    rational_nullspace,
+    project_onto_span,
+    orthogonal_complement_basis,
+)
+from repro.geometry.hyperplanes import Hyperplane
+from repro.geometry.cones import Cone
+from repro.geometry.regions import (
+    Region,
+    region_of_point,
+    enumerate_regions,
+    determined_regions,
+    under_determined_regions,
+)
+
+__all__ = [
+    "rational_rank",
+    "rational_nullspace",
+    "project_onto_span",
+    "orthogonal_complement_basis",
+    "Hyperplane",
+    "Cone",
+    "Region",
+    "region_of_point",
+    "enumerate_regions",
+    "determined_regions",
+    "under_determined_regions",
+]

@@ -1,0 +1,137 @@
+"""Exact rational linear algebra helpers (small dimensions).
+
+The domain-decomposition machinery needs exact answers to questions such as
+"what is the span of this recession cone?" and "project this gradient onto the
+determined subspace W".  Floating point is avoided for these because gradients
+are rational and the characterization checks compare them exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+
+Matrix = List[List[Fraction]]
+Vector = Tuple[Fraction, ...]
+
+
+def _to_matrix(rows: Sequence[Sequence]) -> Matrix:
+    return [[Fraction(value) for value in row] for row in rows]
+
+
+def _row_reduce(matrix: Matrix) -> Tuple[Matrix, List[int]]:
+    """Reduced row echelon form; returns (rref, pivot column indices)."""
+    rref = [row[:] for row in matrix]
+    rows = len(rref)
+    cols = len(rref[0]) if rows else 0
+    pivots: List[int] = []
+    pivot_row = 0
+    for col in range(cols):
+        if pivot_row >= rows:
+            break
+        # Find a nonzero pivot in or below pivot_row.
+        pivot = None
+        for r in range(pivot_row, rows):
+            if rref[r][col] != 0:
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        rref[pivot_row], rref[pivot] = rref[pivot], rref[pivot_row]
+        scale = rref[pivot_row][col]
+        rref[pivot_row] = [value / scale for value in rref[pivot_row]]
+        for r in range(rows):
+            if r != pivot_row and rref[r][col] != 0:
+                factor = rref[r][col]
+                rref[r] = [a - factor * b for a, b in zip(rref[r], rref[pivot_row])]
+        pivots.append(col)
+        pivot_row += 1
+    return rref, pivots
+
+
+def rational_rank(rows: Sequence[Sequence]) -> int:
+    """The rank of the matrix whose rows are given (exact rational arithmetic)."""
+    matrix = _to_matrix(rows)
+    if not matrix:
+        return 0
+    _, pivots = _row_reduce(matrix)
+    return len(pivots)
+
+
+def rational_nullspace(rows: Sequence[Sequence], dimension: int) -> List[Vector]:
+    """A basis of the null space ``{x : A x = 0}`` of the matrix with the given rows.
+
+    ``dimension`` is the number of columns (needed when ``rows`` is empty, in
+    which case the null space is all of ``Q^dimension``).
+    """
+    matrix = _to_matrix(rows)
+    if not matrix:
+        return [
+            tuple(Fraction(1) if j == i else Fraction(0) for j in range(dimension))
+            for i in range(dimension)
+        ]
+    cols = len(matrix[0])
+    if cols != dimension:
+        raise ValueError(f"rows have {cols} columns but dimension={dimension} was given")
+    rref, pivots = _row_reduce(matrix)
+    free_columns = [c for c in range(cols) if c not in pivots]
+    basis: List[Vector] = []
+    for free in free_columns:
+        vector = [Fraction(0)] * cols
+        vector[free] = Fraction(1)
+        for row_index, pivot_col in enumerate(pivots):
+            vector[pivot_col] = -rref[row_index][free]
+        basis.append(tuple(vector))
+    return basis
+
+
+def _dot(a: Sequence[Fraction], b: Sequence[Fraction]) -> Fraction:
+    return sum((Fraction(x) * Fraction(y) for x, y in zip(a, b)), start=Fraction(0))
+
+
+def _gram_schmidt(vectors: Sequence[Sequence]) -> List[Vector]:
+    """Orthogonalize (not normalize) a list of rational vectors, dropping dependents."""
+    orthogonal: List[Vector] = []
+    for vector in vectors:
+        v = [Fraction(x) for x in vector]
+        for u in orthogonal:
+            denom = _dot(u, u)
+            if denom == 0:
+                continue
+            coefficient = _dot(v, u) / denom
+            v = [a - coefficient * b for a, b in zip(v, u)]
+        if any(x != 0 for x in v):
+            orthogonal.append(tuple(v))
+    return orthogonal
+
+
+def project_onto_span(vector: Sequence, span_vectors: Sequence[Sequence]) -> Vector:
+    """The orthogonal projection of ``vector`` onto ``span(span_vectors)`` (exact)."""
+    v = tuple(Fraction(x) for x in vector)
+    basis = _gram_schmidt(span_vectors)
+    projection = [Fraction(0)] * len(v)
+    for u in basis:
+        denom = _dot(u, u)
+        if denom == 0:
+            continue
+        coefficient = _dot(v, u) / denom
+        projection = [p + coefficient * b for p, b in zip(projection, u)]
+    return tuple(projection)
+
+
+def orthogonal_complement_basis(span_vectors: Sequence[Sequence], dimension: int) -> List[Vector]:
+    """A basis of the orthogonal complement ``W⊥`` of ``span(span_vectors)`` in Q^dimension."""
+    if not span_vectors:
+        return [
+            tuple(Fraction(1) if j == i else Fraction(0) for j in range(dimension))
+            for i in range(dimension)
+        ]
+    return rational_nullspace(span_vectors, dimension)
+
+
+def in_span(vector: Sequence, span_vectors: Sequence[Sequence]) -> bool:
+    """True if ``vector`` lies in the span of the given vectors (exact)."""
+    v = tuple(Fraction(x) for x in vector)
+    projection = project_onto_span(v, span_vectors)
+    return all(a == b for a, b in zip(v, projection))

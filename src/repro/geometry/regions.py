@@ -1,0 +1,256 @@
+"""Regions induced by threshold hyperplanes (Definition 7.2).
+
+Given threshold hyperplanes ``H_1, ..., H_l`` (shifted off the lattice), each
+integer point ``y`` induces a sign pattern ``s_i = sign(t_i·y - (h_i - 1/2))``
+and the region of ``y`` is the set of points with the same sign pattern:
+
+    R = {x in R^d_{>=0} : S(Tx - h) >= 0}
+
+(with the half-integer shift folded in so integer points are never on a
+boundary).  Regions are classified as *determined* when their recession cone is
+full-dimensional and *under-determined* otherwise, and an under-determined
+region's *neighbors* are the regions whose recession cone contains its own
+(Definition 7.11); ``neighbor_in_direction`` implements the construction used
+in Lemma 7.18.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.geometry.cones import Cone
+from repro.geometry.hyperplanes import Hyperplane
+from repro.geometry.linalg import orthogonal_complement_basis
+
+
+@dataclass(frozen=True)
+class Region:
+    """A sign-pattern region over a fixed tuple of hyperplanes.
+
+    ``ambient`` records the ambient dimension explicitly; it is only required
+    when the hyperplane tuple is empty (the whole orthant is then the single
+    region).
+    """
+
+    hyperplanes: Tuple[Hyperplane, ...]
+    signs: Tuple[int, ...]
+    ambient: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.hyperplanes) != len(self.signs):
+            raise ValueError("need exactly one sign per hyperplane")
+        if any(s not in (-1, 1) for s in self.signs):
+            raise ValueError(f"signs must be +1 or -1, got {self.signs}")
+        if not self.hyperplanes and self.ambient <= 0:
+            raise ValueError("a region with no hyperplanes needs an explicit ambient dimension")
+
+    @property
+    def dimension(self) -> int:
+        """The ambient dimension."""
+        return self.hyperplanes[0].dimension if self.hyperplanes else self.ambient
+
+    # -- membership -----------------------------------------------------------------
+
+    def contains(self, x: Sequence[int]) -> bool:
+        """True if the integer point ``x`` (which must be >= 0) lies in the region."""
+        if any(int(v) < 0 for v in x):
+            return False
+        return all(
+            hyperplane.side(x) == sign
+            for hyperplane, sign in zip(self.hyperplanes, self.signs)
+        )
+
+    # -- recession cone and classification --------------------------------------------
+
+    def recession_cone(self) -> Cone:
+        """The recession cone ``{y >= 0 : S T y >= 0}`` of the region."""
+        rows = [
+            [sign * value for value in hyperplane.normal]
+            for hyperplane, sign in zip(self.hyperplanes, self.signs)
+        ]
+        return Cone(rows, self.dimension)
+
+    def is_determined(self) -> bool:
+        """True if the recession cone is full-dimensional (Section 7.3)."""
+        return self.recession_cone().is_full_dimensional()
+
+    def is_under_determined(self) -> bool:
+        """True if the recession cone has dimension < d."""
+        return not self.is_determined()
+
+    def is_eventual(self) -> bool:
+        """True if the region is unbounded in every input (Definition 7.10).
+
+        Equivalent to the recession cone containing a strictly positive vector.
+        """
+        return self.recession_cone().positive_vector() is not None
+
+    def determined_subspace_basis(self) -> List[Tuple[Fraction, ...]]:
+        """A basis of ``W = span(recc(R))`` — the determined subspace (Section 7.4)."""
+        return self.recession_cone().span_basis()
+
+    def orthogonal_subspace_basis(self) -> List[Tuple[Fraction, ...]]:
+        """A basis of ``W⊥``, the orthogonal complement of the determined subspace."""
+        return orthogonal_complement_basis(self.determined_subspace_basis(), self.dimension)
+
+    # -- neighbor structure -------------------------------------------------------------
+
+    def is_neighbor_of(self, under_determined: "Region") -> bool:
+        """True if this region is a neighbor of ``under_determined`` (Definition 7.11).
+
+        ``R`` is a neighbor of ``U`` when ``recc(U) ⊆ recc(R)``.
+        """
+        return self.recession_cone().contains_cone(under_determined.recession_cone())
+
+    def neighbor_separating_indices(self) -> List[int]:
+        """Indices of hyperplanes orthogonal to the whole recession cone (Lemma 7.17).
+
+        These are the hyperplanes whose normal lies in ``W⊥``; only they can
+        separate the region from its neighbors.
+        """
+        span = self.determined_subspace_basis()
+        separating: List[int] = []
+        for index, hyperplane in enumerate(self.hyperplanes):
+            if all(
+                sum(
+                    (Fraction(n) * b for n, b in zip(hyperplane.normal, basis_vector)),
+                    start=Fraction(0),
+                )
+                == 0
+                for basis_vector in span
+            ):
+                separating.append(index)
+        return separating
+
+    def neighbor_in_direction(self, direction: Sequence) -> "Region":
+        """The neighbor region in the direction ``z ∈ W⊥`` (Lemma 7.18 construction).
+
+        For every neighbor-separating hyperplane whose normal disagrees in sign
+        with the direction, the region's sign is flipped; all other signs are
+        kept.
+        """
+        direction = tuple(Fraction(value) for value in direction)
+        separating = set(self.neighbor_separating_indices())
+        new_signs: List[int] = []
+        for index, (hyperplane, sign) in enumerate(zip(self.hyperplanes, self.signs)):
+            if index in separating:
+                dot = sum(
+                    (Fraction(n) * v for n, v in zip(hyperplane.normal, direction)),
+                    start=Fraction(0),
+                )
+                if dot != 0 and (1 if dot > 0 else -1) == -sign:
+                    new_signs.append(-sign)
+                    continue
+            new_signs.append(sign)
+        return Region(self.hyperplanes, tuple(new_signs), ambient=self.ambient)
+
+    # -- sampling ---------------------------------------------------------------------------
+
+    def integer_points_upto(self, bound: int) -> Iterable[Tuple[int, ...]]:
+        """All integer points of the region with coordinates < ``bound``."""
+        for x in itertools.product(range(bound), repeat=self.dimension):
+            if self.contains(x):
+                yield x
+
+    def sample_point(self, bound: int = 50) -> Optional[Tuple[int, ...]]:
+        """Some integer point of the region with coordinates < ``bound``, or None."""
+        return next(iter(self.integer_points_upto(bound)), None)
+
+    def deep_points(
+        self, count: int, start_bound: int = 8, congruence: Optional[Tuple[int, ...]] = None, period: int = 1
+    ) -> List[Tuple[int, ...]]:
+        """Points of the region progressively deeper along its recession cone.
+
+        Starting from a sample point (optionally constrained to a congruence
+        class mod ``period``), repeatedly add a positive multiple of an interior
+        (or arbitrary) recession-cone vector scaled to the period, producing
+        points far from all boundaries.  Used to sample the affine behaviour of
+        a function on a determined region.
+        """
+        cone = self.recession_cone()
+        direction = cone.interior_vector() or cone.positive_vector()
+        if direction is None:
+            basis = self.determined_subspace_basis()
+            if not basis:
+                point = self.sample_point(start_bound * 4)
+                return [point] * count if point is not None else []
+            # Fall back to any nonnegative vector in the span.
+            direction = tuple(
+                int(value) if value == int(value) else 0 for value in basis[0]
+            )
+            if not cone.contains(direction):
+                direction = tuple(abs(v) for v in direction)
+                if not cone.contains(direction):
+                    point = self.sample_point(start_bound * 4)
+                    return [point] * count if point is not None else []
+        base = None
+        for candidate in self.integer_points_upto(start_bound * 4):
+            if congruence is None or all(
+                (c - v) % period == 0 for c, v in zip(congruence, candidate)
+            ):
+                base = candidate
+                break
+        if base is None:
+            return []
+        step = tuple(value * period for value in direction)
+        points = []
+        current = base
+        for _ in range(count):
+            points.append(current)
+            current = tuple(c + s for c, s in zip(current, step))
+        return points
+
+    def __str__(self) -> str:
+        parts = []
+        for hyperplane, sign in zip(self.hyperplanes, self.signs):
+            comparison = ">=" if sign == 1 else "<"
+            terms = " + ".join(
+                f"{c}*x{i+1}" for i, c in enumerate(hyperplane.normal) if c != 0
+            ) or "0"
+            parts.append(f"{terms} {comparison} {hyperplane.threshold}")
+        return "{" + " and ".join(parts) + "}"
+
+
+def region_of_point(hyperplanes: Sequence[Hyperplane], x: Sequence[int]) -> Region:
+    """The unique region (sign pattern) containing the integer point ``x``."""
+    signs = tuple(hyperplane.side(x) for hyperplane in hyperplanes)
+    return Region(tuple(hyperplanes), signs, ambient=len(tuple(x)))
+
+
+def enumerate_regions(
+    hyperplanes: Sequence[Hyperplane],
+    dimension: int,
+    bound: int = 30,
+    extra_points: Iterable[Sequence[int]] = (),
+) -> List[Region]:
+    """All regions realized by integer points with coordinates < ``bound``.
+
+    Additional probe points (e.g. far along suspected recession directions) can
+    be supplied via ``extra_points`` to make sure unbounded regions that only
+    appear far from the origin are found.
+    """
+    if not hyperplanes:
+        return [Region((), (), ambient=dimension)]
+    seen: Dict[Tuple[int, ...], Region] = {}
+    for x in itertools.product(range(bound), repeat=dimension):
+        signs = tuple(hyperplane.side(x) for hyperplane in hyperplanes)
+        if signs not in seen:
+            seen[signs] = Region(tuple(hyperplanes), signs, ambient=dimension)
+    for x in extra_points:
+        signs = tuple(hyperplane.side(x) for hyperplane in hyperplanes)
+        if signs not in seen:
+            seen[signs] = Region(tuple(hyperplanes), signs, ambient=dimension)
+    return list(seen.values())
+
+
+def determined_regions(regions: Iterable[Region]) -> List[Region]:
+    """The determined regions among ``regions``."""
+    return [region for region in regions if region.is_determined()]
+
+
+def under_determined_regions(regions: Iterable[Region]) -> List[Region]:
+    """The under-determined regions among ``regions``."""
+    return [region for region in regions if region.is_under_determined()]

@@ -1,0 +1,30 @@
+"""Population protocols and conversions between CRNs and protocols.
+
+Population protocols are the restricted CRNs in which every reaction has two
+reactants and two products (Section 1 of the paper frames the work in both
+models; the computable function classes coincide).  This package provides:
+
+* :class:`PopulationProtocol` — the agent-based model with a random pairwise
+  scheduler;
+* :func:`crn_to_population_protocol` — conversion of a CRN whose reactions are
+  all 2-reactant/2-product into a protocol;
+* :func:`to_at_most_bimolecular` — footnote 5's reduction of higher-order
+  reactions to reactions with at most two reactants.
+"""
+
+from repro.protocols.population import PopulationProtocol, crn_to_population_protocol
+from repro.protocols.conversion import to_at_most_bimolecular
+from repro.protocols.predicate_protocols import (
+    OpinionProtocol,
+    majority_protocol,
+    threshold_protocol,
+)
+
+__all__ = [
+    "PopulationProtocol",
+    "crn_to_population_protocol",
+    "to_at_most_bimolecular",
+    "OpinionProtocol",
+    "majority_protocol",
+    "threshold_protocol",
+]

@@ -1,0 +1,105 @@
+"""Reduction of higher-order reactions to at-most-bimolecular form (footnote 5).
+
+The paper's constructions freely use reactions with more than two reactants
+(e.g. ``(n+1)X -> nX + W``), noting that such reactions can be converted to
+bimolecular form: ``3X -> Y`` becomes ``2X <-> X_2`` and ``X + X_2 -> Y``.
+:func:`to_at_most_bimolecular` performs this conversion for an arbitrary CRN,
+introducing reversible accumulation complexes for every reactant multiset of
+order greater than two.  The converted CRN stably computes the same function
+(the reversibility of the accumulation steps ensures no inputs are stranded).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.crn.network import CRN
+from repro.crn.reaction import Reaction
+from repro.crn.species import Expression, Species
+
+
+def _complex_name(counts: Dict[Species, int]) -> str:
+    parts = []
+    for sp in sorted(counts, key=lambda s: s.name):
+        count = counts[sp]
+        parts.append(sp.name if count == 1 else f"{count}{sp.name}")
+    return "cx_" + "_".join(parts)
+
+
+def to_at_most_bimolecular(crn: CRN) -> CRN:
+    """Convert every reaction of order > 2 into a chain of (at most) bimolecular reactions.
+
+    Each high-order reaction ``R -> P`` is replaced by a sequence of reversible
+    accumulation steps that gather the reactant multiset into a single complex
+    species two molecules at a time, followed by a final irreversible step
+    releasing the products.  Reactions of order <= 2 are kept unchanged.
+    """
+    new_reactions: List[Reaction] = []
+    complexes_created: Dict[Tuple[Tuple[Species, int], ...], Species] = {}
+
+    for rxn in crn.reactions:
+        if rxn.order() <= 2:
+            new_reactions.append(rxn)
+            continue
+
+        # Flatten the reactant multiset into an ordered list of molecules.
+        molecules: List[Species] = []
+        for sp, count in sorted(rxn.reactants.counts.items(), key=lambda kv: kv[0].name):
+            molecules.extend([sp] * count)
+
+        # Accumulate molecules two at a time into growing complex species.
+        accumulated: Dict[Species, int] = {}
+        for molecule in molecules[:2]:
+            accumulated[molecule] = accumulated.get(molecule, 0) + 1
+        key = tuple(sorted(accumulated.items(), key=lambda kv: kv[0].name))
+        if key not in complexes_created:
+            complexes_created[key] = Species(_complex_name(accumulated))
+            complex_sp = complexes_created[key]
+            new_reactions.append(
+                Reaction(Expression(dict(accumulated)), complex_sp, name=f"assemble-{complex_sp.name}")
+            )
+            new_reactions.append(
+                Reaction(complex_sp, Expression(dict(accumulated)), name=f"disassemble-{complex_sp.name}")
+            )
+        current_complex = complexes_created[key]
+        current_contents = dict(accumulated)
+
+        for molecule in molecules[2:-1]:
+            current_contents[molecule] = current_contents.get(molecule, 0) + 1
+            key = tuple(sorted(current_contents.items(), key=lambda kv: kv[0].name))
+            if key not in complexes_created:
+                complexes_created[key] = Species(_complex_name(current_contents))
+                next_complex = complexes_created[key]
+                new_reactions.append(
+                    Reaction(
+                        Expression({current_complex: 1, molecule: 1}),
+                        next_complex,
+                        name=f"assemble-{next_complex.name}",
+                    )
+                )
+                new_reactions.append(
+                    Reaction(
+                        next_complex,
+                        Expression({current_complex: 1, molecule: 1}),
+                        name=f"disassemble-{next_complex.name}",
+                    )
+                )
+            current_complex = complexes_created[key]
+
+        # Final step: the complex plus the last molecule react irreversibly to the products.
+        new_reactions.append(
+            Reaction(
+                Expression({current_complex: 1, molecules[-1]: 1}),
+                rxn.products,
+                rate=rxn.rate,
+                name=rxn.name or "final-step",
+            )
+        )
+
+    return CRN(
+        new_reactions,
+        crn.input_species,
+        crn.output_species,
+        leader=crn.leader,
+        name=(crn.name + "+bimolecular") if crn.name else "bimolecular",
+    )

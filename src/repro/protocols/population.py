@@ -1,0 +1,162 @@
+"""Population protocols: the 2-reactant / 2-product fragment of CRNs.
+
+A population protocol is a set of agents, each in one of finitely many states,
+interacting in randomly chosen ordered pairs according to a transition function
+``δ : Q × Q -> Q × Q``.  Function computation follows the convention used for
+CRNs in the paper: designated *input* states encode the input counts, one agent
+starts in the *leader* state (when the protocol has one), and the output value
+is the number of agents in states belonging to the designated *output* set
+(mirroring the count of the output species ``Y``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.crn.network import CRN
+from repro.crn.species import Species
+
+
+State = Hashable
+
+
+@dataclass
+class PopulationProtocol:
+    """A population protocol with designated input / output / leader states."""
+
+    states: Tuple[State, ...]
+    transitions: Dict[Tuple[State, State], Tuple[State, State]]
+    input_states: Tuple[State, ...]
+    output_states: FrozenSet[State]
+    leader_state: Optional[State] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        state_set = set(self.states)
+        for (a, b), (c, d) in self.transitions.items():
+            for state in (a, b, c, d):
+                if state not in state_set:
+                    raise ValueError(f"transition uses unknown state {state!r}")
+        for state in self.input_states:
+            if state not in state_set:
+                raise ValueError(f"unknown input state {state!r}")
+        if self.leader_state is not None and self.leader_state not in state_set:
+            raise ValueError(f"unknown leader state {self.leader_state!r}")
+
+    @property
+    def dimension(self) -> int:
+        """The number of inputs."""
+        return len(self.input_states)
+
+    def initial_population(self, x: Sequence[int]) -> List[State]:
+        """The initial multiset of agents encoding input ``x`` (plus the leader, if any)."""
+        if len(x) != self.dimension:
+            raise ValueError(f"expected {self.dimension} inputs, got {len(x)}")
+        agents: List[State] = []
+        for state, count in zip(self.input_states, x):
+            agents.extend([state] * int(count))
+        if self.leader_state is not None:
+            agents.append(self.leader_state)
+        return agents
+
+    def output_count(self, agents: Sequence[State]) -> int:
+        """The number of agents currently in an output state."""
+        return sum(1 for agent in agents if agent in self.output_states)
+
+    def step(self, agents: List[State], rng: random.Random) -> bool:
+        """Perform one random pairwise interaction in place.
+
+        Returns True if the interaction changed at least one agent's state.
+        """
+        if len(agents) < 2:
+            return False
+        i, j = rng.sample(range(len(agents)), 2)
+        key = (agents[i], agents[j])
+        if key not in self.transitions:
+            return False
+        new_i, new_j = self.transitions[key]
+        changed = (new_i != agents[i]) or (new_j != agents[j])
+        agents[i], agents[j] = new_i, new_j
+        return changed
+
+    def run(
+        self,
+        x: Sequence[int],
+        max_interactions: int = 200_000,
+        quiescence_window: int = 2_000,
+        seed: Optional[int] = None,
+    ) -> Tuple[List[State], int]:
+        """Run the random scheduler until the output is quiescent or the budget runs out.
+
+        Returns the final population and the number of interactions performed.
+        """
+        rng = random.Random(seed)
+        agents = self.initial_population(x)
+        last_output = self.output_count(agents)
+        stable_for = 0
+        interactions = 0
+        while interactions < max_interactions and stable_for < quiescence_window:
+            self.step(agents, rng)
+            interactions += 1
+            current = self.output_count(agents)
+            if current == last_output:
+                stable_for += 1
+            else:
+                stable_for = 0
+                last_output = current
+        return agents, interactions
+
+
+def crn_to_population_protocol(crn: CRN, inert_state: str = "F") -> PopulationProtocol:
+    """Convert a CRN whose reactions are all 2-reactant / 2-product into a protocol.
+
+    Each species becomes a state; each reaction ``A + B -> C + D`` becomes the
+    transition ``(A, B) -> (C, D)`` (and its symmetric variant).  Reactions of
+    the form ``A + B -> C`` (one product) are padded with an inert "fuel" state
+    so agent count is conserved, and unimolecular reactions ``A -> ...`` are
+    rejected (they have no population-protocol counterpart without a fuel
+    convention; convert the CRN with :func:`to_at_most_bimolecular` and add
+    explicit fuel species first if needed).
+    """
+    species_states = {sp: sp.name for sp in crn.species()}
+    states = list(species_states.values())
+    if inert_state not in states:
+        states.append(inert_state)
+    transitions: Dict[Tuple[State, State], Tuple[State, State]] = {}
+
+    for rxn in crn.reactions:
+        if rxn.order() != 2:
+            raise ValueError(
+                f"reaction {rxn} is not bimolecular; population protocols need exactly "
+                "two reactants per interaction"
+            )
+        if rxn.products.total() > 2:
+            raise ValueError(
+                f"reaction {rxn} has more than two products and cannot be a population "
+                "protocol transition"
+            )
+        reactant_list: List[str] = []
+        for sp, count in rxn.reactants.counts.items():
+            reactant_list.extend([species_states[sp]] * count)
+        product_list: List[str] = []
+        for sp, count in rxn.products.counts.items():
+            product_list.extend([species_states[sp]] * count)
+        while len(product_list) < 2:
+            product_list.append(inert_state)
+        a, b = reactant_list
+        c, d = product_list
+        transitions[(a, b)] = (c, d)
+        if (b, a) not in transitions:
+            transitions[(b, a)] = (d, c)
+
+    output_states = frozenset({crn.output_species.name})
+    return PopulationProtocol(
+        states=tuple(states),
+        transitions=transitions,
+        input_states=tuple(sp.name for sp in crn.input_species),
+        output_states=output_states,
+        leader_state=crn.leader.name if crn.leader else None,
+        name=(crn.name + "-protocol") if crn.name else "protocol",
+    )

@@ -1,0 +1,157 @@
+"""Classical predicate-computing population protocols (the Section 1 substrate).
+
+The paper builds on the population-protocol literature in which agents compute
+*predicates* by reaching consensus on a yes/no opinion.  Two standard examples
+are provided, both with the usual correctness convention (every agent's state
+carries an opinion and, once the protocol stabilizes, all opinions agree with
+the predicate):
+
+* the **4-state majority** protocol deciding ``#A >= #B`` (approximate/exact on
+  ties depending on the tie-breaking convention; here ties report True, i.e.
+  the predicate is ``#A >= #B``), and
+* the **threshold-k** protocol deciding ``#A >= k`` for a constant ``k``, using
+  a leader that counts up to ``k``.
+
+These protocols complement the function-computing CRNs elsewhere in the
+library and are exercised by the protocol tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+State = str
+
+
+@dataclass
+class OpinionProtocol:
+    """A population protocol whose states carry a Boolean opinion."""
+
+    states: Tuple[State, ...]
+    transitions: Dict[Tuple[State, State], Tuple[State, State]]
+    input_states: Tuple[State, ...]
+    opinions: Dict[State, bool]
+    leader_state: Optional[State] = None
+    name: str = ""
+
+    def initial_population(self, counts: Sequence[int]) -> List[State]:
+        """Agents encoding the input counts (plus the leader when present)."""
+        if len(counts) != len(self.input_states):
+            raise ValueError(
+                f"expected {len(self.input_states)} input counts, got {len(counts)}"
+            )
+        agents: List[State] = []
+        for state, count in zip(self.input_states, counts):
+            agents.extend([state] * int(count))
+        if self.leader_state is not None:
+            agents.append(self.leader_state)
+        return agents
+
+    def consensus(self, agents: Sequence[State]) -> Optional[bool]:
+        """The common opinion of all agents, or ``None`` if they disagree."""
+        opinions = {self.opinions[state] for state in agents}
+        if len(opinions) == 1:
+            return next(iter(opinions))
+        return None
+
+    def run(
+        self,
+        counts: Sequence[int],
+        max_interactions: int = 500_000,
+        quiescence_window: int = 5_000,
+        seed: Optional[int] = None,
+    ) -> Tuple[Optional[bool], int]:
+        """Run random pairwise interactions until the opinion profile is quiescent.
+
+        Returns the consensus opinion (or ``None`` if the budget ran out before
+        consensus) and the number of interactions used.
+        """
+        rng = random.Random(seed)
+        agents = self.initial_population(counts)
+        if len(agents) < 2:
+            return (self.consensus(agents) if agents else True), 0
+        stable_for = 0
+        interactions = 0
+        last_profile = tuple(sorted(agents))
+        while interactions < max_interactions and stable_for < quiescence_window:
+            i, j = rng.sample(range(len(agents)), 2)
+            key = (agents[i], agents[j])
+            if key in self.transitions:
+                agents[i], agents[j] = self.transitions[key]
+            interactions += 1
+            profile = tuple(sorted(agents))
+            if profile == last_profile:
+                stable_for += 1
+            else:
+                stable_for = 0
+                last_profile = profile
+        return self.consensus(agents), interactions
+
+
+def majority_protocol() -> OpinionProtocol:
+    """The classical 4-state majority protocol deciding ``#A >= #B``.
+
+    States: strong opinions ``A`` / ``B`` and weak (converted) opinions
+    ``a`` / ``b``.  Strong opposites annihilate into weak opinions; strong
+    states convert weak opposites; weak states adopt any strong opinion.
+    """
+    transitions: Dict[Tuple[State, State], Tuple[State, State]] = {}
+
+    def both(x: State, y: State, nx: State, ny: State) -> None:
+        transitions[(x, y)] = (nx, ny)
+        transitions[(y, x)] = (ny, nx)
+
+    both("A", "B", "a", "b")
+    both("A", "b", "A", "a")
+    both("B", "a", "B", "b")
+    # Weak agents adopt the opinion of any strong agent they meet (covered above);
+    # weak-weak interactions resolve the tie toward the positive answer so that
+    # an exact tie (all agents weak) reports #A >= #B as True.
+    both("a", "b", "a", "a")
+
+    return OpinionProtocol(
+        states=("A", "B", "a", "b"),
+        transitions=transitions,
+        input_states=("A", "B"),
+        opinions={"A": True, "a": True, "B": False, "b": False},
+        name="majority",
+    )
+
+
+def threshold_protocol(k: int) -> OpinionProtocol:
+    """A leader-driven protocol deciding ``#A >= k`` for a constant ``k >= 1``.
+
+    The leader walks through counting states ``L0, ..., Lk``, absorbing one
+    input token at a time; every absorbed token becomes a follower ``F``.  The
+    leader's opinion flips to True at ``Lk`` and it then converts every agent
+    it meets to the accepting follower state ``T``.
+    """
+    if k < 1:
+        raise ValueError("the threshold must be at least 1")
+    counting = [f"L{i}" for i in range(k + 1)]
+    states = tuple(counting + ["A", "F", "T"])
+    transitions: Dict[Tuple[State, State], Tuple[State, State]] = {}
+
+    for i in range(k):
+        transitions[(counting[i], "A")] = (counting[i + 1], "F")
+        transitions[("A", counting[i])] = ("F", counting[i + 1])
+    # Once the leader reaches Lk it converts everything it meets to T.
+    for other in ["A", "F"]:
+        transitions[(counting[k], other)] = (counting[k], "T")
+        transitions[(other, counting[k])] = ("T", counting[k])
+
+    opinions = {state: False for state in states}
+    opinions[counting[k]] = True
+    opinions["T"] = True
+
+    return OpinionProtocol(
+        states=states,
+        transitions=transitions,
+        input_states=("A",),
+        opinions=opinions,
+        leader_state="L0",
+        name=f"threshold>={k}",
+    )

@@ -1,0 +1,28 @@
+"""Quilt-affine functions (Definition 5.1) and eventually-min representations.
+
+A *quilt-affine* function ``g : N^d -> Z`` is a nondecreasing function of the
+form ``g(x) = ∇g · x + B(x mod p)`` where ``∇g`` is a nonnegative rational
+gradient and ``B`` is a periodic rational offset on the congruence classes
+``Z^d / p Z^d``.  These are the intrinsic building blocks of the paper's main
+characterization: an obliviously-computable function is eventually the minimum
+of finitely many quilt-affine functions (Theorem 5.2 / 7.1).
+"""
+
+from repro.quilt.quilt_affine import QuiltAffine, Residue, residue_of, all_residues
+from repro.quilt.eventually_min import EventuallyMin
+from repro.quilt.fitting import (
+    EventuallyPeriodic1D,
+    fit_eventually_quilt_affine_1d,
+    fit_quilt_affine,
+)
+
+__all__ = [
+    "QuiltAffine",
+    "Residue",
+    "residue_of",
+    "all_residues",
+    "EventuallyMin",
+    "EventuallyPeriodic1D",
+    "fit_eventually_quilt_affine_1d",
+    "fit_quilt_affine",
+]

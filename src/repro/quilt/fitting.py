@@ -1,0 +1,174 @@
+"""Inference of (eventually) quilt-affine structure from black-box samples.
+
+Theorem 3.1's construction needs, for a semilinear nondecreasing
+``f : N -> N``, the point ``n`` after which the function becomes quilt-affine,
+the period ``p``, and the periodic finite differences ``δ_0, ..., δ_{p-1}``
+(Fig. 5 of the paper).  :func:`fit_eventually_quilt_affine_1d` recovers that
+data from a callable by scanning finite differences until they repeat
+periodically, and :func:`fit_quilt_affine` recovers a multidimensional
+quilt-affine representation given a period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.quilt.quilt_affine import QuiltAffine
+
+
+@dataclass(frozen=True)
+class EventuallyPeriodic1D:
+    """The eventually quilt-affine structure of a 1D function (Fig. 5).
+
+    Attributes
+    ----------
+    start:
+        The smallest ``n`` such that for all ``x >= n``,
+        ``f(x+1) - f(x) = deltas[x mod period]``.
+    period:
+        The period ``p`` of the finite differences.
+    deltas:
+        The periodic finite differences ``δ_0, ..., δ_{p-1}`` indexed by
+        ``x mod p``.
+    initial_values:
+        The values ``f(0), ..., f(start)`` (inclusive), which the Theorem 3.1
+        construction outputs directly while the leader counts the input.
+    """
+
+    start: int
+    period: int
+    deltas: Tuple[int, ...]
+    initial_values: Tuple[int, ...]
+
+    def value(self, x: int) -> int:
+        """Evaluate the represented function at ``x``."""
+        if x < 0:
+            raise ValueError("inputs must be nonnegative")
+        if x <= self.start:
+            return self.initial_values[x]
+        total = self.initial_values[self.start]
+        for step in range(self.start, x):
+            total += self.deltas[step % self.period]
+        return total
+
+    def gradient(self) -> Fraction:
+        """The average slope ``(Σ δ_a) / p``, i.e. the gradient of the eventual quilt."""
+        return Fraction(sum(self.deltas), self.period)
+
+    def to_quilt_affine(self) -> QuiltAffine:
+        """The quilt-affine function agreeing with ``f`` for ``x >= start``.
+
+        The returned function may disagree with ``f`` below ``start`` (and may
+        even be negative there), exactly as in the paper where the eventual
+        quilt-affine pieces only describe large inputs.
+        """
+        gradient = self.gradient()
+        offsets = {}
+        for residue in range(self.period):
+            # Find a representative point >= start in this residue class.
+            x = self.start + ((residue - self.start) % self.period)
+            offsets[(residue,)] = Fraction(self.value(x)) - gradient * x
+        return QuiltAffine((gradient,), self.period, offsets, name="eventual", validate=False)
+
+
+def fit_eventually_quilt_affine_1d(
+    func: Callable[[int], int],
+    max_start: int = 200,
+    max_period: int = 36,
+    confirm_periods: int = 3,
+) -> EventuallyPeriodic1D:
+    """Recover the eventually-periodic finite-difference structure of a 1D function.
+
+    Parameters
+    ----------
+    func:
+        The function ``f : N -> N`` (assumed semilinear and nondecreasing; the
+        fit fails with ``ValueError`` otherwise).
+    max_start, max_period:
+        Search bounds for the start point ``n`` and period ``p``.
+    confirm_periods:
+        How many extra full periods of finite differences must match before the
+        fit is accepted.
+
+    Returns
+    -------
+    EventuallyPeriodic1D
+        The recovered structure, with the smallest ``(start, period)`` found.
+    """
+    horizon = max_start + max_period * (confirm_periods + 2)
+    values = [int(func(x)) for x in range(horizon + 1)]
+    if any(b < a for a, b in zip(values, values[1:])):
+        raise ValueError("the sampled function is not nondecreasing")
+    differences = [b - a for a, b in zip(values, values[1:])]
+
+    for start in range(max_start + 1):
+        for period in range(1, max_period + 1):
+            window = differences[start : start + period]
+            needed = start + period * (confirm_periods + 1)
+            if needed > len(differences):
+                continue
+            # Validate the candidate against every sampled finite difference, not
+            # just a short confirmation window: this rejects spurious small
+            # periods that only hold near the start of the sample.
+            consistent = True
+            for offset in range(start, len(differences)):
+                if differences[offset] != window[(offset - start) % period]:
+                    consistent = False
+                    break
+            if not consistent:
+                continue
+            # Reindex the deltas so that deltas[a] applies when x ≡ a (mod p).
+            deltas = [0] * period
+            for a in range(period):
+                deltas[(start + a) % period] = window[a]
+            return EventuallyPeriodic1D(
+                start=start,
+                period=period,
+                deltas=tuple(deltas),
+                initial_values=tuple(values[: start + 1]),
+            )
+    raise ValueError(
+        "could not find an eventually periodic finite-difference structure within "
+        f"start <= {max_start}, period <= {max_period}; is the function semilinear?"
+    )
+
+
+def fit_quilt_affine(
+    func: Callable[[Sequence[int]], int],
+    dimension: int,
+    period: int,
+    base_point: Optional[Sequence[int]] = None,
+    name: str = "",
+) -> QuiltAffine:
+    """Recover a quilt-affine representation of a callable with known period.
+
+    Thin wrapper over :meth:`QuiltAffine.from_callable`; raises ``ValueError``
+    when the samples are inconsistent with a quilt-affine function of the given
+    period.
+    """
+    return QuiltAffine.from_callable(func, dimension, period, base_point=base_point, name=name)
+
+
+def detect_period_1d(
+    func: Callable[[int], int],
+    start: int,
+    max_period: int = 36,
+    confirm_periods: int = 3,
+) -> Optional[int]:
+    """The smallest period of the finite differences of ``func`` beyond ``start``.
+
+    Returns ``None`` if no period up to ``max_period`` fits.
+    """
+    horizon = start + max_period * (confirm_periods + 2)
+    values = [int(func(x)) for x in range(start, horizon + 1)]
+    differences = [b - a for a, b in zip(values, values[1:])]
+    for period in range(1, max_period + 1):
+        window = differences[:period]
+        length = period * (confirm_periods + 1)
+        if length > len(differences):
+            break
+        if all(differences[i] == window[i % period] for i in range(length)):
+            return period
+    return None

@@ -1,0 +1,43 @@
+"""Semilinear sets, predicates, and semilinear (piecewise-affine) functions.
+
+This package implements Definition 2.5 (semilinear sets as finite Boolean
+combinations of threshold sets and mod sets) and Definition 2.6 (semilinear
+functions as finite unions of affine partial functions with disjoint semilinear
+domains), which together characterize the functions stably computable by any
+CRN (Lemma 2.7).
+"""
+
+from repro.semilinear.sets import (
+    SemilinearSet,
+    ThresholdSet,
+    ModSet,
+    UniversalSet,
+    EmptySet,
+    Union,
+    Intersection,
+    Complement,
+)
+from repro.semilinear.functions import AffinePiece, SemilinearFunction
+from repro.semilinear.predicates import (
+    SemilinearPredicate,
+    majority_predicate,
+    threshold_predicate,
+    parity_predicate,
+)
+
+__all__ = [
+    "SemilinearSet",
+    "ThresholdSet",
+    "ModSet",
+    "UniversalSet",
+    "EmptySet",
+    "Union",
+    "Intersection",
+    "Complement",
+    "AffinePiece",
+    "SemilinearFunction",
+    "SemilinearPredicate",
+    "majority_predicate",
+    "threshold_predicate",
+    "parity_predicate",
+]

@@ -1,0 +1,301 @@
+"""Semilinear subsets of N^d as Boolean combinations of threshold and mod sets.
+
+Definition 2.5 of the paper: a set ``S ⊆ N^d`` is semilinear if it is a finite
+Boolean combination (union, intersection, complement) of
+
+* threshold sets ``{x : a·x ≥ b}`` with ``a ∈ Z^d``, ``b ∈ Z``, and
+* mod sets ``{x : a·x ≡ b (mod c)}`` with ``a ∈ Z^d``, ``b ∈ Z``, ``c ∈ N+``.
+
+The classes here form an expression tree with membership testing, bounded
+enumeration, and extraction of the threshold hyperplanes / periods needed by
+the domain-decomposition machinery of Section 7.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Set, Tuple
+
+
+IntVector = Tuple[int, ...]
+
+
+def _dot(a: Sequence[int], x: Sequence[int]) -> int:
+    """Integer dot product."""
+    if len(a) != len(x):
+        raise ValueError(f"dimension mismatch: {len(a)} vs {len(x)}")
+    return sum(ai * xi for ai, xi in zip(a, x))
+
+
+class SemilinearSet(ABC):
+    """Abstract base class for semilinear-set expressions over N^d."""
+
+    dimension: int
+
+    @abstractmethod
+    def contains(self, x: Sequence[int]) -> bool:
+        """True if the integer point ``x`` belongs to the set."""
+
+    @abstractmethod
+    def atoms(self) -> List["SemilinearSet"]:
+        """All atomic threshold / mod sets appearing in the expression."""
+
+    def __contains__(self, x: Sequence[int]) -> bool:
+        return self.contains(x)
+
+    # -- Boolean algebra -----------------------------------------------------
+
+    def union(self, other: "SemilinearSet") -> "SemilinearSet":
+        """The union of this set with another."""
+        return Union(self, other)
+
+    def intersection(self, other: "SemilinearSet") -> "SemilinearSet":
+        """The intersection of this set with another."""
+        return Intersection(self, other)
+
+    def complement(self) -> "SemilinearSet":
+        """The complement of this set within N^d."""
+        return Complement(self)
+
+    def difference(self, other: "SemilinearSet") -> "SemilinearSet":
+        """Set difference ``self \\ other``."""
+        return Intersection(self, Complement(other))
+
+    def __or__(self, other: "SemilinearSet") -> "SemilinearSet":
+        return self.union(other)
+
+    def __and__(self, other: "SemilinearSet") -> "SemilinearSet":
+        return self.intersection(other)
+
+    def __invert__(self) -> "SemilinearSet":
+        return self.complement()
+
+    def __sub__(self, other: "SemilinearSet") -> "SemilinearSet":
+        return self.difference(other)
+
+    # -- structure extraction --------------------------------------------------
+
+    def threshold_atoms(self) -> List["ThresholdSet"]:
+        """All threshold atoms in the expression."""
+        return [atom for atom in self.atoms() if isinstance(atom, ThresholdSet)]
+
+    def mod_atoms(self) -> List["ModSet"]:
+        """All mod atoms in the expression."""
+        return [atom for atom in self.atoms() if isinstance(atom, ModSet)]
+
+    def global_period(self) -> int:
+        """The lcm of all mod-set moduli appearing in the expression (1 if none)."""
+        period = 1
+        for atom in self.mod_atoms():
+            period = _lcm(period, atom.modulus)
+        return period
+
+    # -- enumeration -----------------------------------------------------------
+
+    def enumerate_upto(self, bound: int) -> Iterator[IntVector]:
+        """Yield every member ``x`` of the set with all coordinates < ``bound``."""
+        for x in itertools.product(range(bound), repeat=self.dimension):
+            if self.contains(x):
+                yield x
+
+    def count_upto(self, bound: int) -> int:
+        """The number of members with all coordinates < ``bound``."""
+        return sum(1 for _ in self.enumerate_upto(bound))
+
+    def is_empty_upto(self, bound: int) -> bool:
+        """True if no member has all coordinates < ``bound`` (a bounded emptiness check)."""
+        return next(self.enumerate_upto(bound), None) is None
+
+
+def _lcm(a: int, b: int) -> int:
+    import math
+
+    return a * b // math.gcd(a, b)
+
+
+@dataclass(frozen=True)
+class ThresholdSet(SemilinearSet):
+    """The threshold set ``{x ∈ N^d : a·x ≥ b}``."""
+
+    coefficients: IntVector
+    bound: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "coefficients", tuple(int(c) for c in self.coefficients))
+        object.__setattr__(self, "dimension", len(self.coefficients))
+
+    def contains(self, x: Sequence[int]) -> bool:
+        return _dot(self.coefficients, x) >= self.bound
+
+    def atoms(self) -> List[SemilinearSet]:
+        return [self]
+
+    def boundary_hyperplane(self) -> Tuple[IntVector, int]:
+        """The pair ``(a, b)`` describing the boundary ``a·x = b``."""
+        return self.coefficients, self.bound
+
+    def __str__(self) -> str:
+        terms = " + ".join(f"{c}*x{i+1}" for i, c in enumerate(self.coefficients) if c != 0) or "0"
+        return f"{{x : {terms} >= {self.bound}}}"
+
+
+@dataclass(frozen=True)
+class ModSet(SemilinearSet):
+    """The mod set ``{x ∈ N^d : a·x ≡ b (mod c)}``."""
+
+    coefficients: IntVector
+    residue: int
+    modulus: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "coefficients", tuple(int(c) for c in self.coefficients))
+        object.__setattr__(self, "dimension", len(self.coefficients))
+        if self.modulus <= 0:
+            raise ValueError(f"mod-set modulus must be positive, got {self.modulus}")
+
+    def contains(self, x: Sequence[int]) -> bool:
+        return _dot(self.coefficients, x) % self.modulus == self.residue % self.modulus
+
+    def atoms(self) -> List[SemilinearSet]:
+        return [self]
+
+    def __str__(self) -> str:
+        terms = " + ".join(f"{c}*x{i+1}" for i, c in enumerate(self.coefficients) if c != 0) or "0"
+        return f"{{x : {terms} ≡ {self.residue} (mod {self.modulus})}}"
+
+
+@dataclass(frozen=True)
+class UniversalSet(SemilinearSet):
+    """All of N^d."""
+
+    dim: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dimension", self.dim)
+
+    def contains(self, x: Sequence[int]) -> bool:
+        if len(x) != self.dim:
+            raise ValueError(f"dimension mismatch: expected {self.dim}, got {len(x)}")
+        return True
+
+    def atoms(self) -> List[SemilinearSet]:
+        return []
+
+    def __str__(self) -> str:
+        return f"N^{self.dim}"
+
+
+@dataclass(frozen=True)
+class EmptySet(SemilinearSet):
+    """The empty subset of N^d."""
+
+    dim: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dimension", self.dim)
+
+    def contains(self, x: Sequence[int]) -> bool:
+        if len(x) != self.dim:
+            raise ValueError(f"dimension mismatch: expected {self.dim}, got {len(x)}")
+        return False
+
+    def atoms(self) -> List[SemilinearSet]:
+        return []
+
+    def __str__(self) -> str:
+        return "∅"
+
+
+class Union(SemilinearSet):
+    """Union of finitely many semilinear sets."""
+
+    def __init__(self, *members: SemilinearSet) -> None:
+        if not members:
+            raise ValueError("Union requires at least one member")
+        dims = {m.dimension for m in members}
+        if len(dims) != 1:
+            raise ValueError(f"all members of a Union must share a dimension, got {dims}")
+        self.members: Tuple[SemilinearSet, ...] = tuple(members)
+        self.dimension = members[0].dimension
+
+    def contains(self, x: Sequence[int]) -> bool:
+        return any(m.contains(x) for m in self.members)
+
+    def atoms(self) -> List[SemilinearSet]:
+        out: List[SemilinearSet] = []
+        for m in self.members:
+            out.extend(m.atoms())
+        return out
+
+    def __str__(self) -> str:
+        return "(" + " ∪ ".join(str(m) for m in self.members) + ")"
+
+
+class Intersection(SemilinearSet):
+    """Intersection of finitely many semilinear sets."""
+
+    def __init__(self, *members: SemilinearSet) -> None:
+        if not members:
+            raise ValueError("Intersection requires at least one member")
+        dims = {m.dimension for m in members}
+        if len(dims) != 1:
+            raise ValueError(f"all members of an Intersection must share a dimension, got {dims}")
+        self.members: Tuple[SemilinearSet, ...] = tuple(members)
+        self.dimension = members[0].dimension
+
+    def contains(self, x: Sequence[int]) -> bool:
+        return all(m.contains(x) for m in self.members)
+
+    def atoms(self) -> List[SemilinearSet]:
+        out: List[SemilinearSet] = []
+        for m in self.members:
+            out.extend(m.atoms())
+        return out
+
+    def __str__(self) -> str:
+        return "(" + " ∩ ".join(str(m) for m in self.members) + ")"
+
+
+class Complement(SemilinearSet):
+    """Complement of a semilinear set within N^d."""
+
+    def __init__(self, member: SemilinearSet) -> None:
+        self.member = member
+        self.dimension = member.dimension
+
+    def contains(self, x: Sequence[int]) -> bool:
+        return not self.member.contains(x)
+
+    def atoms(self) -> List[SemilinearSet]:
+        return self.member.atoms()
+
+    def __str__(self) -> str:
+        return f"¬{self.member}"
+
+
+def equality_set(coefficients: Sequence[int], value: int) -> SemilinearSet:
+    """The set ``{x : a·x = value}`` expressed as an intersection of two thresholds."""
+    coefficients = tuple(int(c) for c in coefficients)
+    negated = tuple(-c for c in coefficients)
+    return Intersection(
+        ThresholdSet(coefficients, value),
+        ThresholdSet(negated, -value),
+    )
+
+
+def box_set(lower: Sequence[int], upper: Sequence[int]) -> SemilinearSet:
+    """The axis-aligned box ``{x : lower ≤ x ≤ upper}`` (inclusive) as a semilinear set."""
+    lower = tuple(int(v) for v in lower)
+    upper = tuple(int(v) for v in upper)
+    if len(lower) != len(upper):
+        raise ValueError("lower and upper bounds must have the same dimension")
+    dimension = len(lower)
+    members: List[SemilinearSet] = []
+    for i in range(dimension):
+        unit = tuple(1 if j == i else 0 for j in range(dimension))
+        neg_unit = tuple(-1 if j == i else 0 for j in range(dimension))
+        members.append(ThresholdSet(unit, lower[i]))
+        members.append(ThresholdSet(neg_unit, -upper[i]))
+    return Intersection(*members)

@@ -1,0 +1,38 @@
+"""Simulators for discrete CRNs.
+
+Two schedulers are provided:
+
+* :class:`GillespieSimulator` — the exact stochastic simulation algorithm
+  (Gillespie 1977), which samples the continuous-time Markov process the paper
+  describes.  Used for kinetic experiments and benchmarks.
+* :class:`FairScheduler` — a rate-agnostic scheduler that repeatedly fires a
+  uniformly random applicable reaction.  Stable computation is defined purely
+  by reachability, so a fair random scheduler converges to the stable output
+  with probability 1; this scheduler is the workhorse of the empirical
+  verification harness for inputs too large for exhaustive search.
+"""
+
+from repro.sim.gillespie import GillespieSimulator, GillespieResult
+from repro.sim.fair import FairScheduler, FairRunResult
+from repro.sim.trajectory import Trajectory, TrajectoryPoint
+from repro.sim.runner import (
+    ConvergenceReport,
+    run_to_convergence,
+    run_many,
+    estimate_expected_output,
+    sweep_inputs,
+)
+
+__all__ = [
+    "GillespieSimulator",
+    "GillespieResult",
+    "FairScheduler",
+    "FairRunResult",
+    "Trajectory",
+    "TrajectoryPoint",
+    "ConvergenceReport",
+    "run_to_convergence",
+    "run_many",
+    "estimate_expected_output",
+    "sweep_inputs",
+]

@@ -1,0 +1,156 @@
+"""Exact stochastic simulation (Gillespie 1977) of discrete CRNs.
+
+The CRN model of the paper is a continuous-time Markov chain whose transition
+rates follow stochastic mass-action kinetics.  The Gillespie "direct method"
+samples this process exactly: at each step, the time to the next reaction is
+exponential with rate equal to the total propensity, and the reaction fired is
+chosen proportionally to its propensity.
+
+Stable computation is rate-independent, so the Gillespie simulator is used for
+kinetic experiments (time-to-convergence, overshoot dynamics) and throughput
+benchmarks rather than correctness proofs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.crn.configuration import Configuration
+from repro.crn.network import CRN
+from repro.crn.reaction import Reaction
+from repro.crn.species import Species
+from repro.sim.trajectory import Trajectory
+
+
+@dataclass
+class GillespieResult:
+    """Result of a single Gillespie simulation run."""
+
+    final_configuration: Configuration
+    final_time: float
+    steps: int
+    silent: bool
+    """True if the run ended because no reaction was applicable."""
+    trajectory: Optional[Trajectory] = None
+
+    def output_count(self, crn: CRN) -> int:
+        """Convenience accessor for the output-species count at the end of the run."""
+        return crn.output_count(self.final_configuration)
+
+
+class GillespieSimulator:
+    """Gillespie direct-method simulator for a fixed CRN.
+
+    Parameters
+    ----------
+    crn:
+        The network to simulate.
+    rng:
+        Optional :class:`random.Random` instance (for reproducibility).
+    """
+
+    def __init__(self, crn: CRN, rng: Optional[random.Random] = None) -> None:
+        self.crn = crn
+        self.rng = rng or random.Random()
+
+    def run(
+        self,
+        initial: Configuration,
+        max_steps: int = 1_000_000,
+        max_time: float = math.inf,
+        track: Sequence[Species] = (),
+        record_every: int = 1,
+        stop_when: Optional[Callable[[Configuration], bool]] = None,
+    ) -> GillespieResult:
+        """Simulate from ``initial`` until silence, a bound, or ``stop_when``.
+
+        Parameters
+        ----------
+        initial:
+            Starting configuration.
+        max_steps / max_time:
+            Upper bounds on the number of reactions fired / simulated time.
+        track:
+            Species whose counts should be recorded into a trajectory.
+        record_every:
+            Record a trajectory point every this many reaction events.
+        stop_when:
+            Optional predicate on the current configuration; the run stops as
+            soon as it returns True.
+        """
+        config = initial
+        time_now = 0.0
+        trajectory = Trajectory(track) if track else None
+        if trajectory is not None:
+            trajectory.record(time_now, 0, config)
+
+        steps = 0
+        silent = False
+        while steps < max_steps and time_now < max_time:
+            if stop_when is not None and stop_when(config):
+                break
+            propensities: List[float] = []
+            total = 0.0
+            for rxn in self.crn.reactions:
+                a = rxn.propensity(config)
+                propensities.append(a)
+                total += a
+            if total <= 0.0:
+                silent = True
+                break
+            time_now += self.rng.expovariate(total)
+            if time_now > max_time:
+                time_now = max_time
+                break
+            choice = self.rng.random() * total
+            cumulative = 0.0
+            fired: Optional[Reaction] = None
+            for rxn, a in zip(self.crn.reactions, propensities):
+                cumulative += a
+                if choice <= cumulative:
+                    fired = rxn
+                    break
+            if fired is None:  # numerical edge case: fall back to the last positive one
+                fired = next(
+                    rxn for rxn, a in zip(reversed(self.crn.reactions), reversed(propensities)) if a > 0
+                )
+            config = fired.apply(config)
+            steps += 1
+            if trajectory is not None and steps % record_every == 0:
+                trajectory.record(time_now, steps, config)
+
+        if trajectory is not None and (len(trajectory) == 0 or trajectory[-1].step != steps):
+            trajectory.record(time_now, steps, config)
+        return GillespieResult(
+            final_configuration=config,
+            final_time=time_now,
+            steps=steps,
+            silent=silent,
+            trajectory=trajectory,
+        )
+
+    def run_on_input(self, x: Sequence[int], **kwargs) -> GillespieResult:
+        """Simulate from the CRN's initial configuration for input ``x``."""
+        return self.run(self.crn.initial_configuration(x), **kwargs)
+
+    def expected_completion_time(
+        self,
+        x: Sequence[int],
+        trials: int = 20,
+        max_steps: int = 1_000_000,
+    ) -> float:
+        """Monte-Carlo estimate of the expected time until the CRN falls silent.
+
+        Returns ``math.inf`` if any trial fails to fall silent within
+        ``max_steps`` reactions (e.g. for CRNs with catalytic loops).
+        """
+        total = 0.0
+        for _ in range(trials):
+            result = self.run_on_input(x, max_steps=max_steps)
+            if not result.silent:
+                return math.inf
+            total += result.final_time
+        return total / trials

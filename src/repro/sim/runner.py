@@ -1,0 +1,136 @@
+"""High-level simulation runners and convergence reporting."""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.crn.configuration import Configuration
+from repro.crn.network import CRN
+from repro.sim.fair import FairRunResult, FairScheduler
+from repro.sim.gillespie import GillespieSimulator
+
+
+@dataclass
+class ConvergenceReport:
+    """Aggregate statistics over repeated runs of one CRN on one input."""
+
+    input_value: Tuple[int, ...]
+    outputs: List[int]
+    max_outputs: List[int]
+    steps: List[int]
+    all_silent_or_converged: bool
+
+    @property
+    def output_mode(self) -> int:
+        """The most frequent final output (ties broken by smallest value)."""
+        counts: Dict[int, int] = {}
+        for value in self.outputs:
+            counts[value] = counts.get(value, 0) + 1
+        best = max(counts.values())
+        return min(value for value, count in counts.items() if count == best)
+
+    @property
+    def output_unanimous(self) -> bool:
+        """True if every run ended with the same output count."""
+        return len(set(self.outputs)) == 1
+
+    @property
+    def mean_steps(self) -> float:
+        """Mean number of reactions fired per run."""
+        return statistics.fmean(self.steps) if self.steps else 0.0
+
+    @property
+    def max_overshoot(self) -> int:
+        """The largest amount by which any run's peak output exceeded its final output."""
+        return max(
+            (peak - final for peak, final in zip(self.max_outputs, self.outputs)),
+            default=0,
+        )
+
+
+def run_to_convergence(
+    crn: CRN,
+    x: Sequence[int],
+    max_steps: int = 1_000_000,
+    quiescence_window: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> FairRunResult:
+    """Run the fair scheduler once on input ``x`` until silence or quiescence.
+
+    The quiescence window defaults to a value scaled with the input size so
+    that catalytic CRNs (which never fall silent) still terminate.
+    """
+    if quiescence_window is None:
+        population = sum(int(v) for v in x) + 2
+        quiescence_window = max(200, 50 * population)
+    scheduler = FairScheduler(crn, rng=rng)
+    return scheduler.run_on_input(
+        x, max_steps=max_steps, quiescence_window=quiescence_window
+    )
+
+
+def run_many(
+    crn: CRN,
+    x: Sequence[int],
+    trials: int = 10,
+    max_steps: int = 1_000_000,
+    quiescence_window: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> ConvergenceReport:
+    """Run the fair scheduler several times on input ``x`` and aggregate results."""
+    rng = random.Random(seed)
+    outputs: List[int] = []
+    max_outputs: List[int] = []
+    steps: List[int] = []
+    all_done = True
+    for _ in range(trials):
+        result = run_to_convergence(
+            crn,
+            x,
+            max_steps=max_steps,
+            quiescence_window=quiescence_window,
+            rng=random.Random(rng.getrandbits(64)),
+        )
+        outputs.append(crn.output_count(result.final_configuration))
+        max_outputs.append(result.max_output_seen)
+        steps.append(result.steps)
+        if not (result.silent or result.converged):
+            all_done = False
+    return ConvergenceReport(
+        input_value=tuple(x),
+        outputs=outputs,
+        max_outputs=max_outputs,
+        steps=steps,
+        all_silent_or_converged=all_done,
+    )
+
+
+def estimate_expected_output(
+    crn: CRN,
+    x: Sequence[int],
+    trials: int = 20,
+    max_steps: int = 500_000,
+    seed: Optional[int] = None,
+) -> float:
+    """Monte-Carlo estimate of the expected final output under Gillespie kinetics."""
+    rng = random.Random(seed)
+    total = 0.0
+    for _ in range(trials):
+        simulator = GillespieSimulator(crn, rng=random.Random(rng.getrandbits(64)))
+        result = simulator.run_on_input(x, max_steps=max_steps)
+        total += crn.output_count(result.final_configuration)
+    return total / trials
+
+
+def sweep_inputs(
+    crn: CRN,
+    inputs: Iterable[Sequence[int]],
+    trials: int = 5,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> List[ConvergenceReport]:
+    """Run :func:`run_many` over a collection of inputs."""
+    return [run_many(crn, x, trials=trials, seed=seed, **kwargs) for x in inputs]

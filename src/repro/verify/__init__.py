@@ -1,0 +1,32 @@
+"""Empirical verification harness.
+
+Stable computation is a reachability property, checked here two ways:
+
+* exhaustively, by exploring the full reachability graph for small inputs
+  (:mod:`repro.crn.reachability`), and
+* statistically, by running the fair random scheduler repeatedly and checking
+  that every run converges to the expected output
+  (:func:`repro.verify.stable.verify_stable_computation`).
+
+The package also audits output-obliviousness, searches for overproduction
+witnesses (the failure mode of composing non-output-oblivious CRNs,
+Section 1.2), and checks compositions end to end.
+"""
+
+from repro.verify.oblivious import ObliviousnessReport, audit_output_oblivious
+from repro.verify.stable import InputVerification, VerificationReport, verify_stable_computation
+from repro.verify.overproduction import OverproductionWitness, find_overproduction, measure_overshoot
+from repro.verify.composition import CompositionReport, verify_composition
+
+__all__ = [
+    "ObliviousnessReport",
+    "audit_output_oblivious",
+    "InputVerification",
+    "VerificationReport",
+    "verify_stable_computation",
+    "OverproductionWitness",
+    "find_overproduction",
+    "measure_overshoot",
+    "CompositionReport",
+    "verify_composition",
+]

@@ -1,0 +1,73 @@
+"""End-to-end verification of composition by concatenation (Observation 2.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.crn.composition import concatenate
+from repro.crn.network import CRN
+from repro.verify.stable import VerificationReport, verify_stable_computation
+
+
+@dataclass
+class CompositionReport:
+    """Result of verifying a concatenated CRN against the composed function."""
+
+    upstream_name: str
+    downstream_name: str
+    upstream_output_oblivious: bool
+    verification: VerificationReport
+
+    @property
+    def passed(self) -> bool:
+        """True if the concatenation stably computed the composition on every tested input."""
+        return self.verification.passed
+
+    def describe(self) -> str:
+        """A human-readable summary."""
+        header = (
+            f"concatenation {self.downstream_name} ∘ {self.upstream_name} "
+            f"(upstream output-oblivious: {self.upstream_output_oblivious})"
+        )
+        return header + "\n" + self.verification.describe()
+
+
+def verify_composition(
+    upstream: CRN,
+    downstream: CRN,
+    upstream_function: Callable[[Sequence[int]], int],
+    downstream_function: Callable[[Sequence[int]], int],
+    inputs: Optional[Iterable[Sequence[int]]] = None,
+    require_output_oblivious: bool = True,
+    **verify_kwargs,
+) -> CompositionReport:
+    """Concatenate two CRNs and verify the result computes the composition.
+
+    ``downstream_function`` takes a single value (the upstream output); the
+    composed target is ``g(f(x))``.  When ``require_output_oblivious`` is
+    False, the concatenation is built even for a non-output-oblivious upstream
+    CRN — used to demonstrate the paper's Section 1.2 failure mode.
+    """
+    composed = concatenate(
+        upstream,
+        downstream,
+        require_output_oblivious=require_output_oblivious,
+    )
+
+    def target(x: Sequence[int]) -> int:
+        return int(downstream_function((int(upstream_function(x)),)))
+
+    verification = verify_stable_computation(
+        composed,
+        target,
+        inputs=inputs,
+        function_name=f"{downstream.name or 'g'}∘{upstream.name or 'f'}",
+        **verify_kwargs,
+    )
+    return CompositionReport(
+        upstream_name=upstream.name or "f",
+        downstream_name=downstream.name or "g",
+        upstream_output_oblivious=upstream.is_output_oblivious(),
+        verification=verification,
+    )

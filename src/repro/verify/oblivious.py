@@ -1,0 +1,60 @@
+"""Structural audits of output-obliviousness and output-monotonicity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.crn.network import CRN
+from repro.crn.reaction import Reaction
+
+
+@dataclass
+class ObliviousnessReport:
+    """The result of auditing a CRN's treatment of its output species."""
+
+    crn_name: str
+    output_species: str
+    output_oblivious: bool
+    output_monotonic: bool
+    consuming_reactions: Tuple[str, ...]
+    decreasing_reactions: Tuple[str, ...]
+
+    def composable_by_concatenation(self) -> bool:
+        """Whether the CRN can be composed downstream by renaming its output (Section 2.3)."""
+        return self.output_oblivious
+
+    def describe(self) -> str:
+        """A human-readable multi-line summary."""
+        lines = [
+            f"CRN {self.crn_name or '(unnamed)'} / output {self.output_species}",
+            f"  output-oblivious : {self.output_oblivious}",
+            f"  output-monotonic : {self.output_monotonic}",
+        ]
+        if self.consuming_reactions:
+            lines.append("  reactions consuming the output:")
+            lines.extend(f"    {rxn}" for rxn in self.consuming_reactions)
+        if self.decreasing_reactions:
+            lines.append("  reactions strictly decreasing the output:")
+            lines.extend(f"    {rxn}" for rxn in self.decreasing_reactions)
+        return "\n".join(lines)
+
+
+def audit_output_oblivious(crn: CRN) -> ObliviousnessReport:
+    """Audit which reactions of ``crn`` consume or decrease the output species."""
+    output = crn.output_species
+    consuming: List[str] = []
+    decreasing: List[str] = []
+    for rxn in crn.reactions:
+        if rxn.consumes(output):
+            consuming.append(str(rxn))
+        if rxn.net_change(output) < 0:
+            decreasing.append(str(rxn))
+    return ObliviousnessReport(
+        crn_name=crn.name,
+        output_species=output.name,
+        output_oblivious=not consuming,
+        output_monotonic=not decreasing,
+        consuming_reactions=tuple(consuming),
+        decreasing_reactions=tuple(decreasing),
+    )

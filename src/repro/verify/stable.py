@@ -1,0 +1,156 @@
+"""Stable-computation verification: exhaustive for small inputs, randomized beyond.
+
+The exhaustive check (:func:`repro.crn.reachability.check_stable_computation_at`)
+is exact but only feasible while the reachability graph is small.  For larger
+inputs the fair random scheduler is run repeatedly; every run of a correct CRN
+converges to the stable output with probability 1 (footnote 2 of the paper),
+so repeated disagreement is strong evidence of an incorrect construction while
+repeated agreement is strong evidence of correctness (it is not a proof, which
+is documented in DESIGN.md as the one substitution this reproduction makes).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.crn.network import CRN
+from repro.crn.reachability import check_stable_computation_at
+from repro.sim.runner import run_many
+
+
+@dataclass
+class InputVerification:
+    """Verification outcome for a single input vector."""
+
+    input_value: Tuple[int, ...]
+    expected: int
+    method: str
+    passed: bool
+    observed_outputs: Tuple[int, ...] = ()
+    detail: str = ""
+
+
+@dataclass
+class VerificationReport:
+    """Aggregated verification outcomes over a set of inputs."""
+
+    crn_name: str
+    function_name: str
+    results: List[InputVerification] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True if every input verified successfully."""
+        return all(result.passed for result in self.results)
+
+    def failures(self) -> List[InputVerification]:
+        """The inputs that failed verification."""
+        return [result for result in self.results if not result.passed]
+
+    def describe(self) -> str:
+        """A human-readable summary table."""
+        lines = [f"{self.crn_name} computing {self.function_name}: "
+                 f"{'PASS' if self.passed else 'FAIL'} ({len(self.results)} inputs)"]
+        for result in self.results:
+            status = "ok" if result.passed else "FAIL"
+            lines.append(
+                f"  {result.input_value} -> expected {result.expected} "
+                f"[{result.method}] {status} {result.detail}"
+            )
+        return "\n".join(lines)
+
+
+def default_input_grid(dimension: int, max_value: int = 3) -> List[Tuple[int, ...]]:
+    """The default verification grid ``[0, max_value]^d``."""
+    import itertools
+
+    return list(itertools.product(range(max_value + 1), repeat=dimension))
+
+
+def verify_stable_computation(
+    crn: CRN,
+    func: Callable[[Sequence[int]], int],
+    inputs: Optional[Iterable[Sequence[int]]] = None,
+    method: str = "auto",
+    exhaustive_limit: int = 20_000,
+    trials: int = 8,
+    max_steps: int = 400_000,
+    seed: Optional[int] = 7,
+    function_name: str = "",
+) -> VerificationReport:
+    """Verify that ``crn`` stably computes ``func`` on the given inputs.
+
+    Parameters
+    ----------
+    method:
+        ``"exhaustive"`` forces the exact reachability check, ``"simulation"``
+        forces the randomized fair-scheduler check, and ``"auto"`` (default)
+        tries the exhaustive check first and falls back to simulation when the
+        reachable set exceeds ``exhaustive_limit``.
+    """
+    if method not in ("auto", "exhaustive", "simulation"):
+        raise ValueError(f"unknown verification method {method!r}")
+    if inputs is None:
+        inputs = default_input_grid(crn.dimension)
+
+    report = VerificationReport(
+        crn_name=crn.name or "CRN", function_name=function_name or getattr(func, "__name__", "f")
+    )
+
+    for x in inputs:
+        x = tuple(int(v) for v in x)
+        expected = int(func(x))
+
+        if method in ("auto", "exhaustive"):
+            verdict = check_stable_computation_at(crn, x, expected, max_configurations=exhaustive_limit)
+            if verdict.conclusive:
+                report.results.append(
+                    InputVerification(
+                        input_value=x,
+                        expected=expected,
+                        method="exhaustive",
+                        passed=verdict.holds,
+                        detail=verdict.failure_reason,
+                    )
+                )
+                continue
+            if method == "exhaustive":
+                report.results.append(
+                    InputVerification(
+                        input_value=x,
+                        expected=expected,
+                        method="exhaustive",
+                        passed=False,
+                        detail=verdict.failure_reason,
+                    )
+                )
+                continue
+
+        convergence = run_many(
+            crn, x, trials=trials, max_steps=max_steps, seed=seed
+        )
+        passed = (
+            convergence.all_silent_or_converged
+            and convergence.output_unanimous
+            and convergence.outputs[0] == expected
+        )
+        detail = ""
+        if not convergence.all_silent_or_converged:
+            detail = "some runs did not converge within the step budget"
+        elif not convergence.output_unanimous:
+            detail = f"runs disagreed: {sorted(set(convergence.outputs))}"
+        elif convergence.outputs[0] != expected:
+            detail = f"converged to {convergence.outputs[0]}"
+        report.results.append(
+            InputVerification(
+                input_value=x,
+                expected=expected,
+                method="simulation",
+                passed=passed,
+                observed_outputs=tuple(convergence.outputs),
+                detail=detail,
+            )
+        )
+    return report

@@ -1,0 +1,22 @@
+"""Shared test configuration.
+
+Ensures the package is importable even when the editable install is absent
+(e.g. a fresh checkout without network access), and provides a deterministic
+random seed fixture.
+"""
+
+import os
+import random
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for simulation tests."""
+    return random.Random(12345)

@@ -1,0 +1,133 @@
+"""Tests for the function catalog and the structured paper examples."""
+
+import pytest
+
+from repro.core.superadditive import is_nondecreasing_upto
+from repro.crn.reachability import stably_computes_exhaustive
+from repro.functions.catalog import (
+    add_spec,
+    all_catalog_specs,
+    constant_spec,
+    double_spec,
+    floor_3x_over_2_spec,
+    identity_spec,
+    maximum_spec,
+    min_one_leaderless_crn,
+    min_one_spec,
+    minimum_spec,
+    quilt_2d_fig3b_spec,
+    threshold_capped_spec,
+)
+from repro.functions.paper_examples import (
+    all_paper_example_specs,
+    eq2_counterexample_spec,
+    fig4a_style_spec,
+    fig7_spec,
+    interior_min_plus_one_spec,
+)
+
+
+class TestCatalogConsistency:
+    @pytest.mark.parametrize("spec", all_catalog_specs(), ids=lambda s: s.name)
+    def test_semilinear_representation_agrees(self, spec):
+        assert spec.agrees_with_semilinear_upto(5)
+
+    @pytest.mark.parametrize("spec", all_catalog_specs(), ids=lambda s: s.name)
+    def test_eventually_min_representation_agrees(self, spec):
+        assert spec.agrees_with_eventually_min()
+
+    @pytest.mark.parametrize(
+        "spec", [s for s in all_catalog_specs() if s.expected_obliviously_computable], ids=lambda s: s.name
+    )
+    def test_expected_computable_functions_are_nondecreasing(self, spec):
+        assert spec.is_nondecreasing_upto(4)
+
+    def test_known_crns_output_obliviousness_labels(self):
+        assert minimum_spec().known_crn.is_output_oblivious()
+        assert double_spec().known_crn.is_output_oblivious()
+        assert min_one_spec().known_crn.is_output_oblivious()
+        assert floor_3x_over_2_spec().known_crn.is_output_oblivious()
+        assert not maximum_spec().known_crn.is_output_oblivious()
+        assert not min_one_leaderless_crn().is_output_oblivious()
+
+
+class TestKnownCrnsComputeTheirFunctions:
+    @pytest.mark.parametrize(
+        "spec, inputs",
+        [
+            (double_spec(), [(0,), (2,), (4,)]),
+            (identity_spec(), [(0,), (3,)]),
+            (add_spec(), [(0, 0), (2, 3)]),
+            (minimum_spec(), [(0, 2), (3, 1), (2, 2)]),
+            (maximum_spec(), [(0, 2), (3, 1), (2, 2)]),
+            (min_one_spec(), [(0,), (1,), (4,)]),
+            (floor_3x_over_2_spec(), [(0,), (1,), (4,), (5,)]),
+            (constant_spec(2), [(0,), (3,)]),
+        ],
+        ids=lambda value: value.name if hasattr(value, "name") else "",
+    )
+    def test_stable_computation(self, spec, inputs):
+        verdicts = stably_computes_exhaustive(spec.known_crn, spec.func, inputs)
+        assert all(v.holds and v.conclusive for v in verdicts), [
+            (v.input_value, v.failure_reason) for v in verdicts if not v.holds
+        ]
+
+    def test_min_one_leaderless_crn_computes_min1(self):
+        crn = min_one_leaderless_crn()
+        verdicts = stably_computes_exhaustive(crn, lambda x: min(1, x[0]), [(0,), (1,), (3,)])
+        assert all(v.holds and v.conclusive for v in verdicts)
+
+
+class TestPaperExamples:
+    def test_fig7_values(self):
+        spec = fig7_spec()
+        assert spec((2, 5)) == 3
+        assert spec((5, 2)) == 3
+        assert spec((4, 4)) == 4
+        assert spec.is_nondecreasing_upto(6)
+        assert spec.agrees_with_semilinear_upto(6)
+        assert spec.agrees_with_eventually_min()
+
+    def test_eq2_values_and_monotonicity(self):
+        spec = eq2_counterexample_spec()
+        assert spec((3, 3)) == 6
+        assert spec((3, 4)) == 8
+        assert spec.is_nondecreasing_upto(6)
+        assert spec.agrees_with_semilinear_upto(6)
+
+    def test_fig4a_style_structure(self):
+        spec = fig4a_style_spec()
+        assert spec((0, 5)) == 0
+        assert spec((1, 5)) == 1
+        assert spec((2, 2)) == 1
+        assert spec((5, 5)) == 4
+        assert spec.is_nondecreasing_upto(7)
+        assert spec.agrees_with_eventually_min()
+
+    def test_interior_min_plus_one(self):
+        spec = interior_min_plus_one_spec()
+        assert spec((0, 3)) == 0
+        assert spec((2, 3)) == 3
+        assert spec.is_nondecreasing_upto(6)
+        assert spec.agrees_with_eventually_min()
+
+    def test_quilt_2d_fig3b_nondecreasing(self):
+        spec = quilt_2d_fig3b_spec()
+        assert spec.is_nondecreasing_upto(6)
+
+    def test_restrictions_of_fig4a_are_simple(self):
+        spec = fig4a_style_spec()
+        edge = spec.restriction(0, 1)
+        assert [edge((t,)) for t in range(5)] == [0, 1, 1, 1, 1]
+        zero_edge = spec.restriction(1, 0)
+        assert all(zero_edge((t,)) == 0 for t in range(5))
+
+    def test_all_example_lists_nonempty(self):
+        assert len(all_catalog_specs()) >= 8
+        assert len(all_paper_example_specs()) == 4
+
+    def test_capped_spec_validation(self):
+        with pytest.raises(ValueError):
+            threshold_capped_spec(-1)
+        with pytest.raises(ValueError):
+            constant_spec(-2)

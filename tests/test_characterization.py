@@ -1,0 +1,121 @@
+"""Tests for the Theorem 5.2 / 5.4 decision procedure and the construction dispatcher."""
+
+import pytest
+
+from repro.core.characterization import build_crn_for, check_obliviously_computable
+from repro.core.specs import FunctionSpec
+from repro.functions.catalog import (
+    add_spec,
+    double_spec,
+    floor_3x_over_2_spec,
+    maximum_spec,
+    min_one_spec,
+    minimum_spec,
+    threshold_capped_spec,
+)
+from repro.functions.paper_examples import (
+    eq2_counterexample_spec,
+    fig4a_style_spec,
+    fig7_spec,
+    interior_min_plus_one_spec,
+)
+from repro.verify.stable import verify_stable_computation
+
+
+class TestPositiveVerdicts:
+    @pytest.mark.parametrize(
+        "spec_factory",
+        [double_spec, min_one_spec, floor_3x_over_2_spec, threshold_capped_spec],
+        ids=lambda f: f.__name__,
+    )
+    def test_1d_catalog_functions(self, spec_factory):
+        verdict = check_obliviously_computable(spec_factory())
+        assert verdict.obliviously_computable is True
+        assert verdict.conclusive
+
+    @pytest.mark.parametrize(
+        "spec_factory",
+        [minimum_spec, add_spec, fig7_spec, fig4a_style_spec, interior_min_plus_one_spec],
+        ids=lambda f: f.__name__,
+    )
+    def test_2d_obliviously_computable_functions(self, spec_factory):
+        verdict = check_obliviously_computable(spec_factory())
+        assert verdict.obliviously_computable is True, verdict.describe()
+        assert verdict.eventually_min is not None
+
+    def test_constant_zero_dimension(self):
+        verdict = check_obliviously_computable(FunctionSpec("c", 0, lambda x: 5))
+        assert verdict.obliviously_computable is True
+
+
+class TestNegativeVerdicts:
+    def test_max_is_not_obliviously_computable(self):
+        verdict = check_obliviously_computable(maximum_spec())
+        assert verdict.obliviously_computable is False
+        assert verdict.conclusive
+        assert verdict.witness is not None
+
+    def test_eq2_counterexample(self):
+        verdict = check_obliviously_computable(eq2_counterexample_spec())
+        assert verdict.obliviously_computable is False
+        assert verdict.witness is not None
+
+    def test_decreasing_function_rejected_by_condition_i(self):
+        spec = FunctionSpec("dec", 1, lambda x: max(0, 3 - x[0]))
+        verdict = check_obliviously_computable(spec)
+        assert verdict.obliviously_computable is False
+        assert any("condition (i)" in reason for reason in verdict.reasons)
+
+    def test_describe_mentions_verdict(self):
+        text = check_obliviously_computable(maximum_spec()).describe()
+        assert "NOT obliviously-computable" in text
+
+
+class TestInconclusive:
+    def test_bare_2d_spec_without_structure(self):
+        # min has no contradiction witness and we give the checker no structure to
+        # establish condition (ii), so the verdict must be inconclusive.
+        bare = FunctionSpec("bare-min", 2, lambda x: min(x))
+        verdict = check_obliviously_computable(bare, witness_terms=3)
+        assert verdict.obliviously_computable is None
+        assert not verdict.conclusive
+
+
+class TestBuildCrnFor:
+    def test_prefers_known_crn(self):
+        spec = minimum_spec()
+        assert build_crn_for(spec) is spec.known_crn
+
+    def test_general_construction_from_semilinear_only(self):
+        # Strip the explicit eventually-min and known CRN: the builder must decompose.
+        base = fig7_spec()
+        spec = FunctionSpec(
+            name=base.name, dimension=2, func=base.func, semilinear=base.semilinear
+        )
+        crn = build_crn_for(spec)
+        assert crn.is_output_oblivious()
+        report = verify_stable_computation(
+            crn, spec.func, inputs=[(0, 0), (1, 1), (2, 1), (1, 2)], exhaustive_limit=6_000, trials=4
+        )
+        assert report.passed, report.describe()
+
+    def test_1d_dispatch(self):
+        spec = FunctionSpec("cap", 1, lambda x: min(x[0], 2))
+        crn = build_crn_for(spec)
+        assert crn.dimension == 1 and crn.is_output_oblivious()
+
+    def test_failure_for_non_computable_function(self):
+        with pytest.raises(ValueError):
+            build_crn_for(
+                FunctionSpec(
+                    name="eq2",
+                    dimension=2,
+                    func=eq2_counterexample_spec().func,
+                    semilinear=eq2_counterexample_spec().semilinear,
+                ),
+                prefer_known=False,
+            )
+
+    def test_requires_some_structure_in_2d(self):
+        with pytest.raises(ValueError):
+            build_crn_for(FunctionSpec("bare", 2, lambda x: min(x)), prefer_known=False)

@@ -1,0 +1,102 @@
+"""Unit tests for composition by concatenation (Section 2.3)."""
+
+import pytest
+
+from repro.crn.composition import concatenate, fan_out_network, parallel_composition, rename_disjoint
+from repro.crn.network import CRN
+from repro.crn.reachability import stably_computes_exhaustive
+from repro.crn.species import Species, species
+from repro.functions.catalog import double_spec, maximum_spec, minimum_spec
+
+
+X, X1, X2, Y, W = species("X X1 X2 Y W")
+
+
+class TestConcatenate:
+    def test_two_min_of_doubles_composition(self):
+        # 2·min(x1, x2): min upstream, doubling downstream (the Section 1.2 example).
+        upstream = minimum_spec().known_crn
+        downstream = double_spec().known_crn
+        composed = concatenate(upstream, downstream)
+        verdicts = stably_computes_exhaustive(
+            composed, lambda x: 2 * min(x), [(0, 0), (1, 2), (2, 2), (3, 1)]
+        )
+        assert all(v.holds and v.conclusive for v in verdicts)
+
+    def test_composition_is_output_oblivious_when_both_are(self):
+        composed = concatenate(minimum_spec().known_crn, double_spec().known_crn)
+        assert composed.is_output_oblivious()
+
+    def test_requires_output_oblivious_upstream(self):
+        with pytest.raises(ValueError):
+            concatenate(maximum_spec().known_crn, double_spec().known_crn)
+
+    def test_non_oblivious_upstream_allowed_when_requested(self):
+        composed = concatenate(
+            maximum_spec().known_crn,
+            double_spec().known_crn,
+            require_output_oblivious=False,
+        )
+        assert composed.dimension == 2
+
+    def test_naive_max_doubling_concatenation_fails(self):
+        # The paper's Section 1.2 failure mode: doubling can lock in the overshoot,
+        # so the concatenation does not stably compute 2·max.
+        composed = concatenate(
+            maximum_spec().known_crn,
+            double_spec().known_crn,
+            require_output_oblivious=False,
+        )
+        verdicts = stably_computes_exhaustive(composed, lambda x: 2 * max(x), [(1, 1), (2, 1)])
+        assert any(not v.holds for v in verdicts)
+
+    def test_leader_split_reaction_added(self):
+        leader_crn = CRN([Species("L") + X >> Y], (X,), Y, leader=Species("L"), name="min1")
+        composed = concatenate(leader_crn, double_spec().known_crn)
+        assert composed.leader is not None
+        assert any(rxn.name == "leader-split" for rxn in composed.reactions)
+
+    def test_downstream_input_index_bounds(self):
+        with pytest.raises(ValueError):
+            concatenate(double_spec().known_crn, minimum_spec().known_crn, downstream_input_index=5)
+
+    def test_feed_forward_with_extra_upstream(self):
+        # min(2a, 2b): two doubling CRNs feed both inputs of the min CRN.
+        double_a = double_spec().known_crn
+        double_b = double_spec().known_crn
+        composed = concatenate(
+            double_a,
+            minimum_spec().known_crn,
+            downstream_input_index=0,
+            extra_upstream=[double_b],
+        )
+        assert composed.dimension == 2
+        verdicts = stably_computes_exhaustive(
+            composed, lambda x: min(2 * x[0], 2 * x[1]), [(0, 1), (1, 1), (2, 1)]
+        )
+        assert all(v.holds and v.conclusive for v in verdicts)
+
+
+class TestHelpers:
+    def test_rename_disjoint(self):
+        up, down = rename_disjoint(minimum_spec().known_crn, double_spec().known_crn)
+        assert not set(up.species()) & set(down.species())
+
+    def test_rename_disjoint_keeps_shared(self):
+        up, down = rename_disjoint(minimum_spec().known_crn, double_spec().known_crn, shared=[Y])
+        assert Y in set(up.species()) and Y in set(down.species())
+
+    def test_parallel_composition_disjoint(self):
+        parallel = parallel_composition([minimum_spec().known_crn, double_spec().known_crn])
+        assert parallel.dimension == 3
+        assert parallel.is_output_oblivious()
+
+    def test_fan_out_reactions(self):
+        copies = [Species("X_a"), Species("X_b")]
+        (rxn,) = fan_out_network(X, copies)
+        assert rxn.reactant_count(X) == 1
+        assert all(rxn.product_count(sp) == 1 for sp in copies)
+
+    def test_fan_out_requires_targets(self):
+        with pytest.raises(ValueError):
+            fan_out_network(X, [])

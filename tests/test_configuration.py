@@ -1,0 +1,102 @@
+"""Unit tests for Configuration arithmetic and ordering."""
+
+import pytest
+
+from repro.crn.configuration import Configuration
+from repro.crn.species import Species, species
+
+
+X, Y, Z = species("X Y Z")
+
+
+class TestConstruction:
+    def test_zero_counts_dropped(self):
+        config = Configuration({X: 0, Y: 2})
+        assert config[X] == 0
+        assert X not in config.support()
+        assert config[Y] == 2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Configuration({X: -1})
+
+    def test_non_integer_count_rejected(self):
+        with pytest.raises(TypeError):
+            Configuration({X: 1.5})
+
+    def test_from_counts_by_name(self):
+        config = Configuration.from_counts(X=3, Y=1)
+        assert config[Species("X")] == 3 and config[Species("Y")] == 1
+
+    def test_single_and_zero_constructors(self):
+        assert Configuration.single(X, 4)[X] == 4
+        assert Configuration.zero().total() == 0
+
+
+class TestArithmetic:
+    def test_addition(self):
+        a = Configuration({X: 1, Y: 2})
+        b = Configuration({Y: 3, Z: 1})
+        total = a + b
+        assert (total[X], total[Y], total[Z]) == (1, 5, 1)
+
+    def test_subtraction(self):
+        a = Configuration({X: 3, Y: 2})
+        b = Configuration({X: 1, Y: 2})
+        diff = a - b
+        assert diff[X] == 2 and diff[Y] == 0
+
+    def test_subtraction_underflow_rejected(self):
+        with pytest.raises(ValueError):
+            Configuration({X: 1}) - Configuration({X: 2})
+
+    def test_scaled(self):
+        assert Configuration({X: 2}).scaled(3)[X] == 6
+
+    def test_updated_replaces_count(self):
+        config = Configuration({X: 2}).updated(X, 5)
+        assert config[X] == 5
+        assert Configuration({X: 2}).updated(X, 0).total() == 0
+
+    def test_total(self):
+        assert Configuration({X: 2, Y: 3}).total() == 5
+
+
+class TestOrdering:
+    def test_pointwise_le(self):
+        small = Configuration({X: 1})
+        large = Configuration({X: 2, Y: 1})
+        assert small <= large
+        assert not large <= small
+        assert large >= small
+
+    def test_incomparable(self):
+        a = Configuration({X: 2})
+        b = Configuration({Y: 2})
+        assert not a <= b and not b <= a
+
+    def test_strict_inequality(self):
+        a = Configuration({X: 1})
+        b = Configuration({X: 1, Y: 1})
+        assert a < b and b > a
+        assert not a < a
+
+    def test_equality_and_hash(self):
+        assert Configuration({X: 1, Y: 0}) == Configuration({X: 1})
+        assert hash(Configuration({X: 1})) == hash(Configuration({X: 1, Y: 0}))
+
+    def test_additivity_of_order(self):
+        # If A <= B then A + C <= B + C (the additivity used throughout the paper).
+        a = Configuration({X: 1})
+        b = Configuration({X: 2, Y: 1})
+        c = Configuration({Z: 4, X: 1})
+        assert a <= b
+        assert a + c <= b + c
+
+
+class TestDisplay:
+    def test_str_sorted(self):
+        assert str(Configuration({Y: 2, X: 1})) == "{1 X, 2 Y}"
+
+    def test_empty_str(self):
+        assert str(Configuration.zero()) == "{}"

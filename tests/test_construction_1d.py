@@ -1,0 +1,104 @@
+"""Tests for the Theorem 3.1 (leader) and Theorem 9.2 (leaderless) 1D constructions."""
+
+import pytest
+
+from repro.core.construction_1d import build_1d_crn, construction_size_1d
+from repro.core.construction_leaderless import (
+    build_leaderless_1d_crn,
+    construction_size_leaderless,
+)
+from repro.crn.reachability import stably_computes_exhaustive
+from repro.quilt.fitting import fit_eventually_quilt_affine_1d
+from repro.verify.stable import verify_stable_computation
+
+
+def check_exhaustive(crn, func, values):
+    verdicts = stably_computes_exhaustive(crn, lambda x: func(x[0]), [(v,) for v in values])
+    assert all(v.holds and v.conclusive for v in verdicts), [
+        (v.input_value, v.failure_reason) for v in verdicts if not v.holds
+    ]
+
+
+class TestTheorem31:
+    def test_structure(self):
+        crn = build_1d_crn(lambda x: min(x, 3))
+        assert crn.is_output_oblivious()
+        assert crn.leader is not None
+        assert crn.dimension == 1
+
+    def test_min_with_cap(self):
+        crn = build_1d_crn(lambda x: min(x, 3))
+        check_exhaustive(crn, lambda x: min(x, 3), range(7))
+
+    def test_floor_function(self):
+        crn = build_1d_crn(lambda x: (3 * x) // 2)
+        check_exhaustive(crn, lambda x: (3 * x) // 2, range(7))
+
+    def test_constant_offset(self):
+        crn = build_1d_crn(lambda x: x + 4)
+        check_exhaustive(crn, lambda x: x + 4, range(5))
+
+    def test_irregular_prefix_then_periodic(self):
+        def func(x):
+            table = [1, 1, 2, 6]
+            if x < len(table):
+                return table[x]
+            return 6 + 3 * (x - 3) + (x - 3) // 2
+
+        crn = build_1d_crn(func)
+        check_exhaustive(crn, func, range(9))
+
+    def test_accepts_prefitted_structure(self):
+        structure = fit_eventually_quilt_affine_1d(lambda x: 2 * x + 1)
+        crn = build_1d_crn(structure)
+        check_exhaustive(crn, lambda x: 2 * x + 1, range(5))
+
+    def test_size_formula(self):
+        structure = fit_eventually_quilt_affine_1d(lambda x: min(x, 4))
+        size = construction_size_1d(structure)
+        assert size["species"] == 3 + structure.start + structure.period
+        assert size["reactions"] == 1 + structure.start + structure.period
+
+    def test_min_one_from_fig2(self):
+        crn = build_1d_crn(lambda x: min(1, x))
+        check_exhaustive(crn, lambda x: min(1, x), range(5))
+
+
+class TestTheorem92Leaderless:
+    def test_structure(self):
+        crn = build_leaderless_1d_crn(lambda x: 2 * x)
+        assert crn.is_output_oblivious()
+        assert crn.is_leaderless()
+
+    def test_linear_function(self):
+        crn = build_leaderless_1d_crn(lambda x: 2 * x)
+        check_exhaustive(crn, lambda x: 2 * x, range(5))
+
+    def test_floor_function(self):
+        crn = build_leaderless_1d_crn(lambda x: (3 * x) // 2)
+        check_exhaustive(crn, lambda x: (3 * x) // 2, range(6))
+
+    def test_superadditive_with_jump(self):
+        # f(x) = 0 for x < 3, 2(x-2) for x >= 3: superadditive, not linear.
+        def func(x):
+            return 0 if x < 3 else 2 * (x - 2)
+
+        crn = build_leaderless_1d_crn(func)
+        report = verify_stable_computation(
+            crn, lambda x: func(x[0]), inputs=[(v,) for v in range(7)], exhaustive_limit=8_000
+        )
+        assert report.passed
+
+    def test_rejects_non_superadditive(self):
+        with pytest.raises(ValueError):
+            build_leaderless_1d_crn(lambda x: min(1, x))
+
+    def test_rejects_nonzero_at_origin(self):
+        with pytest.raises(ValueError):
+            build_leaderless_1d_crn(lambda x: x + 1)
+
+    def test_size_formula(self):
+        structure = fit_eventually_quilt_affine_1d(lambda x: 3 * x)
+        size = construction_size_leaderless(structure)
+        crn = build_leaderless_1d_crn(lambda x: 3 * x)
+        assert len(crn.reactions) == size["reactions"]

@@ -1,0 +1,112 @@
+"""Tests for the Lemma 6.2 general construction and Observation 5.3 restrictions."""
+
+import pytest
+
+from repro.core.construction_general import build_general_crn, construction_size_general
+from repro.core.restrictions import hardcode_input
+from repro.core.specs import FunctionSpec
+from repro.crn.reachability import stably_computes_exhaustive
+from repro.functions.catalog import min_one_spec, minimum_spec
+from repro.functions.paper_examples import (
+    fig4a_style_spec,
+    fig7_spec,
+    interior_min_plus_one_spec,
+)
+from repro.verify.stable import verify_stable_computation
+
+
+class TestDispatch:
+    def test_1d_delegates_to_theorem_31(self):
+        spec = FunctionSpec("cap", 1, lambda x: min(x[0], 2))
+        crn = build_general_crn(spec)
+        verdicts = stably_computes_exhaustive(crn, lambda x: min(x[0], 2), [(v,) for v in range(5)])
+        assert all(v.holds and v.conclusive for v in verdicts)
+
+    def test_requires_eventually_min_in_2d(self):
+        spec = FunctionSpec("min", 2, lambda x: min(x))
+        with pytest.raises(ValueError):
+            build_general_crn(spec)
+
+    def test_zero_dimension_rejected(self):
+        spec = FunctionSpec("const", 0, lambda x: 3)
+        with pytest.raises(ValueError):
+            build_general_crn(spec)
+
+
+class TestThresholdZero:
+    def test_min_via_general_construction(self):
+        spec = minimum_spec()
+        crn = build_general_crn(spec)
+        assert crn.is_output_oblivious()
+        verdicts = stably_computes_exhaustive(
+            crn, lambda x: min(x), [(0, 0), (1, 0), (2, 1), (2, 3)], max_configurations=40_000
+        )
+        assert all(v.holds and v.conclusive for v in verdicts), [
+            (v.input_value, v.failure_reason) for v in verdicts if not v.holds
+        ]
+
+    def test_fig7_function_via_general_construction(self):
+        spec = fig7_spec()
+        crn = build_general_crn(spec)
+        assert crn.is_output_oblivious()
+        report = verify_stable_computation(
+            crn,
+            spec.func,
+            inputs=[(0, 0), (1, 1), (1, 2), (2, 1), (2, 2)],
+            exhaustive_limit=8_000,
+            trials=4,
+        )
+        assert report.passed, report.describe()
+
+
+class TestNonzeroThreshold:
+    def test_interior_min_plus_one(self):
+        spec = interior_min_plus_one_spec()
+        crn = build_general_crn(spec)
+        assert crn.is_output_oblivious()
+        report = verify_stable_computation(
+            crn,
+            spec.func,
+            inputs=[(0, 0), (0, 2), (1, 1), (2, 1), (2, 2)],
+            exhaustive_limit=6_000,
+            trials=4,
+        )
+        assert report.passed, report.describe()
+
+    def test_fig4a_style_function(self):
+        spec = fig4a_style_spec()
+        crn = build_general_crn(spec)
+        assert crn.is_output_oblivious()
+        report = verify_stable_computation(
+            crn,
+            spec.func,
+            inputs=[(0, 0), (1, 3), (2, 2), (3, 2), (3, 4)],
+            method="simulation",
+            trials=4,
+        )
+        assert report.passed, report.describe()
+
+    def test_size_grows_with_threshold(self):
+        small = construction_size_general(minimum_spec())
+        large = construction_size_general(fig4a_style_spec())
+        assert large["reactions"] > small["reactions"]
+        assert large["species"] > small["species"]
+
+
+class TestHardcodeInput:
+    def test_restriction_of_min(self):
+        spec = min_one_spec()
+        crn = hardcode_input(spec.known_crn, index=0, value=3)
+        # f(x) = min(1, x) with x hard-coded to 3 is the constant 1.
+        verdicts = stably_computes_exhaustive(crn, lambda x: 1, [(0,), (2,), (5,)])
+        assert all(v.holds and v.conclusive for v in verdicts)
+
+    def test_hardcode_requires_leader(self):
+        spec = minimum_spec()
+        with pytest.raises(ValueError):
+            hardcode_input(spec.known_crn, index=0, value=1)
+
+    def test_hardcoded_crn_stays_output_oblivious(self):
+        spec = min_one_spec()
+        crn = hardcode_input(spec.known_crn, index=0, value=2)
+        assert crn.is_output_oblivious()

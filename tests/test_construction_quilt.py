@@ -1,0 +1,64 @@
+"""Tests for the Lemma 6.1 construction (output-oblivious CRN for quilt-affine g)."""
+
+import pytest
+
+from repro.core.construction_quilt import build_quilt_affine_crn
+from repro.crn.reachability import stably_computes_exhaustive
+from repro.quilt.quilt_affine import QuiltAffine
+from repro.verify.stable import verify_stable_computation
+
+
+class TestStructure:
+    def test_output_oblivious_and_leader_driven(self):
+        crn = build_quilt_affine_crn(QuiltAffine.floor_linear((3,), 2))
+        assert crn.is_output_oblivious()
+        assert crn.leader is not None
+
+    def test_size_matches_theory(self):
+        # 1 initial reaction + d * p^d stepping reactions.
+        quilt = QuiltAffine((1, 2), 3, {(1, 2): -1, (2, 2): -1, (2, 1): -1})
+        crn = build_quilt_affine_crn(quilt)
+        assert len(crn.reactions) == 1 + 2 * 9
+
+    def test_negative_function_rejected(self):
+        negative = QuiltAffine((1,), 1, {(0,): -5}, validate=False)
+        with pytest.raises(ValueError):
+            build_quilt_affine_crn(negative)
+
+    def test_custom_input_names(self):
+        crn = build_quilt_affine_crn(
+            QuiltAffine.affine((1, 1), 0), input_names=["A", "B"], prefix="m_"
+        )
+        assert [sp.name for sp in crn.input_species] == ["A", "B"]
+        assert crn.output_species.name == "m_Y"
+
+
+class TestCorrectness:
+    def test_floor_3x_over_2_exhaustive(self):
+        crn = build_quilt_affine_crn(QuiltAffine.floor_linear((3,), 2))
+        verdicts = stably_computes_exhaustive(
+            crn, lambda x: (3 * x[0]) // 2, [(x,) for x in range(6)]
+        )
+        assert all(v.holds and v.conclusive for v in verdicts)
+
+    def test_affine_with_constant(self):
+        quilt = QuiltAffine.affine((2, 1), 3)
+        crn = build_quilt_affine_crn(quilt)
+        verdicts = stably_computes_exhaustive(
+            crn, lambda x: 2 * x[0] + x[1] + 3, [(0, 0), (1, 2), (2, 1)]
+        )
+        assert all(v.holds and v.conclusive for v in verdicts)
+
+    def test_fig3b_2d_quilt(self):
+        quilt = QuiltAffine((1, 2), 3, {(1, 2): -1, (2, 2): -1, (2, 1): -1})
+        crn = build_quilt_affine_crn(quilt)
+        report = verify_stable_computation(
+            crn, quilt, inputs=[(0, 0), (1, 2), (2, 2), (3, 1), (4, 4)], exhaustive_limit=5_000
+        )
+        assert report.passed
+
+    def test_period_one_catalytic_self_loop(self):
+        # Period 1 means the single leader state reacts with inputs as a catalyst.
+        crn = build_quilt_affine_crn(QuiltAffine.affine((1,), 0))
+        verdicts = stably_computes_exhaustive(crn, lambda x: x[0], [(0,), (3,), (5,)])
+        assert all(v.holds and v.conclusive for v in verdicts)

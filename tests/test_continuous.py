@@ -1,0 +1,102 @@
+"""Tests for the continuous CRN substrate and the Theorem 8.2 correspondence."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.continuous.construction import build_min_of_linear_continuous_crn
+from repro.continuous.crn import ContinuousCRN, ContinuousReaction
+from repro.continuous.functions import LinearFunction, MinOfLinear, PiecewiseRationalLinear
+from repro.core.scaling import scaling_of_eventually_min
+from repro.crn.species import Species
+from repro.functions.paper_examples import fig7_spec
+
+
+class TestFunctions:
+    def test_linear_function(self):
+        linear = LinearFunction((Fraction(1, 2), Fraction(2)))
+        assert linear((2, 1)) == Fraction(3)
+        assert linear.is_nonnegative()
+
+    def test_min_of_linear(self):
+        target = MinOfLinear.from_gradients([(1, 0), (0, 1)])
+        assert target((3, 5)) == 3
+        assert target.is_superadditive_on([((1, 2), (2, 1)), ((0, 1), (1, 0))])
+
+    def test_min_of_linear_validation(self):
+        with pytest.raises(ValueError):
+            MinOfLinear(())
+        with pytest.raises(ValueError):
+            MinOfLinear((LinearFunction((1,)), LinearFunction((1, 1))))
+
+    def test_piecewise_rational_linear_faces(self):
+        func = PiecewiseRationalLinear(
+            2,
+            {
+                frozenset(): MinOfLinear.from_gradients([(1, 0), (0, 1)]),
+                frozenset({0}): MinOfLinear.from_gradients([(0,)]),
+                frozenset({1}): MinOfLinear.from_gradients([(0,)]),
+            },
+            name="min-like",
+        )
+        assert func((2, 3)) == 2
+        assert func((0, 5)) == 0
+        assert func((0, 0)) == 0
+        assert func.is_superadditive_on([((1, 1), (2, 2)), ((0, 1), (1, 0))])
+        assert func.is_positive_continuous_on_rays([(1, 2), (0, 3)])
+
+    def test_undefined_face_rejected(self):
+        func = PiecewiseRationalLinear(2, {frozenset(): MinOfLinear.from_gradients([(1, 1)])})
+        with pytest.raises(ValueError):
+            func((0, 1))
+
+    def test_face_dimension_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseRationalLinear(2, {frozenset({0}): MinOfLinear.from_gradients([(1, 1)])})
+
+
+class TestContinuousCRN:
+    def test_min_reaction_lp(self):
+        x1, x2, y = Species("X1"), Species("X2"), Species("Y")
+        crn = ContinuousCRN(
+            [ContinuousReaction.build({x1: 1, x2: 1}, {y: 1})], (x1, x2), y, name="min"
+        )
+        assert crn.is_output_oblivious()
+        assert crn.max_output((2.0, 5.0)) == pytest.approx(2.0)
+
+    def test_doubling_lp(self):
+        x, y = Species("X"), Species("Y")
+        crn = ContinuousCRN([ContinuousReaction.build({x: 1}, {y: 2})], (x,), y)
+        assert crn.max_output((3.0,)) == pytest.approx(6.0)
+
+    def test_output_consuming_network_detected(self):
+        x, y = Species("X"), Species("Y")
+        crn = ContinuousCRN(
+            [ContinuousReaction.build({x: 1}, {y: 1}), ContinuousReaction.build({y: 2}, {y: 1})],
+            (x,),
+            y,
+        )
+        assert not crn.is_output_oblivious()
+
+
+class TestMinOfLinearConstruction:
+    def test_matches_target_function(self):
+        target = MinOfLinear.from_gradients([(1, 0), (0, 1), (Fraction(1, 2), Fraction(1, 2))])
+        crn = build_min_of_linear_continuous_crn(target)
+        assert crn.is_output_oblivious()
+        for point in [(2.0, 2.0), (1.0, 4.0), (6.0, 2.0)]:
+            assert crn.max_output(point) == pytest.approx(float(target(point)))
+
+    def test_rejects_negative_gradients(self):
+        with pytest.raises(ValueError):
+            build_min_of_linear_continuous_crn(MinOfLinear.from_gradients([(1, -1)]))
+
+    def test_scaling_limit_correspondence_for_fig7(self):
+        # Theorem 8.2: the ∞-scaling of the Fig. 7 function is computable by a
+        # continuous output-oblivious CRN built from the piece gradients.
+        spec = fig7_spec()
+        gradients = [piece.gradient for piece in spec.eventually_min.pieces]
+        continuous = build_min_of_linear_continuous_crn(MinOfLinear.from_gradients(gradients))
+        for point in [(1.0, 1.0), (1.0, 3.0), (4.0, 2.0)]:
+            expected = float(scaling_of_eventually_min(spec.eventually_min, [Fraction(v) for v in point]))
+            assert continuous.max_output(point) == pytest.approx(expected, abs=1e-6)

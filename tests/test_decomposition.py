@@ -1,0 +1,88 @@
+"""Tests for the Section 7 domain decomposition."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.decomposition import decompose
+from repro.functions.catalog import maximum_spec, minimum_spec, threshold_capped_spec
+from repro.functions.paper_examples import eq2_counterexample_spec, fig7_spec
+
+
+class TestMinDecomposition:
+    def test_min_decomposes_into_two_determined_pieces(self):
+        result = decompose(minimum_spec())
+        assert result.succeeded()
+        assert len(result.determined) == 2
+        assert not result.under_determined_eventual
+        gradients = {piece.extension.gradient for piece in result.extensions}
+        assert gradients == {(Fraction(1), Fraction(0)), (Fraction(0), Fraction(1))}
+
+    def test_min_eventually_min_agrees_with_function(self):
+        result = decompose(minimum_spec())
+        assert result.eventually_min.agrees_with(lambda x: min(x))
+
+    def test_summary_structure(self):
+        summary = decompose(minimum_spec()).summary()
+        assert summary["succeeded"]
+        assert summary["regions"] == 2
+        assert summary["pieces"] == 2
+
+
+class TestMaxDecomposition:
+    def test_max_fails_lemma_79(self):
+        result = decompose(maximum_spec())
+        assert not result.succeeded()
+        assert "Lemma 7.9" in result.failure_reason or "dominate" in result.failure_reason
+
+
+class TestFig7Decomposition:
+    def test_three_regions_classified(self):
+        result = decompose(fig7_spec())
+        assert len(result.regions) == 3
+        assert len(result.determined) == 2
+        assert len(result.under_determined_eventual) == 1
+
+    def test_determined_extensions_are_x_plus_one(self):
+        result = decompose(fig7_spec())
+        determined = [item.extension for item in result.extensions if item.determined]
+        values = sorted(ext((4, 7)) for ext in determined)
+        assert values == [5, 8]   # x1 + 1 and x2 + 1 at (4, 7)
+
+    def test_under_determined_extension_is_ceiling_average(self):
+        result = decompose(fig7_spec())
+        assert result.succeeded()
+        averaged = [item.extension for item in result.extensions if not item.determined]
+        assert len(averaged) == 1
+        extension = averaged[0]
+        # gU = ceil((x1 + x2) / 2): the gradient is the average of (1,0) and (0,1).
+        assert extension.gradient == (Fraction(1, 2), Fraction(1, 2))
+        for point in [(3, 3), (4, 4), (3, 4), (6, 2)]:
+            assert extension(point) == -((-point[0] - point[1]) // 2)
+
+    def test_eventually_min_matches_paper(self):
+        result = decompose(fig7_spec())
+        spec = fig7_spec()
+        assert result.eventually_min.agrees_with(spec.func)
+        assert len(result.eventually_min.pieces) == 3
+
+
+class TestEq2Counterexample:
+    def test_depressed_diagonal_fails(self):
+        result = decompose(eq2_counterexample_spec())
+        assert not result.succeeded()
+        assert "under-determined" in result.failure_reason or "dominate" in result.failure_reason
+
+
+class TestOneDimensional:
+    def test_capped_min_decomposes(self):
+        result = decompose(threshold_capped_spec(3))
+        assert result.succeeded()
+        assert result.eventually_min.agrees_with(lambda x: min(x[0], 3))
+
+    def test_requires_semilinear_representation(self):
+        from repro.core.specs import FunctionSpec
+
+        bare = FunctionSpec("bare", 2, lambda x: min(x))
+        with pytest.raises(ValueError):
+            decompose(bare)

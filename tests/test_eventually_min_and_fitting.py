@@ -1,0 +1,134 @@
+"""Unit tests for eventually-min representations and quilt-affine fitting."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.quilt.eventually_min import EventuallyMin
+from repro.quilt.fitting import (
+    detect_period_1d,
+    fit_eventually_quilt_affine_1d,
+    fit_quilt_affine,
+)
+from repro.quilt.quilt_affine import QuiltAffine
+
+
+class TestEventuallyMin:
+    def make_min_rep(self):
+        return EventuallyMin(
+            [QuiltAffine.affine((1, 0), 0), QuiltAffine.affine((0, 1), 0)], (0, 0), name="min"
+        )
+
+    def test_evaluation(self):
+        rep = self.make_min_rep()
+        assert rep((3, 5)) == 3 and rep((7, 2)) == 2
+
+    def test_minimizing_piece(self):
+        rep = self.make_min_rep()
+        assert rep.minimizing_piece((1, 9)).gradient == (Fraction(1), Fraction(0))
+
+    def test_agrees_with(self):
+        rep = self.make_min_rep()
+        assert rep.agrees_with(lambda x: min(x))
+        assert not rep.agrees_with(lambda x: max(x))
+
+    def test_threshold_respected_in_agreement(self):
+        # f equals the min only beyond the threshold (1,1); below it f is 0.
+        rep = EventuallyMin(
+            [QuiltAffine.affine((1, 0), 1), QuiltAffine.affine((0, 1), 1)], (1, 1)
+        )
+
+        def func(x):
+            if x[0] == 0 or x[1] == 0:
+                return 0
+            return min(x) + 1
+
+        assert rep.agrees_with(func)
+        assert rep.in_eventual_region((1, 1)) and not rep.in_eventual_region((0, 5))
+
+    def test_dominates(self):
+        rep = self.make_min_rep()
+        assert rep.dominates(lambda x: min(x))
+        assert not rep.dominates(lambda x: max(x))
+
+    def test_common_period(self):
+        rep = EventuallyMin(
+            [QuiltAffine.floor_linear((3,), 2), QuiltAffine.floor_linear((2,), 3)], (0,)
+        )
+        assert rep.common_period() == 6
+
+    def test_translated_pieces_nonnegative(self):
+        rep = EventuallyMin(
+            [QuiltAffine((1, 1), 2, {(0, 0): -2, (1, 1): -2, (1, 0): -1, (0, 1): -1}, validate=False)],
+            (2, 2),
+        )
+        assert rep.nonnegative_after_translation()
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            EventuallyMin([QuiltAffine.affine((1,), 0)], (0, 0))
+
+    def test_empty_pieces_rejected(self):
+        with pytest.raises(ValueError):
+            EventuallyMin([], (0,))
+
+
+class Test1DFitting:
+    def test_fit_linear(self):
+        structure = fit_eventually_quilt_affine_1d(lambda x: 2 * x)
+        assert structure.start == 0 and structure.period == 1
+        assert structure.deltas == (2,)
+
+    def test_fit_floor_function(self):
+        structure = fit_eventually_quilt_affine_1d(lambda x: (3 * x) // 2)
+        assert structure.period == 2
+        assert sorted(structure.deltas) == [1, 2]
+        assert structure.gradient() == Fraction(3, 2)
+        for x in range(12):
+            assert structure.value(x) == (3 * x) // 2
+
+    def test_fit_with_irregular_prefix(self):
+        def func(x):
+            table = [0, 0, 1, 5]
+            if x < len(table):
+                return table[x]
+            return 5 + 2 * (x - 3)
+
+        structure = fit_eventually_quilt_affine_1d(func)
+        for x in range(20):
+            assert structure.value(x) == func(x)
+
+    def test_fit_capped_function(self):
+        structure = fit_eventually_quilt_affine_1d(lambda x: min(x, 3))
+        assert structure.deltas == (0,)
+        assert structure.start <= 3 + 1
+
+    def test_decreasing_function_rejected(self):
+        with pytest.raises(ValueError):
+            fit_eventually_quilt_affine_1d(lambda x: max(0, 5 - x))
+
+    def test_non_semilinear_function_rejected(self):
+        with pytest.raises(ValueError):
+            fit_eventually_quilt_affine_1d(lambda x: x * x, max_start=10, max_period=5)
+
+    def test_to_quilt_affine_matches_eventually(self):
+        structure = fit_eventually_quilt_affine_1d(lambda x: (3 * x) // 2 + (1 if x > 4 else 0))
+        quilt = structure.to_quilt_affine()
+        for x in range(structure.start, structure.start + 10):
+            assert quilt((x,)) == structure.value(x)
+
+    def test_detect_period(self):
+        assert detect_period_1d(lambda x: (3 * x) // 2, start=0) == 2
+        assert detect_period_1d(lambda x: x * x, start=0, max_period=4) is None
+
+
+class TestMultidimensionalFitting:
+    def test_fit_quilt_affine_2d(self):
+        original = QuiltAffine((1, 2), 3, {(1, 2): -1, (2, 2): -1, (2, 1): -1})
+        recovered = fit_quilt_affine(original, 2, 3)
+        assert recovered == original
+
+    def test_fit_rejects_wrong_period(self):
+        original = QuiltAffine.floor_linear((1, 1), 3)
+        with pytest.raises(ValueError):
+            fit_quilt_affine(original, 2, 2)

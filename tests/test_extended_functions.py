@@ -1,0 +1,102 @@
+"""Tests for the extended function catalog (3D functions, weighted floors, tropical polynomials)."""
+
+import pytest
+
+from repro.core.characterization import check_obliviously_computable
+from repro.core.construction_general import build_general_crn
+from repro.core.construction_quilt import build_quilt_affine_crn
+from repro.core.scaling import scaling_of_eventually_min
+from repro.crn.reachability import stably_computes_exhaustive
+from repro.functions.extended import (
+    all_extended_specs,
+    capped_sum_spec,
+    min3_with_offset_spec,
+    minimum_3d_spec,
+    tropical_polynomial_spec,
+    weighted_floor_spec,
+)
+from repro.verify.stable import verify_stable_computation
+
+
+class TestSpecConsistency:
+    @pytest.mark.parametrize("spec", all_extended_specs(), ids=lambda s: s.name)
+    def test_eventually_min_agrees(self, spec):
+        assert spec.agrees_with_eventually_min()
+
+    @pytest.mark.parametrize("spec", all_extended_specs(), ids=lambda s: s.name)
+    def test_nondecreasing(self, spec):
+        assert spec.is_nondecreasing_upto(4)
+
+    @pytest.mark.parametrize("spec", all_extended_specs(), ids=lambda s: s.name)
+    def test_characterization_positive(self, spec):
+        verdict = check_obliviously_computable(spec, monotonicity_bound=4)
+        assert verdict.obliviously_computable is True, verdict.describe()
+
+
+class TestThreeInputFunctions:
+    def test_min3_known_crn(self):
+        spec = minimum_3d_spec()
+        verdicts = stably_computes_exhaustive(
+            spec.known_crn, spec.func, [(0, 1, 2), (2, 2, 2), (3, 1, 4)]
+        )
+        assert all(v.holds and v.conclusive for v in verdicts)
+
+    def test_min3_general_construction(self):
+        spec = minimum_3d_spec()
+        crn = build_general_crn(spec)
+        assert crn.is_output_oblivious()
+        report = verify_stable_computation(
+            crn, spec.func, inputs=[(0, 1, 1), (1, 1, 1), (2, 1, 3)], exhaustive_limit=30_000, trials=3
+        )
+        assert report.passed, report.describe()
+
+    def test_min3_with_average_cap_values(self):
+        spec = min3_with_offset_spec()
+        assert spec((0, 0, 0)) == 1
+        assert spec((3, 3, 3)) == 4
+        assert spec((1, 5, 5)) == 2
+        assert spec((2, 3, 4)) == 3   # ceil(9/3)+1 = 4 vs min+1 = 3
+
+    def test_min3_with_average_cap_simulation(self):
+        spec = min3_with_offset_spec()
+        crn = build_general_crn(spec)
+        report = verify_stable_computation(
+            crn, spec.func, inputs=[(1, 1, 1), (2, 3, 4)], method="simulation", trials=3
+        )
+        assert report.passed, report.describe()
+
+
+class TestTwoInputExtensions:
+    def test_weighted_floor_lemma61(self):
+        spec = weighted_floor_spec()
+        crn = build_quilt_affine_crn(spec.eventually_min.pieces[0])
+        report = verify_stable_computation(
+            crn, spec.func, inputs=[(0, 0), (1, 1), (3, 2), (2, 3)], exhaustive_limit=10_000, trials=3
+        )
+        assert report.passed, report.describe()
+
+    def test_capped_sum_general_construction(self):
+        spec = capped_sum_spec(4)
+        crn = build_general_crn(spec)
+        verdicts = stably_computes_exhaustive(
+            crn, spec.func, [(0, 0), (2, 1), (3, 3)], max_configurations=30_000
+        )
+        assert all(v.holds and v.conclusive for v in verdicts)
+
+    def test_tropical_polynomial_general_construction(self):
+        spec = tropical_polynomial_spec()
+        crn = build_general_crn(spec)
+        report = verify_stable_computation(
+            crn, spec.func, inputs=[(0, 0), (1, 2), (3, 1)], exhaustive_limit=20_000, trials=3
+        )
+        assert report.passed, report.describe()
+
+    def test_scaling_limits(self):
+        spec = tropical_polynomial_spec()
+        assert scaling_of_eventually_min(spec.eventually_min, (1, 1)) == 2
+        # The constant offsets vanish in the limit: min(2·1, 1+4, 2·4) = 2.
+        assert scaling_of_eventually_min(spec.eventually_min, (1, 4)) == 2
+
+    def test_capped_sum_validation(self):
+        with pytest.raises(ValueError):
+            capped_sum_spec(-1)

@@ -1,0 +1,105 @@
+"""Failure-injection tests: the verification harness must catch broken constructions.
+
+Each test takes a known-correct CRN, injects a realistic bug (dropping a
+reaction, corrupting a stoichiometric coefficient, mis-wiring a composition,
+deleting the leader), and asserts that the stable-computation verifier reports
+a failure.  This guards against the harness silently passing everything.
+"""
+
+import pytest
+
+from repro.core.construction_1d import build_1d_crn
+from repro.core.construction_quilt import build_quilt_affine_crn
+from repro.crn.network import CRN
+from repro.crn.reaction import Reaction
+from repro.crn.species import Species, species
+from repro.functions.catalog import double_spec, minimum_spec
+from repro.quilt.quilt_affine import QuiltAffine
+from repro.verify.stable import verify_stable_computation
+
+
+X, X1, X2, Y, W = species("X X1 X2 Y W")
+
+
+def drop_reaction(crn: CRN, index: int) -> CRN:
+    """A copy of ``crn`` with the reaction at ``index`` removed."""
+    kept = [rxn for i, rxn in enumerate(crn.reactions) if i != index]
+    return CRN(kept, crn.input_species, crn.output_species, leader=crn.leader, name=crn.name + "-broken")
+
+
+class TestDroppedReactions:
+    def test_dropping_the_only_reaction_of_min(self):
+        broken = drop_reaction(minimum_spec().known_crn, 0)
+        report = verify_stable_computation(broken, lambda x: min(x), inputs=[(1, 2)])
+        assert not report.passed
+
+    def test_dropping_a_periodic_reaction_from_theorem31(self):
+        crn = build_1d_crn(lambda x: (3 * x) // 2)
+        # Drop the last (periodic) reaction: large inputs now under-produce.
+        broken = drop_reaction(crn, len(crn.reactions) - 1)
+        report = verify_stable_computation(
+            broken, lambda x: (3 * x[0]) // 2, inputs=[(4,), (5,)], exhaustive_limit=10_000
+        )
+        assert not report.passed
+
+
+class TestCorruptedStoichiometry:
+    def test_doubling_crn_that_triples(self):
+        corrupted = CRN([X >> 3 * Y], (X,), Y, name="not-really-2x")
+        report = verify_stable_computation(corrupted, lambda x: 2 * x[0], inputs=[(2,)])
+        assert not report.passed
+
+    def test_quilt_construction_with_wrong_offset(self):
+        correct = QuiltAffine.floor_linear((3,), 2)
+        wrong = QuiltAffine((correct.gradient[0],), 2, {(0,): 0, (1,): Fraction_half()}, validate=False)
+        crn = build_quilt_affine_crn(wrong)
+        report = verify_stable_computation(
+            crn, lambda x: (3 * x[0]) // 2, inputs=[(1,), (3,)], exhaustive_limit=5_000
+        )
+        assert not report.passed
+
+
+def Fraction_half():
+    from fractions import Fraction
+
+    return Fraction(1, 2)
+
+
+class TestMisWiredComposition:
+    def test_missing_leader_split(self):
+        # A composition whose downstream leader is never released can never finish
+        # producing the constant part of its output.
+        L, Lg = Species("L"), Species("Lg")
+        upstream = minimum_spec().known_crn
+        downstream = CRN([Lg + W >> Y + Lg + Y], (W,), Y, leader=Lg, name="needs-leader")
+        # Wire upstream output to W but "forget" to create Lg (no leader-split reaction).
+        wired_upstream = upstream.with_output(W).with_prefix("u_", keep=[W])
+        combined = CRN(
+            list(wired_upstream.reactions) + list(downstream.reactions),
+            wired_upstream.input_species,
+            Y,
+            leader=L,
+            name="mis-wired",
+        )
+        report = verify_stable_computation(combined, lambda x: 2 * min(x), inputs=[(1, 1)])
+        assert not report.passed
+
+    def test_leaderless_variant_of_leader_construction_fails(self):
+        # Removing the leader from the Fig. 2 CRN (L + X -> Y) leaves a CRN with a
+        # dead reaction that computes the constant 0 instead of min(1, x).
+        crn = CRN(["L + X -> Y"], (Species("X"),), Species("Y"), leader=None, name="orphaned")
+        report = verify_stable_computation(crn, lambda x: min(1, x[0]), inputs=[(2,)])
+        assert not report.passed
+
+
+class TestWrongTargetFunction:
+    def test_min_crn_is_not_max(self):
+        report = verify_stable_computation(
+            minimum_spec().known_crn, lambda x: max(x), inputs=[(0, 2), (3, 1)]
+        )
+        assert not report.passed
+        assert len(report.failures()) == 2
+
+    def test_double_crn_is_not_identity(self):
+        report = verify_stable_computation(double_spec().known_crn, lambda x: x[0], inputs=[(1,)])
+        assert not report.passed

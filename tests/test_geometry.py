@@ -1,0 +1,199 @@
+"""Unit tests for the polyhedral geometry substrate (hyperplanes, cones, regions)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry.cones import Cone
+from repro.geometry.hyperplanes import Hyperplane
+from repro.geometry.linalg import (
+    in_span,
+    orthogonal_complement_basis,
+    project_onto_span,
+    rational_nullspace,
+    rational_rank,
+)
+from repro.geometry.regions import (
+    Region,
+    determined_regions,
+    enumerate_regions,
+    region_of_point,
+    under_determined_regions,
+)
+
+
+class TestLinearAlgebra:
+    def test_rank(self):
+        assert rational_rank([[1, 2], [2, 4]]) == 1
+        assert rational_rank([[1, 0], [0, 1]]) == 2
+        assert rational_rank([]) == 0
+
+    def test_nullspace(self):
+        basis = rational_nullspace([[1, -1]], 2)
+        assert len(basis) == 1
+        (vector,) = basis
+        assert vector[0] == vector[1]
+
+    def test_nullspace_of_empty_matrix(self):
+        basis = rational_nullspace([], 3)
+        assert len(basis) == 3
+
+    def test_projection_onto_diagonal(self):
+        projection = project_onto_span((1, 0), [(1, 1)])
+        assert projection == (Fraction(1, 2), Fraction(1, 2))
+
+    def test_orthogonal_complement(self):
+        complement = orthogonal_complement_basis([(1, 1)], 2)
+        assert len(complement) == 1
+        assert sum(complement[0]) == 0
+
+    def test_in_span(self):
+        assert in_span((2, 2), [(1, 1)])
+        assert not in_span((1, 0), [(1, 1)])
+
+
+class TestHyperplane:
+    def test_sides_avoid_integer_points(self):
+        plane = Hyperplane((1, -1), 0)   # boundary x1 - x2 = -1/2
+        assert plane.side((2, 2)) == 1   # x1 - x2 = 0 >= 0
+        assert plane.side((1, 2)) == -1
+        assert plane.shifted_value((2, 2)) == Fraction(1, 2)
+
+    def test_parallel_direction(self):
+        plane = Hyperplane((1, -1), 0)
+        assert plane.is_parallel_to((1, 1))
+        assert not plane.is_parallel_to((1, 0))
+
+    def test_zero_normal_rejected(self):
+        with pytest.raises(ValueError):
+            Hyperplane((0, 0), 1)
+
+    def test_distance_positive(self):
+        plane = Hyperplane((1,), 3)
+        assert plane.distance_to((3,)) == Fraction(1, 2)
+        assert plane.distance_to((0,)) == Fraction(5, 2)
+
+
+class TestCone:
+    def test_full_orthant_is_full_dimensional(self):
+        cone = Cone([], 2)
+        assert cone.is_full_dimensional()
+        assert cone.dim() == 2
+        assert cone.contains((1, 5))
+
+    def test_halfplane_cone(self):
+        cone = Cone([[1, -1]], 2)   # y1 >= y2, y >= 0
+        assert cone.contains((3, 1)) and not cone.contains((1, 3))
+        assert cone.is_full_dimensional()
+
+    def test_diagonal_cone_is_one_dimensional(self):
+        cone = Cone([[1, -1], [-1, 1]], 2)   # y1 == y2
+        assert cone.dim() == 1
+        assert cone.contains((2, 2)) and not cone.contains((2, 1))
+
+    def test_span_basis_of_diagonal(self):
+        cone = Cone([[1, -1], [-1, 1]], 2)
+        basis = cone.span_basis()
+        assert len(basis) == 1
+        assert basis[0][0] == basis[0][1]
+
+    def test_interior_vector(self):
+        cone = Cone([[1, -1]], 2)
+        vector = cone.interior_vector()
+        assert vector is not None
+        assert vector[0] > vector[1] and vector[1] > 0
+
+    def test_no_interior_vector_for_thin_cone(self):
+        cone = Cone([[1, -1], [-1, 1]], 2)
+        assert cone.interior_vector() is None
+
+    def test_positive_vector(self):
+        diagonal = Cone([[1, -1], [-1, 1]], 2)
+        vector = diagonal.positive_vector()
+        assert vector is not None and all(value > 0 for value in vector)
+
+    def test_no_positive_vector_for_axis(self):
+        axis = Cone([[0, -1]], 2)   # y2 <= 0 and y2 >= 0, so y2 = 0
+        assert axis.positive_vector() is None
+
+    def test_cone_containment(self):
+        diagonal = Cone([[1, -1], [-1, 1]], 2)
+        upper = Cone([[-1, 1]], 2)     # y2 >= y1
+        lower = Cone([[1, -1]], 2)     # y1 >= y2
+        assert upper.contains_cone(diagonal)
+        assert lower.contains_cone(diagonal)
+        assert not diagonal.contains_cone(upper)
+
+
+class TestRegions:
+    def diagonal_hyperplanes(self):
+        # The Fig. 7 arrangement: x2 - x1 >= 1 and x1 - x2 >= 1.
+        return [Hyperplane((-1, 1), 1), Hyperplane((1, -1), 1)]
+
+    def test_region_of_point(self):
+        planes = self.diagonal_hyperplanes()
+        above = region_of_point(planes, (0, 5))
+        diagonal = region_of_point(planes, (3, 3))
+        assert above.contains((1, 4)) and not above.contains((4, 1))
+        assert diagonal.contains((5, 5)) and not diagonal.contains((5, 6))
+
+    def test_enumerate_regions_finds_three(self):
+        planes = self.diagonal_hyperplanes()
+        regions = enumerate_regions(planes, 2, bound=8)
+        # (+,-), (-,+), (-,-); the (+,+) pattern is empty.
+        assert len(regions) == 3
+
+    def test_determined_and_under_determined_split(self):
+        planes = self.diagonal_hyperplanes()
+        regions = enumerate_regions(planes, 2, bound=8)
+        assert len(determined_regions(regions)) == 2
+        under = under_determined_regions(regions)
+        assert len(under) == 1
+        assert under[0].contains((4, 4))
+
+    def test_under_determined_region_is_eventual(self):
+        planes = self.diagonal_hyperplanes()
+        diagonal = region_of_point(planes, (2, 2))
+        assert diagonal.is_eventual()
+        assert diagonal.is_under_determined()
+
+    def test_neighbor_relation(self):
+        planes = self.diagonal_hyperplanes()
+        diagonal = region_of_point(planes, (2, 2))
+        above = region_of_point(planes, (0, 5))
+        below = region_of_point(planes, (5, 0))
+        assert above.is_neighbor_of(diagonal)
+        assert below.is_neighbor_of(diagonal)
+
+    def test_neighbor_separating_hyperplanes(self):
+        planes = self.diagonal_hyperplanes()
+        diagonal = region_of_point(planes, (2, 2))
+        assert diagonal.neighbor_separating_indices() == [0, 1]
+
+    def test_neighbor_in_direction(self):
+        planes = self.diagonal_hyperplanes()
+        diagonal = region_of_point(planes, (2, 2))
+        toward_above = diagonal.neighbor_in_direction((-1, 1))
+        assert toward_above.contains((0, 5))
+
+    def test_empty_hyperplane_region_needs_ambient(self):
+        with pytest.raises(ValueError):
+            Region((), ())
+        full = Region((), (), ambient=2)
+        assert full.contains((3, 4))
+        assert full.is_determined() and full.is_eventual()
+
+    def test_deep_points_stay_in_region(self):
+        planes = self.diagonal_hyperplanes()
+        above = region_of_point(planes, (0, 5))
+        points = above.deep_points(4)
+        assert len(points) == 4
+        assert all(above.contains(point) for point in points)
+
+    def test_determined_subspace_of_diagonal(self):
+        planes = self.diagonal_hyperplanes()
+        diagonal = region_of_point(planes, (2, 2))
+        basis = diagonal.determined_subspace_basis()
+        assert len(basis) == 1
+        complement = diagonal.orthogonal_subspace_basis()
+        assert len(complement) == 1

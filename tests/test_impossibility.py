@@ -1,0 +1,82 @@
+"""Tests for Lemma 4.1: contradiction sequences and the bounded witness search."""
+
+import pytest
+
+from repro.core.impossibility import (
+    find_contradiction_witness,
+    max_contradiction_witness,
+    verify_contradiction_pair,
+    verify_contradiction_sequence,
+    verify_witness,
+)
+from repro.functions.paper_examples import eq2_counterexample_spec
+
+
+def max2(x):
+    return max(x[0], x[1])
+
+
+def min2(x):
+    return min(x[0], x[1])
+
+
+class TestExplicitWitnesses:
+    def test_max_pair_from_fig6(self):
+        # a_i = (i, 0), a_j = (j, 0), Δ = (0, j): max gains j-i from a_i but 0 from a_j.
+        assert verify_contradiction_pair(max2, (1, 0), (3, 0), (0, 3))
+
+    def test_min_has_no_such_pair(self):
+        assert not verify_contradiction_pair(min2, (1, 0), (3, 0), (0, 3))
+
+    def test_pair_requires_ordering(self):
+        with pytest.raises(ValueError):
+            verify_contradiction_pair(max2, (3, 0), (1, 0), (0, 1))
+
+    def test_max_sequence(self):
+        points = [(i, 0) for i in range(1, 6)]
+        assert verify_contradiction_sequence(max2, points, lambda i, j: (0, j + 1))
+
+    def test_sequence_must_increase(self):
+        with pytest.raises(ValueError):
+            verify_contradiction_sequence(max2, [(1, 0), (1, 0)], lambda i, j: (0, 1))
+
+    def test_paper_witness_object_for_max(self):
+        witness = max_contradiction_witness()
+        assert witness.a(3) == (3, 0)
+        assert witness.delta(2) == (0, 2)
+        assert verify_witness(max2, witness, terms=6)
+
+    def test_paper_witness_fails_on_min(self):
+        witness = max_contradiction_witness()
+        assert not verify_witness(min2, witness, terms=4)
+
+    def test_max_witness_needs_two_inputs(self):
+        with pytest.raises(ValueError):
+            max_contradiction_witness(dimension=1)
+
+
+class TestWitnessSearch:
+    def test_search_finds_max_witness(self):
+        witness = find_contradiction_witness(max2, 2, direction_bound=1, offset_bound=2, terms=4)
+        assert witness is not None
+        assert verify_witness(max2, witness, terms=4)
+
+    def test_search_finds_eq2_witness(self):
+        spec = eq2_counterexample_spec()
+        witness = find_contradiction_witness(spec.func, 2, direction_bound=1, offset_bound=2, terms=4)
+        assert witness is not None
+        assert verify_witness(spec.func, witness, terms=6)
+
+    def test_search_finds_nothing_for_min(self):
+        witness = find_contradiction_witness(min2, 2, direction_bound=1, offset_bound=2, terms=4)
+        assert witness is None
+
+    def test_search_finds_nothing_for_addition(self):
+        witness = find_contradiction_witness(
+            lambda x: x[0] + x[1], 2, direction_bound=1, offset_bound=2, terms=4
+        )
+        assert witness is None
+
+    def test_witness_describe(self):
+        witness = max_contradiction_witness()
+        assert "a_i" in witness.describe()

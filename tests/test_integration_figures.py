@@ -1,0 +1,176 @@
+"""Integration tests: each test reproduces the content of one figure of the paper end to end."""
+
+import pytest
+
+from repro.core.characterization import build_crn_for, check_obliviously_computable
+from repro.core.construction_1d import build_1d_crn
+from repro.core.construction_quilt import build_quilt_affine_crn
+from repro.core.decomposition import decompose
+from repro.core.impossibility import max_contradiction_witness, verify_witness
+from repro.core.scaling import infinity_scaling, scaling_of_eventually_min
+from repro.crn.composition import concatenate
+from repro.crn.reachability import stably_computes_exhaustive
+from repro.functions.catalog import (
+    double_spec,
+    floor_3x_over_2_spec,
+    maximum_spec,
+    min_one_leaderless_crn,
+    min_one_spec,
+    minimum_spec,
+    quilt_2d_fig3b_spec,
+)
+from repro.functions.paper_examples import fig4a_style_spec, fig7_spec
+from repro.quilt.fitting import fit_eventually_quilt_affine_1d
+from repro.verify.overproduction import find_overproduction
+from repro.verify.stable import verify_stable_computation
+
+
+class TestFigure1:
+    """Fig. 1: the CRNs for 2x, min, and max, and their structural difference."""
+
+    def test_all_three_crns_compute_their_functions(self):
+        for spec, inputs in [
+            (double_spec(), [(0,), (3,)]),
+            (minimum_spec(), [(2, 3), (3, 2)]),
+            (maximum_spec(), [(2, 3), (3, 2)]),
+        ]:
+            verdicts = stably_computes_exhaustive(spec.known_crn, spec.func, inputs)
+            assert all(v.holds for v in verdicts)
+
+    def test_only_max_consumes_its_output(self):
+        assert double_spec().known_crn.is_output_oblivious()
+        assert minimum_spec().known_crn.is_output_oblivious()
+        assert not maximum_spec().known_crn.is_output_oblivious()
+
+
+class TestFigure2:
+    """Fig. 2: min(1, x) leaderless (not output-oblivious) vs. with a leader (output-oblivious)."""
+
+    def test_both_crns_compute_min1(self):
+        leaderless = min_one_leaderless_crn()
+        with_leader = min_one_spec().known_crn
+        for crn in (leaderless, with_leader):
+            verdicts = stably_computes_exhaustive(crn, lambda x: min(1, x[0]), [(0,), (1,), (4,)])
+            assert all(v.holds for v in verdicts)
+
+    def test_obliviousness_requires_the_leader(self):
+        assert not min_one_leaderless_crn().is_output_oblivious()
+        assert min_one_spec().known_crn.is_output_oblivious()
+
+
+class TestFigure3:
+    """Fig. 3: the 1D and 2D quilt-affine examples and their Lemma 6.1 CRNs."""
+
+    def test_floor_3x_over_2_structure(self):
+        spec = floor_3x_over_2_spec()
+        quilt = spec.eventually_min.pieces[0]
+        assert quilt.period == 2
+        assert float(quilt.gradient[0]) == 1.5
+        assert quilt.offset((1,)) == -0.5
+
+    def test_2d_quilt_crn(self):
+        spec = quilt_2d_fig3b_spec()
+        crn = build_quilt_affine_crn(spec.eventually_min.pieces[0])
+        report = verify_stable_computation(
+            crn, spec.func, inputs=[(0, 0), (1, 2), (3, 4)], exhaustive_limit=4_000, trials=3
+        )
+        assert report.passed
+
+
+class TestFigure4:
+    """Fig. 4: an obliviously-computable 2D function and its scaling limit."""
+
+    def test_characterization_and_construction(self):
+        spec = fig4a_style_spec()
+        verdict = check_obliviously_computable(spec)
+        assert verdict.obliviously_computable is True
+        crn = build_crn_for(spec, prefer_known=False)
+        assert crn.is_output_oblivious()
+
+    def test_scaling_limit_is_min_of_linear(self):
+        spec = fig4a_style_spec()
+        exact = scaling_of_eventually_min(spec.eventually_min, (1, 1))
+        numeric = infinity_scaling(spec.func, (1.0, 1.0), scale=4_000)
+        assert numeric == pytest.approx(float(exact), abs=1e-2)
+
+
+class TestFigure5:
+    """Fig. 5: the eventually quilt-affine structure behind Theorem 3.1."""
+
+    def test_fitted_structure_and_construction(self):
+        def staircase(x):
+            return min(x, 2) + (3 * max(0, x - 2)) // 2
+
+        structure = fit_eventually_quilt_affine_1d(staircase)
+        assert structure.period == 2
+        crn = build_1d_crn(structure)
+        verdicts = stably_computes_exhaustive(
+            crn, lambda x: staircase(x[0]), [(v,) for v in range(7)]
+        )
+        assert all(v.holds for v in verdicts)
+
+
+class TestFigure6:
+    """Fig. 6: the Lemma 4.1 contradiction sequence for max and the induced overshoot."""
+
+    def test_witness_and_overproduction(self):
+        witness = max_contradiction_witness()
+        assert verify_witness(lambda x: max(x), witness, terms=6)
+        spec = maximum_spec()
+        overshoot = find_overproduction(spec.known_crn, spec.func, (3, 3), trials=10, seed=1)
+        assert overshoot is not None and overshoot.overshoot >= 1
+
+    def test_doubling_downstream_locks_in_the_overshoot(self):
+        composed = concatenate(
+            maximum_spec().known_crn, double_spec().known_crn, require_output_oblivious=False
+        )
+        verdicts = stably_computes_exhaustive(composed, lambda x: 2 * max(x), [(1, 1)])
+        assert not all(v.holds for v in verdicts)
+
+
+class TestFigure7:
+    """Fig. 7: domain decomposition of the three-region function."""
+
+    def test_full_pipeline(self):
+        spec = fig7_spec()
+        decomposition = decompose(spec)
+        assert decomposition.succeeded()
+        assert len(decomposition.determined) == 2
+        assert len(decomposition.under_determined_eventual) == 1
+        crn = build_crn_for(spec, prefer_known=False)
+        report = verify_stable_computation(
+            crn, spec.func, inputs=[(1, 1), (1, 2), (2, 1)], exhaustive_limit=6_000, trials=3
+        )
+        assert report.passed
+
+
+class TestFigure8:
+    """Fig. 8: hyperplane arrangements, regions and recession cones in 2D and 3D."""
+
+    def test_2d_arrangement_from_fig8a(self):
+        from repro.geometry.hyperplanes import Hyperplane
+        from repro.geometry.regions import enumerate_regions
+
+        planes = [Hyperplane((1, -1), 1), Hyperplane((-1, 1), 1), Hyperplane((1, 0), 3)]
+        regions = enumerate_regions(planes, 2, bound=12)
+        eventual = [r for r in regions if r.is_eventual()]
+        determined = [r for r in eventual if r.is_determined()]
+        under = [r for r in eventual if r.is_under_determined()]
+        assert len(determined) >= 2
+        assert len(under) >= 1
+
+    def test_3d_arrangement_from_fig8c(self):
+        from repro.geometry.hyperplanes import Hyperplane
+        from repro.geometry.regions import enumerate_regions
+
+        planes = [
+            Hyperplane((1, -1, 0), 1),
+            Hyperplane((-1, 1, 0), 1),
+            Hyperplane((0, 1, -1), 1),
+            Hyperplane((0, -1, 1), 1),
+        ]
+        regions = enumerate_regions(planes, 3, bound=6)
+        eventual = [r for r in regions if r.is_eventual()]
+        dims = sorted({r.recession_cone().dim() for r in eventual})
+        # Fig. 8c/d: regions with 1D, 2D, and 3D recession cones all appear.
+        assert dims == [1, 2, 3]

@@ -1,0 +1,124 @@
+"""Unit tests for the CRN class: structure, properties, transformations."""
+
+import pytest
+
+from repro.crn.network import CRN
+from repro.crn.species import Species, species
+from repro.functions.catalog import maximum_spec, minimum_spec
+
+
+X1, X2, Y, L, Z = species("X1 X2 Y L Z")
+
+
+def min_crn() -> CRN:
+    return CRN([X1 + X2 >> Y], (X1, X2), Y, name="min")
+
+
+class TestConstructionValidation:
+    def test_reactions_from_strings(self):
+        crn = CRN(["X1 + X2 -> Y"], (X1, X2), Y)
+        assert len(crn.reactions) == 1
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            CRN([X1 >> Y], (X1, X1), Y)
+
+    def test_output_cannot_be_input(self):
+        with pytest.raises(ValueError):
+            CRN([X1 >> Y], (X1, Y), Y)
+
+    def test_leader_cannot_be_input_or_output(self):
+        with pytest.raises(ValueError):
+            CRN([X1 >> Y], (X1,), Y, leader=X1)
+        with pytest.raises(ValueError):
+            CRN([X1 >> Y], (X1,), Y, leader=Y)
+
+    def test_species_collection(self):
+        crn = CRN([X1 + X2 >> Y + Z], (X1, X2), Y, leader=L)
+        names = {sp.name for sp in crn.species()}
+        assert names == {"X1", "X2", "Y", "Z", "L"}
+        assert {sp.name for sp in crn.auxiliary_species()} == {"Z"}
+
+    def test_size_summary(self):
+        size = min_crn().size()
+        assert size == {"species": 3, "reactions": 1, "max_order": 2}
+
+
+class TestStructuralProperties:
+    def test_min_is_output_oblivious(self):
+        assert min_crn().is_output_oblivious()
+
+    def test_max_is_not_output_oblivious(self):
+        crn = maximum_spec().known_crn
+        assert not crn.is_output_oblivious()
+        assert not crn.is_output_monotonic()
+        assert len(crn.output_consuming_reactions()) == 1
+
+    def test_leaderless_detection(self):
+        assert min_crn().is_leaderless()
+        with_leader = CRN([L + X1 >> Y], (X1,), Y, leader=L)
+        assert not with_leader.is_leaderless()
+
+    def test_output_monotonic_but_not_oblivious(self):
+        # Y catalyzes production of more Y: monotonic, not oblivious.
+        crn = CRN([X1 + Y >> Y + Y], (X1,), Y)
+        assert crn.is_output_monotonic()
+        assert not crn.is_output_oblivious()
+
+    def test_make_output_oblivious_on_catalytic_network(self):
+        crn = CRN([X1 >> Y, X1 + Y >> Y + Y + Z], (X1,), Y)
+        converted = crn.make_output_oblivious()
+        assert converted.is_output_oblivious()
+
+    def test_make_output_oblivious_rejects_nonmonotonic(self):
+        crn = maximum_spec().known_crn
+        with pytest.raises(ValueError):
+            crn.make_output_oblivious()
+
+
+class TestInitialConfigurations:
+    def test_counts_and_leader(self):
+        crn = CRN([L + X1 >> Y], (X1,), Y, leader=L)
+        init = crn.initial_configuration((3,))
+        assert init[X1] == 3 and init[L] == 1 and init[Y] == 0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            min_crn().initial_configuration((1,))
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ValueError):
+            min_crn().initial_configuration((1, -1))
+
+    def test_applicable_reactions_and_silence(self):
+        crn = min_crn()
+        init = crn.initial_configuration((1, 1))
+        assert len(crn.applicable_reactions(init)) == 1
+        assert not crn.is_silent(init)
+        assert crn.is_silent(crn.initial_configuration((1, 0)))
+
+
+class TestTransformations:
+    def test_renamed_output(self):
+        crn = min_crn().with_output(Z)
+        assert crn.output_species == Z
+        assert crn.reactions[0].product_count(Z) == 1
+
+    def test_with_prefix_keeps_shared(self):
+        crn = min_crn().with_prefix("up_", keep=[Y])
+        assert Species("up_X1") in crn.species()
+        assert crn.output_species == Y
+
+    def test_without_output_consuming_reactions(self):
+        crn = maximum_spec().known_crn.without_output_consuming_reactions()
+        assert crn.is_output_oblivious()
+        assert len(crn.reactions) == 3
+
+    def test_add_reactions(self):
+        crn = min_crn().add_reactions(["Y -> Z"])
+        assert len(crn.reactions) == 2
+
+    def test_describe_contains_reactions(self):
+        text = min_crn().describe()
+        assert "X1 + X2 -> Y" in text
+        assert "output-oblivious: True" in text

@@ -1,0 +1,67 @@
+"""Tests for the classical predicate-computing population protocols."""
+
+import pytest
+
+from repro.protocols.predicate_protocols import (
+    OpinionProtocol,
+    majority_protocol,
+    threshold_protocol,
+)
+
+
+class TestMajorityProtocol:
+    def test_structure(self):
+        protocol = majority_protocol()
+        assert set(protocol.input_states) == {"A", "B"}
+        assert protocol.leader_state is None
+        assert protocol.opinions["A"] is True and protocol.opinions["B"] is False
+
+    @pytest.mark.parametrize("a, b, expected", [(6, 2, True), (2, 6, False), (7, 3, True), (1, 5, False)])
+    def test_clear_majorities(self, a, b, expected):
+        protocol = majority_protocol()
+        consensus, _ = protocol.run((a, b), seed=42)
+        assert consensus is expected
+
+    def test_tie_reports_true(self):
+        protocol = majority_protocol()
+        consensus, _ = protocol.run((4, 4), seed=7)
+        assert consensus is True
+
+    def test_empty_population(self):
+        protocol = majority_protocol()
+        consensus, interactions = protocol.run((0, 0), seed=1)
+        assert interactions == 0
+
+    def test_input_arity_checked(self):
+        with pytest.raises(ValueError):
+            majority_protocol().run((1, 2, 3))
+
+
+class TestThresholdProtocol:
+    def test_structure(self):
+        protocol = threshold_protocol(3)
+        assert protocol.leader_state == "L0"
+        assert protocol.opinions["L3"] is True
+
+    @pytest.mark.parametrize("count, k, expected", [(0, 2, False), (1, 2, False), (2, 2, True), (5, 2, True), (3, 4, False), (4, 4, True)])
+    def test_threshold_decisions(self, count, k, expected):
+        protocol = threshold_protocol(k)
+        consensus, _ = protocol.run((count,), seed=11)
+        assert consensus is expected
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            threshold_protocol(0)
+
+
+class TestOpinionProtocolBasics:
+    def test_consensus_helper(self):
+        protocol = majority_protocol()
+        assert protocol.consensus(["A", "a"]) is True
+        assert protocol.consensus(["A", "b"]) is None
+        assert protocol.consensus(["B", "b"]) is False
+
+    def test_initial_population_includes_leader(self):
+        protocol = threshold_protocol(2)
+        agents = protocol.initial_population((3,))
+        assert agents.count("A") == 3 and agents.count("L0") == 1

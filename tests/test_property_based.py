@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import random
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crn.configuration import Configuration
+from repro.crn.network import CRN
+from repro.crn.reachability import check_stable_computation_at
+from repro.crn.species import Species, species
+from repro.core.construction_1d import build_1d_crn
+from repro.core.construction_quilt import build_quilt_affine_crn
+from repro.core.impossibility import find_contradiction_witness
+from repro.quilt.fitting import fit_eventually_quilt_affine_1d
+from repro.quilt.quilt_affine import QuiltAffine, all_residues
+from repro.sim.fair import FairScheduler
+
+
+SPECIES_POOL = species("A B C D")
+
+counts_strategy = st.dictionaries(
+    st.sampled_from(SPECIES_POOL), st.integers(min_value=0, max_value=20), max_size=4
+)
+
+
+class TestConfigurationAlgebra:
+    @given(counts_strategy, counts_strategy)
+    def test_addition_commutes(self, a, b):
+        assert Configuration(a) + Configuration(b) == Configuration(b) + Configuration(a)
+
+    @given(counts_strategy, counts_strategy, counts_strategy)
+    def test_addition_associates(self, a, b, c):
+        x, y, z = Configuration(a), Configuration(b), Configuration(c)
+        assert (x + y) + z == x + (y + z)
+
+    @given(counts_strategy, counts_strategy)
+    def test_subtraction_inverts_addition(self, a, b):
+        x, y = Configuration(a), Configuration(b)
+        assert (x + y) - y == x
+
+    @given(counts_strategy, counts_strategy, counts_strategy)
+    def test_order_is_additive(self, a, b, c):
+        # The reachability-additivity precondition used throughout the paper:
+        # A <= B implies A + C <= B + C.
+        x, y, z = Configuration(a), Configuration(b), Configuration(c)
+        if x <= y:
+            assert x + z <= y + z
+
+    @given(counts_strategy)
+    def test_zero_is_identity(self, a):
+        x = Configuration(a)
+        assert x + Configuration.zero() == x
+
+
+class TestQuiltAffineInvariants:
+    @st.composite
+    def quilt_functions(draw):
+        dimension = draw(st.integers(min_value=1, max_value=2))
+        period = draw(st.integers(min_value=1, max_value=3))
+        gradient = tuple(
+            Fraction(draw(st.integers(min_value=0, max_value=6)), period) for _ in range(dimension)
+        )
+        base = {
+            residue: Fraction(draw(st.integers(min_value=0, max_value=4)))
+            for residue in all_residues(dimension, period)
+        }
+        # Force nondecreasing offsets by construction: take a running maximum cap.
+        try:
+            return QuiltAffine(gradient, period, base, validate=True)
+        except ValueError:
+            return None
+
+    @given(quilt_functions())
+    @settings(suppress_health_check=[HealthCheck.filter_too_much], max_examples=40)
+    def test_valid_quilts_are_nondecreasing_pointwise(self, quilt):
+        if quilt is None:
+            return
+        for x1 in range(4):
+            point = (x1,) if quilt.dimension == 1 else (x1, 2)
+            step = tuple(v + 1 for v in point)
+            assert quilt(step) >= quilt(point)
+
+    @given(quilt_functions(), st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3))
+    @settings(suppress_health_check=[HealthCheck.filter_too_much], max_examples=40)
+    def test_translation_consistency(self, quilt, a, b):
+        if quilt is None:
+            return
+        shift = (a,) if quilt.dimension == 1 else (a, b)
+        translated = quilt.translate(shift)
+        probe = (2,) if quilt.dimension == 1 else (2, 1)
+        assert translated(probe) == quilt(tuple(p + s for p, s in zip(probe, shift)))
+
+
+class TestFittingRoundTrip:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=4),
+        st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fit_recovers_eventually_periodic_functions(self, prefix_deltas, cycle_deltas):
+        # Build f from nonnegative finite differences: a prefix followed by a repeated cycle.
+        def func(x):
+            total = 0
+            for step in range(x):
+                if step < len(prefix_deltas):
+                    total += prefix_deltas[step]
+                else:
+                    total += cycle_deltas[(step - len(prefix_deltas)) % len(cycle_deltas)]
+            return total
+
+        structure = fit_eventually_quilt_affine_1d(func, max_start=12, max_period=8)
+        for x in range(16):
+            assert structure.value(x) == func(x)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=3),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_theorem_31_construction_on_random_functions(self, cycle_deltas, offset):
+        def func(x):
+            total = offset
+            for step in range(x):
+                total += cycle_deltas[step % len(cycle_deltas)]
+            return total
+
+        crn = build_1d_crn(func)
+        value = 4
+        verdict = check_stable_computation_at(crn, (value,), func(value), max_configurations=20_000)
+        assert verdict.conclusive and verdict.holds
+
+
+class TestSimulationAgreement:
+    @given(st.integers(min_value=0, max_value=6), st.integers(min_value=0, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_min_crn_fair_runs_always_reach_min(self, a, b):
+        X1, X2, Y = species("X1 X2 Y")
+        crn = CRN([X1 + X2 >> Y], (X1, X2), Y)
+        scheduler = FairScheduler(crn, rng=random.Random(a * 31 + b))
+        result = scheduler.run_on_input((a, b))
+        assert result.silent
+        assert result.final_configuration[Y] == min(a, b)
+
+    @given(st.integers(min_value=0, max_value=5))
+    @settings(max_examples=15, deadline=None)
+    def test_quilt_construction_matches_function_under_simulation(self, value):
+        quilt = QuiltAffine.floor_linear((3,), 2)
+        crn = build_quilt_affine_crn(quilt)
+        scheduler = FairScheduler(crn, rng=random.Random(value))
+        result = scheduler.run_on_input((value,))
+        assert result.silent
+        assert crn.output_count(result.final_configuration) == (3 * value) // 2
+
+
+class TestWitnessSearchSoundness:
+    @given(st.integers(min_value=1, max_value=3), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=10, deadline=None)
+    def test_no_witness_for_linear_functions(self, slope, offset):
+        # Affine functions are obliviously-computable, so the bounded Lemma 4.1
+        # search must never find a witness for them.
+        witness = find_contradiction_witness(
+            lambda x: slope * x[0] + offset * x[1], 2, direction_bound=1, offset_bound=2, terms=3
+        )
+        assert witness is None

@@ -1,0 +1,86 @@
+"""Tests for population protocols and the bimolecular conversion (footnote 5)."""
+
+import pytest
+
+from repro.crn.network import CRN
+from repro.crn.reachability import stably_computes_exhaustive
+from repro.crn.species import species
+from repro.functions.catalog import minimum_spec
+from repro.protocols.conversion import to_at_most_bimolecular
+from repro.protocols.population import PopulationProtocol, crn_to_population_protocol
+
+
+X, X1, X2, Y, Z = species("X X1 X2 Y Z")
+
+
+class TestBimolecularConversion:
+    def test_footnote5_example(self):
+        # 3X -> Y becomes 2X <-> X2 and X + X2 -> Y.
+        crn = CRN([3 * X >> Y], (X,), Y)
+        converted = to_at_most_bimolecular(crn)
+        assert all(rxn.order() <= 2 for rxn in converted.reactions)
+        assert len(converted.reactions) == 3
+
+    def test_converted_crn_computes_same_function(self):
+        crn = CRN([3 * X >> Y], (X,), Y)
+        converted = to_at_most_bimolecular(crn)
+        verdicts = stably_computes_exhaustive(
+            converted, lambda x: x[0] // 3, [(0,), (2,), (3,), (7,)]
+        )
+        assert all(v.holds and v.conclusive for v in verdicts)
+
+    def test_low_order_reactions_untouched(self):
+        crn = minimum_spec().known_crn
+        assert to_at_most_bimolecular(crn).reactions == crn.reactions
+
+    def test_output_obliviousness_preserved(self):
+        crn = CRN([4 * X >> Y + Z], (X,), Y)
+        converted = to_at_most_bimolecular(crn)
+        assert converted.is_output_oblivious()
+        verdicts = stably_computes_exhaustive(converted, lambda x: x[0] // 4, [(4,), (6,)])
+        assert all(v.holds and v.conclusive for v in verdicts)
+
+
+class TestPopulationProtocol:
+    def make_min_protocol(self) -> PopulationProtocol:
+        return crn_to_population_protocol(minimum_spec().known_crn)
+
+    def test_conversion_structure(self):
+        protocol = self.make_min_protocol()
+        assert protocol.dimension == 2
+        assert ("X1", "X2") in protocol.transitions
+        assert protocol.leader_state is None
+
+    def test_initial_population(self):
+        protocol = self.make_min_protocol()
+        agents = protocol.initial_population((2, 1))
+        assert sorted(agents) == ["X1", "X1", "X2"]
+
+    def test_run_computes_min(self):
+        protocol = self.make_min_protocol()
+        agents, _ = protocol.run((3, 5), seed=1)
+        assert protocol.output_count(agents) == 3
+
+    def test_unimolecular_reaction_rejected(self):
+        crn = CRN([X >> Y], (X,), Y)
+        with pytest.raises(ValueError):
+            crn_to_population_protocol(crn)
+
+    def test_too_many_products_rejected(self):
+        crn = CRN([X1 + X2 >> Y + Z + Z], (X1, X2), Y)
+        with pytest.raises(ValueError):
+            crn_to_population_protocol(crn)
+
+    def test_padding_with_inert_state(self):
+        protocol = self.make_min_protocol()
+        # X1 + X2 -> Y has one product; the second slot is padded with the inert state.
+        assert protocol.transitions[("X1", "X2")][1] == "F"
+
+    def test_unknown_state_validation(self):
+        with pytest.raises(ValueError):
+            PopulationProtocol(
+                states=("a",),
+                transitions={("a", "b"): ("a", "a")},
+                input_states=("a",),
+                output_states=frozenset({"a"}),
+            )

@@ -1,0 +1,135 @@
+"""Unit tests for quilt-affine functions (Definition 5.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.quilt.quilt_affine import QuiltAffine, all_residues, residue_of
+
+
+class TestResidues:
+    def test_residue_of(self):
+        assert residue_of((5, 7), 3) == (2, 1)
+
+    def test_all_residues_count(self):
+        assert len(list(all_residues(2, 3))) == 9
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            residue_of((1,), 0)
+
+
+class TestFloorExample:
+    def test_fig3a_floor_3x_over_2(self):
+        quilt = QuiltAffine.floor_linear((3,), 2)
+        assert [quilt((x,)) for x in range(8)] == [(3 * x) // 2 for x in range(8)]
+        assert quilt.gradient == (Fraction(3, 2),)
+        assert quilt.period == 2
+        assert quilt.offset((1,)) == Fraction(-1, 2)
+
+    def test_floor_2d(self):
+        quilt = QuiltAffine.floor_linear((1, 1), 2)
+        for x1 in range(5):
+            for x2 in range(5):
+                assert quilt((x1, x2)) == (x1 + x2) // 2
+
+
+class TestValidation:
+    def test_negative_gradient_rejected(self):
+        with pytest.raises(ValueError):
+            QuiltAffine((-1,), 1, {})
+
+    def test_non_integer_values_rejected(self):
+        with pytest.raises(ValueError):
+            QuiltAffine((Fraction(1, 2),), 1, {})
+
+    def test_decreasing_offsets_rejected(self):
+        # Offsets that drop by more than the gradient step make the function decreasing.
+        with pytest.raises(ValueError):
+            QuiltAffine((1,), 2, {(0,): 0, (1,): -5})
+
+    def test_valid_fig3b_quilt(self):
+        quilt = QuiltAffine((1, 2), 3, {(1, 2): -1, (2, 2): -1, (2, 1): -1})
+        assert quilt.is_nondecreasing()
+        assert quilt((1, 2)) == 1 + 4 - 1
+        assert quilt((4, 5)) == 4 + 10 - 1  # same congruence class as (1, 2)
+
+
+class TestFiniteDifferences:
+    def test_differences_match_definition(self):
+        quilt = QuiltAffine.floor_linear((3,), 2)
+        for residue in range(2):
+            for x in (residue, residue + 2, residue + 4):
+                assert quilt((x + 1,)) - quilt((x,)) == quilt.finite_difference(0, (x,))
+
+    def test_difference_table_integer(self):
+        quilt = QuiltAffine((1, 2), 3, {(1, 2): -1, (2, 2): -1, (2, 1): -1})
+        table = quilt.finite_difference_table()
+        assert len(table) == 2 * 9
+        assert all(value >= 0 for value in table.values())
+
+
+class TestAlgebra:
+    def test_translate(self):
+        quilt = QuiltAffine.floor_linear((3,), 2)
+        shifted = quilt.translate((3,))
+        for x in range(6):
+            assert shifted((x,)) == quilt((x + 3,))
+
+    def test_add_constant(self):
+        quilt = QuiltAffine.affine((1,), 0)
+        assert quilt.add_constant(5)((3,)) == 8
+
+    def test_with_period_preserves_values(self):
+        quilt = QuiltAffine.floor_linear((3,), 2)
+        widened = quilt.with_period(6)
+        for x in range(12):
+            assert widened((x,)) == quilt((x,))
+
+    def test_with_period_requires_multiple(self):
+        with pytest.raises(ValueError):
+            QuiltAffine.floor_linear((3,), 2).with_period(3)
+
+    def test_restrict_input(self):
+        quilt = QuiltAffine((1, 2), 3, {(1, 2): -1, (2, 2): -1, (2, 1): -1})
+        restricted = quilt.restrict_input(1, 2)
+        for x in range(6):
+            assert restricted((x,)) == quilt((x, 2))
+
+    def test_restrict_only_input_rejected(self):
+        with pytest.raises(ValueError):
+            QuiltAffine.affine((1,), 0).restrict_input(0, 1)
+
+    def test_equality_across_periods(self):
+        affine = QuiltAffine.affine((1,), 2)
+        widened = affine.with_period(4)
+        assert affine == widened
+        assert affine != QuiltAffine.affine((1,), 3)
+
+
+class TestFromCallable:
+    def test_recovers_floor_function(self):
+        recovered = QuiltAffine.from_callable(lambda x: (3 * x[0]) // 2, 1, 2)
+        assert recovered == QuiltAffine.floor_linear((3,), 2)
+
+    def test_recovers_2d_quilt(self):
+        original = QuiltAffine((1, 2), 3, {(1, 2): -1, (2, 2): -1, (2, 1): -1})
+        recovered = QuiltAffine.from_callable(original, 2, 3)
+        assert recovered == original
+
+    def test_rejects_non_quilt_function(self):
+        with pytest.raises(ValueError):
+            QuiltAffine.from_callable(lambda x: x[0] ** 2, 1, 2)
+
+
+class TestDominationHelpers:
+    def test_agrees_and_dominates(self):
+        quilt = QuiltAffine.affine((1, 0), 1)
+        points = [(x1, x2) for x1 in range(4) for x2 in range(4)]
+        assert quilt.dominates(lambda x: min(x), points)
+        assert not quilt.agrees_with(lambda x: min(x), points)
+
+    def test_nonnegative_range_check(self):
+        negative = QuiltAffine((1,), 2, {(0,): -3, (1,): -3}, validate=False)
+        assert not negative.has_nonnegative_range_upto(2)
+        assert QuiltAffine.affine((1,), 0).has_nonnegative_range_upto(1)

@@ -1,0 +1,93 @@
+"""Unit tests for bounded reachability and exhaustive stable-computation checking."""
+
+import pytest
+
+from repro.crn.network import CRN
+from repro.crn.reachability import (
+    check_stable_computation_at,
+    reachable_configurations,
+    reachability_graph,
+    stable_configurations,
+    stably_computes_exhaustive,
+)
+from repro.crn.species import species
+from repro.functions.catalog import maximum_spec, min_one_leaderless_crn, minimum_spec
+
+
+X, X1, X2, Y, Z = species("X X1 X2 Y Z")
+
+
+class TestReachableConfigurations:
+    def test_linear_chain(self):
+        crn = CRN([X >> Y], (X,), Y)
+        result = reachable_configurations(crn, crn.initial_configuration((3,)))
+        # Configurations: 3X, 2X+Y, X+2Y, 3Y.
+        assert len(result) == 4
+        assert result.exhausted
+
+    def test_bound_respected(self):
+        crn = CRN([X >> Y], (X,), Y)
+        result = reachable_configurations(crn, crn.initial_configuration((10,)), max_configurations=4)
+        assert len(result) == 4
+        assert not result.exhausted
+
+    def test_index_of(self):
+        crn = CRN([X >> Y], (X,), Y)
+        initial = crn.initial_configuration((1,))
+        result = reachable_configurations(crn, initial)
+        assert result.index_of(initial) == 0
+        assert result.index_of(crn.initial_configuration((5,))) is None
+
+    def test_graph_has_outputs(self):
+        crn = CRN([X >> 2 * Y], (X,), Y)
+        graph = reachability_graph(crn, crn.initial_configuration((2,)))
+        outputs = {graph.nodes[node]["output"] for node in graph.nodes}
+        assert outputs == {0, 2, 4}
+
+
+class TestStableConfigurations:
+    def test_min_stable_configs(self):
+        crn = minimum_spec().known_crn
+        stable, result = stable_configurations(crn, crn.initial_configuration((2, 1)))
+        assert result.exhausted
+        # Stable exactly when the smaller input is exhausted (output can no longer change).
+        assert all(config[crn.output_species] == 1 for config in stable)
+
+    def test_annihilation_network_stability(self):
+        crn = min_one_leaderless_crn()
+        stable, _ = stable_configurations(crn, crn.initial_configuration((3,)))
+        # Only the single-Y configurations with no X left are stable.
+        assert stable
+        assert all(config[Y] == 1 and config[X] == 0 for config in stable)
+
+
+class TestStableComputation:
+    def test_min_stably_computes(self):
+        crn = minimum_spec().known_crn
+        verdicts = stably_computes_exhaustive(
+            crn, lambda x: min(x), [(0, 0), (1, 0), (2, 3), (3, 3)]
+        )
+        assert all(v.holds and v.conclusive for v in verdicts)
+
+    def test_max_crn_stably_computes_max(self):
+        crn = maximum_spec().known_crn
+        verdicts = stably_computes_exhaustive(
+            crn, lambda x: max(x), [(0, 0), (1, 0), (1, 2), (2, 2)]
+        )
+        assert all(v.holds and v.conclusive for v in verdicts)
+
+    def test_wrong_function_detected(self):
+        crn = minimum_spec().known_crn
+        verdict = check_stable_computation_at(crn, (2, 3), expected=5)
+        assert verdict.conclusive and not verdict.holds
+
+    def test_inconclusive_when_bound_hit(self):
+        crn = CRN([X >> Y], (X,), Y)
+        verdict = check_stable_computation_at(crn, (50,), expected=50, max_configurations=10)
+        assert not verdict.conclusive
+
+    def test_non_converging_network_detected(self):
+        # X -> Y, Y -> X never stabilizes its output from a configuration with an X or Y.
+        crn = CRN([X >> Y, Y >> X], (X,), Y)
+        verdict = check_stable_computation_at(crn, (1,), expected=1)
+        assert verdict.conclusive and not verdict.holds

@@ -1,0 +1,126 @@
+"""Unit tests for Reaction semantics, propensities, and parsing."""
+
+import pytest
+
+from repro.crn.configuration import Configuration
+from repro.crn.reaction import Reaction, parse_reaction
+from repro.crn.species import Species, species
+
+
+A, B, C, Y = species("A B C Y")
+
+
+class TestSemantics:
+    def test_applicable_requires_all_reactants(self):
+        rxn = A + 2 * B >> C
+        assert rxn.applicable(Configuration({A: 1, B: 2}))
+        assert not rxn.applicable(Configuration({A: 1, B: 1}))
+
+    def test_apply_updates_counts(self):
+        rxn = A + B >> 2 * C
+        result = rxn.apply(Configuration({A: 2, B: 1}))
+        assert (result[A], result[B], result[C]) == (1, 0, 2)
+
+    def test_apply_not_applicable_raises(self):
+        rxn = A >> C
+        with pytest.raises(ValueError):
+            rxn.apply(Configuration({B: 1}))
+
+    def test_net_change(self):
+        rxn = 2 * A + B >> A + 3 * C
+        assert rxn.net_change(A) == -1
+        assert rxn.net_change(B) == -1
+        assert rxn.net_change(C) == 3
+        assert rxn.net_changes() == {A: -1, B: -1, C: 3}
+
+    def test_catalyst_detection(self):
+        rxn = A + B >> A + C
+        assert rxn.is_catalyst(A)
+        assert not rxn.is_catalyst(B)
+
+    def test_consumes_and_produces(self):
+        rxn = A + Y >> C
+        assert rxn.consumes(Y) and not rxn.produces(Y)
+        assert rxn.produces(C)
+
+    def test_order(self):
+        assert (3 * A >> C).order() == 3
+        assert (A >> C).is_unimolecular()
+        assert (A + B >> C).is_bimolecular()
+
+    def test_empty_reaction_rejected(self):
+        with pytest.raises(ValueError):
+            Reaction({}, {})
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Reaction(A, C, rate=0)
+        with pytest.raises(ValueError):
+            Reaction(A, C, rate=-1.0)
+
+
+class TestPropensity:
+    def test_unimolecular_propensity(self):
+        rxn = Reaction(A, C, rate=2.0)
+        assert rxn.propensity(Configuration({A: 5})) == pytest.approx(10.0)
+
+    def test_bimolecular_distinct_propensity(self):
+        rxn = Reaction(A + B, C, rate=1.0)
+        assert rxn.propensity(Configuration({A: 3, B: 4})) == pytest.approx(12.0)
+
+    def test_bimolecular_same_species_propensity(self):
+        rxn = Reaction(2 * A, C, rate=1.0)
+        # C(4, 2) = 6 unordered pairs.
+        assert rxn.propensity(Configuration({A: 4})) == pytest.approx(6.0)
+
+    def test_zero_when_not_applicable(self):
+        rxn = Reaction(2 * A, C)
+        assert rxn.propensity(Configuration({A: 1})) == 0.0
+
+
+class TestTransformations:
+    def test_renamed(self):
+        rxn = (A + B >> C).renamed({A: Y})
+        assert rxn.reactant_count(Y) == 1 and rxn.reactant_count(A) == 0
+
+    def test_renamed_can_merge_species(self):
+        rxn = (A + B >> C).renamed({A: B})
+        assert rxn.reactant_count(B) == 2
+
+    def test_reversed(self):
+        rxn = (A >> 2 * C).reversed()
+        assert rxn.reactant_count(C) == 2 and rxn.product_count(A) == 1
+
+    def test_with_rate(self):
+        assert (A >> C).with_rate(5.0).rate == 5.0
+
+    def test_equality_ignores_rate(self):
+        assert Reaction(A, C, rate=1.0) == Reaction(A, C, rate=9.0)
+
+
+class TestParsing:
+    def test_parse_simple(self):
+        rxn = parse_reaction("A + 2B -> C")
+        assert rxn.reactant_count(A) == 1
+        assert rxn.reactant_count(B) == 2
+        assert rxn.product_count(C) == 1
+
+    def test_parse_empty_product(self):
+        rxn = parse_reaction("A + Y -> 0")
+        assert rxn.products.is_empty()
+
+    def test_parse_unicode_arrow(self):
+        rxn = parse_reaction("A → B")
+        assert rxn.product_count(B) == 1
+
+    def test_parse_missing_arrow_raises(self):
+        with pytest.raises(ValueError):
+            parse_reaction("A + B")
+
+    def test_parse_garbage_term_raises(self):
+        with pytest.raises(ValueError):
+            parse_reaction("A ++ -> B")
+
+    def test_roundtrip_str(self):
+        rxn = parse_reaction("2A + B -> 3C")
+        assert str(rxn) == "2A + B -> 3C"

@@ -1,0 +1,92 @@
+"""Tests for the Section 8 scaling limit and the Section 9 superadditivity checks."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.scaling import (
+    infinity_scaling,
+    scaling_gradient_table,
+    scaling_is_superadditive,
+    scaling_of_eventually_min,
+    scaling_on_face,
+)
+from repro.core.superadditive import (
+    find_monotonicity_violation,
+    find_superadditivity_violation,
+    is_nondecreasing_upto,
+    is_superadditive_upto,
+    superadditive_implies_nondecreasing,
+)
+from repro.functions.catalog import double_spec, floor_3x_over_2_spec, min_one_spec, minimum_spec
+from repro.functions.paper_examples import fig7_spec
+
+
+class TestInfinityScaling:
+    def test_numeric_estimate_of_min(self):
+        value = infinity_scaling(lambda x: min(x), (1.0, 2.0), scale=5_000)
+        assert value == pytest.approx(1.0, abs=1e-3)
+
+    def test_exact_scaling_of_eventually_min(self):
+        spec = fig7_spec()
+        value = scaling_of_eventually_min(spec.eventually_min, (Fraction(1), Fraction(3)))
+        assert value == Fraction(1)
+        balanced = scaling_of_eventually_min(spec.eventually_min, (Fraction(2), Fraction(2)))
+        assert balanced == Fraction(2)
+
+    def test_exact_scaling_requires_positive_point(self):
+        spec = fig7_spec()
+        with pytest.raises(ValueError):
+            scaling_of_eventually_min(spec.eventually_min, (0, 1))
+
+    def test_periodic_offsets_vanish_in_the_limit(self):
+        spec = floor_3x_over_2_spec()
+        numeric = infinity_scaling(spec.func, (1.0,), scale=10_000)
+        assert numeric == pytest.approx(1.5, abs=1e-3)
+        exact = scaling_of_eventually_min(spec.eventually_min, (1,))
+        assert exact == Fraction(3, 2)
+
+    def test_scaling_on_zero_face_uses_restriction(self):
+        spec = min_one_spec()
+        # On the face x = 0 the scaling is 0.
+        assert scaling_on_face(spec, (0,), frozenset({0})) == 0
+
+    def test_scaling_superadditive_for_min(self):
+        samples = [((1.0, 2.0), (2.0, 1.0)), ((0.5, 0.5), (1.5, 2.5))]
+        assert scaling_is_superadditive(lambda x: min(x), 2, samples)
+
+    def test_scaling_not_superadditive_for_max(self):
+        samples = [((1.0, 0.0), (0.0, 1.0))]
+        assert not scaling_is_superadditive(lambda x: max(x), 2, samples)
+
+    def test_gradient_table(self):
+        table = scaling_gradient_table(minimum_spec().eventually_min)
+        assert (Fraction(1), Fraction(0)) in table and (Fraction(0), Fraction(1)) in table
+
+
+class TestSuperadditivity:
+    def test_double_is_superadditive(self):
+        assert is_superadditive_upto(lambda x: 2 * x[0], 1, 8)
+
+    def test_min_is_superadditive(self):
+        assert is_superadditive_upto(lambda x: min(x), 2, 6)
+
+    def test_min_one_is_not_superadditive(self):
+        # min(1, x) fails superadditivity: f(1) + f(1) = 2 > f(2) = 1 (Observation 9.1 context).
+        assert not is_superadditive_upto(lambda x: min(1, x[0]), 1, 4)
+        violation = find_superadditivity_violation(lambda x: min(1, x[0]), 1, 4)
+        assert violation is not None
+
+    def test_max_is_not_superadditive(self):
+        assert not is_superadditive_upto(lambda x: max(x), 2, 4)
+
+    def test_nondecreasing_checks(self):
+        assert is_nondecreasing_upto(lambda x: min(x), 2, 5)
+        assert not is_nondecreasing_upto(lambda x: max(0, 3 - x[0]), 1, 5)
+        assert find_monotonicity_violation(lambda x: max(0, 3 - x[0]), 1, 5) is not None
+        assert find_monotonicity_violation(lambda x: x[0], 1, 5) is None
+
+    def test_superadditive_implies_nondecreasing(self):
+        assert superadditive_implies_nondecreasing(lambda x: 2 * x[0], 1, 6)
+        # Vacuously true for a non-superadditive function.
+        assert superadditive_implies_nondecreasing(lambda x: min(1, x[0]), 1, 6)

@@ -1,0 +1,136 @@
+"""Unit tests for semilinear functions and predicates (Definition 2.6)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.semilinear.functions import AffinePiece, SemilinearFunction
+from repro.semilinear.predicates import (
+    coordinate_exceeds,
+    majority_predicate,
+    parity_predicate,
+    threshold_predicate,
+)
+from repro.semilinear.sets import ModSet, ThresholdSet, UniversalSet
+
+
+class TestAffinePiece:
+    def test_value_and_domain(self):
+        piece = AffinePiece(ThresholdSet((1,), 2), (Fraction(2),), Fraction(1))
+        assert piece.applies_to((3,)) and not piece.applies_to((1,))
+        assert piece.value((3,)) == 7
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AffinePiece(UniversalSet(2), (Fraction(1),), Fraction(0))
+
+
+class TestSemilinearFunction:
+    def make_min(self):
+        return SemilinearFunction(
+            [
+                AffinePiece(ThresholdSet((-1, 1), 0), (Fraction(1), Fraction(0)), Fraction(0)),
+                AffinePiece(UniversalSet(2), (Fraction(0), Fraction(1)), Fraction(0)),
+            ],
+            name="min",
+        )
+
+    def test_evaluation_matches_min(self):
+        func = self.make_min()
+        for x in [(0, 0), (2, 5), (5, 2), (3, 3)]:
+            assert func(x) == min(x)
+
+    def test_affine_constructor(self):
+        func = SemilinearFunction.affine((2, 1), 3)
+        assert func((1, 1)) == 6
+
+    def test_floor_function_via_mod_domains(self):
+        # floor(3x/2) as two affine pieces with parity domains.
+        even = ModSet((1,), 0, 2)
+        odd = ModSet((1,), 1, 2)
+        func = SemilinearFunction(
+            [
+                AffinePiece(even, (Fraction(3, 2),), Fraction(0)),
+                AffinePiece(odd, (Fraction(3, 2),), Fraction(-1, 2)),
+            ],
+            name="floor(3x/2)",
+        )
+        assert [func((x,)) for x in range(6)] == [0, 1, 3, 4, 6, 7]
+        assert func.global_period() == 2
+
+    def test_non_integer_value_rejected(self):
+        func = SemilinearFunction([AffinePiece(UniversalSet(1), (Fraction(1, 2),), Fraction(0))])
+        with pytest.raises(ValueError):
+            func((1,))
+
+    def test_negative_value_rejected(self):
+        func = SemilinearFunction([AffinePiece(UniversalSet(1), (Fraction(1),), Fraction(-5))])
+        with pytest.raises(ValueError):
+            func((1,))
+
+    def test_uncovered_point_rejected(self):
+        func = SemilinearFunction([AffinePiece(ThresholdSet((1,), 5), (Fraction(1),), Fraction(0))])
+        with pytest.raises(ValueError):
+            func((1,))
+        assert not func.is_total_upto(3)
+
+    def test_nondecreasing_check(self):
+        assert self.make_min().is_nondecreasing_upto(5)
+        decreasing = SemilinearFunction(
+            [
+                AffinePiece(ThresholdSet((1,), 3), (Fraction(0),), Fraction(0)),
+                AffinePiece(UniversalSet(1), (Fraction(0),), Fraction(2)),
+            ]
+        )
+        assert not decreasing.is_nondecreasing_upto(6)
+
+    def test_agrees_with_upto(self):
+        assert self.make_min().agrees_with_upto(lambda x: min(x), 5)
+        assert not self.make_min().agrees_with_upto(lambda x: max(x), 5)
+
+    def test_threshold_and_mod_atom_collection(self):
+        func = self.make_min()
+        assert len(func.threshold_atoms()) == 1
+        assert func.global_period() == 1
+
+    def test_mismatched_piece_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            SemilinearFunction(
+                [
+                    AffinePiece(UniversalSet(1), (Fraction(1),), Fraction(0)),
+                    AffinePiece(UniversalSet(2), (Fraction(1), Fraction(1)), Fraction(0)),
+                ]
+            )
+
+    def test_empty_pieces_rejected(self):
+        with pytest.raises(ValueError):
+            SemilinearFunction([])
+
+
+class TestPredicates:
+    def test_majority(self):
+        pred = majority_predicate()
+        assert pred((3, 2)) == 1 and pred((2, 3)) == 0
+
+    def test_threshold(self):
+        pred = threshold_predicate((1, 1), 4)
+        assert pred((2, 2)) == 1 and pred((1, 2)) == 0
+
+    def test_parity(self):
+        pred = parity_predicate(dimension=2, modulus=2, residue=1)
+        assert pred((1, 2)) == 1 and pred((1, 1)) == 0
+
+    def test_coordinate_exceeds(self):
+        pred = coordinate_exceeds(dimension=3, index=1, threshold=2)
+        assert pred((0, 3, 0)) == 1 and pred((5, 2, 5)) == 0
+
+    def test_boolean_combinations(self):
+        pred = majority_predicate().conjunction(parity_predicate(dimension=2))
+        assert pred((3, 1)) == 1          # majority and even sum
+        assert pred((3, 2)) == 0          # odd sum
+        negated = majority_predicate().negation()
+        assert negated((1, 5)) == 1
+
+    def test_coordinate_exceeds_bounds_checked(self):
+        with pytest.raises(ValueError):
+            coordinate_exceeds(dimension=2, index=5, threshold=0)

@@ -1,0 +1,112 @@
+"""Unit tests for semilinear sets (Definition 2.5)."""
+
+import pytest
+
+from repro.semilinear.sets import (
+    Complement,
+    EmptySet,
+    Intersection,
+    ModSet,
+    ThresholdSet,
+    Union,
+    UniversalSet,
+    box_set,
+    equality_set,
+)
+
+
+class TestThresholdSet:
+    def test_membership(self):
+        threshold = ThresholdSet((1, -1), 0)  # x1 >= x2
+        assert threshold.contains((3, 2))
+        assert threshold.contains((2, 2))
+        assert not threshold.contains((1, 2))
+
+    def test_boundary_hyperplane(self):
+        assert ThresholdSet((2, 0), 3).boundary_hyperplane() == ((2, 0), 3)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ThresholdSet((1, 1), 0).contains((1,))
+
+    def test_str(self):
+        assert ">=" in str(ThresholdSet((1,), 2))
+
+
+class TestModSet:
+    def test_membership(self):
+        parity = ModSet((1, 1), 0, 2)
+        assert parity.contains((1, 1))
+        assert not parity.contains((1, 2))
+
+    def test_negative_residue_normalized(self):
+        assert ModSet((1,), -1, 3).contains((2,))
+
+    def test_zero_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            ModSet((1,), 0, 0)
+
+
+class TestBooleanAlgebra:
+    def test_union_intersection_complement(self):
+        ge2 = ThresholdSet((1,), 2)
+        even = ModSet((1,), 0, 2)
+        union = ge2 | even
+        inter = ge2 & even
+        comp = ~ge2
+        assert union.contains((0,)) and union.contains((3,))
+        assert inter.contains((4,)) and not inter.contains((3,))
+        assert comp.contains((1,)) and not comp.contains((2,))
+
+    def test_difference(self):
+        ge1 = ThresholdSet((1,), 1)
+        ge3 = ThresholdSet((1,), 3)
+        band = ge1 - ge3
+        assert band.contains((2,)) and not band.contains((3,)) and not band.contains((0,))
+
+    def test_mixed_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            Union(ThresholdSet((1,), 0), ThresholdSet((1, 1), 0))
+
+    def test_atoms_collected(self):
+        expr = (ThresholdSet((1,), 1) & ModSet((1,), 0, 2)) | ThresholdSet((1,), 5)
+        assert len(expr.threshold_atoms()) == 2
+        assert len(expr.mod_atoms()) == 1
+
+    def test_global_period_is_lcm(self):
+        expr = ModSet((1,), 0, 4) & ModSet((1,), 1, 6)
+        assert expr.global_period() == 12
+
+    def test_universal_and_empty(self):
+        assert UniversalSet(2).contains((5, 5))
+        assert not EmptySet(2).contains((0, 0))
+        assert UniversalSet(1).global_period() == 1
+
+
+class TestEnumeration:
+    def test_enumerate_upto(self):
+        even = ModSet((1,), 0, 2)
+        assert list(even.enumerate_upto(6)) == [(0,), (2,), (4,)]
+
+    def test_count_upto_2d(self):
+        diag = equality_set((1, -1), 0)
+        assert diag.count_upto(4) == 4
+
+    def test_is_empty_upto(self):
+        assert ThresholdSet((1,), 100).is_empty_upto(10)
+        assert not ThresholdSet((1,), 2).is_empty_upto(10)
+
+
+class TestConstructors:
+    def test_equality_set(self):
+        diag = equality_set((1, -1), 0)
+        assert diag.contains((3, 3)) and not diag.contains((3, 2))
+
+    def test_box_set(self):
+        box = box_set((1, 1), (2, 3))
+        assert box.contains((1, 3)) and box.contains((2, 1))
+        assert not box.contains((0, 1)) and not box.contains((2, 4))
+
+    def test_box_set_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            box_set((0,), (1, 1))

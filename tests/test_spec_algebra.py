@@ -1,0 +1,143 @@
+"""Tests for the spec-level composition calculus (closure under min / sum / scale / compose)."""
+
+import pytest
+
+from repro.core.algebra import compose_specs, min_of_specs, scale_spec, sum_of_specs
+from repro.core.characterization import check_obliviously_computable
+from repro.functions.catalog import (
+    add_spec,
+    double_spec,
+    floor_3x_over_2_spec,
+    identity_spec,
+    min_one_spec,
+    minimum_spec,
+)
+from repro.verify.stable import verify_stable_computation
+
+
+def x1_spec():
+    """The projection f(x1, x2) = x1 as a spec with a known CRN."""
+    from repro.crn.network import CRN
+    from repro.crn.species import species
+    from repro.core.specs import FunctionSpec
+    from repro.quilt.eventually_min import EventuallyMin
+    from repro.quilt.quilt_affine import QuiltAffine
+
+    X1, X2, Y = species("X1 X2 Y")
+    crn = CRN([X1 >> Y], (X1, X2), Y, name="proj1")
+    return FunctionSpec(
+        name="x1",
+        dimension=2,
+        func=lambda x: x[0],
+        eventually_min=EventuallyMin([QuiltAffine.affine((1, 0), 0)], (0, 0)),
+        known_crn=crn,
+        expected_obliviously_computable=True,
+    )
+
+
+def x2_plus_one_spec():
+    from repro.crn.network import CRN
+    from repro.crn.species import species, Species
+    from repro.core.specs import FunctionSpec
+    from repro.quilt.eventually_min import EventuallyMin
+    from repro.quilt.quilt_affine import QuiltAffine
+
+    X1, X2, Y, L = species("X1 X2 Y L")
+    crn = CRN([X2 >> Y, L >> Y], (X1, X2), Y, leader=L, name="x2+1")
+    return FunctionSpec(
+        name="x2+1",
+        dimension=2,
+        func=lambda x: x[1] + 1,
+        eventually_min=EventuallyMin([QuiltAffine.affine((0, 1), 1)], (0, 0)),
+        known_crn=crn,
+        expected_obliviously_computable=True,
+    )
+
+
+class TestMinOfSpecs:
+    def test_callable_and_representation(self):
+        combined = min_of_specs([x1_spec(), x2_plus_one_spec()])
+        assert combined((3, 1)) == 2
+        assert combined((1, 4)) == 1
+        assert combined.eventually_min is not None
+        assert len(combined.eventually_min.pieces) == 2
+        assert combined.agrees_with_eventually_min()
+
+    def test_combined_crn_stably_computes_the_min(self):
+        combined = min_of_specs([x1_spec(), x2_plus_one_spec()])
+        assert combined.known_crn is not None
+        assert combined.known_crn.is_output_oblivious()
+        report = verify_stable_computation(
+            combined.known_crn, combined.func, inputs=[(0, 0), (2, 0), (1, 3), (3, 1)]
+        )
+        assert report.passed, report.describe()
+
+    def test_result_passes_characterization(self):
+        combined = min_of_specs([x1_spec(), x2_plus_one_spec()])
+        verdict = check_obliviously_computable(combined)
+        assert verdict.obliviously_computable is True
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            min_of_specs([x1_spec(), double_spec()])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            min_of_specs([])
+
+
+class TestSumOfSpecs:
+    def test_sum_callable_and_crn(self):
+        combined = sum_of_specs([x1_spec(), x2_plus_one_spec()])
+        assert combined((2, 3)) == 6
+        assert combined.eventually_min is not None
+        assert combined.eventually_min.pieces[0].gradient == (1, 1)
+        report = verify_stable_computation(
+            combined.known_crn, combined.func, inputs=[(0, 0), (1, 2), (2, 1)]
+        )
+        assert report.passed, report.describe()
+
+    def test_sum_of_true_minimum_drops_representation(self):
+        combined = sum_of_specs([minimum_spec(), add_spec()])
+        assert combined((2, 3)) == 2 + 5
+        assert combined.eventually_min is None
+
+
+class TestScaleSpec:
+    def test_scaled_values_and_crn(self):
+        tripled = scale_spec(minimum_spec(), 3)
+        assert tripled((2, 5)) == 6
+        assert tripled.eventually_min is not None
+        report = verify_stable_computation(
+            tripled.known_crn, tripled.func, inputs=[(0, 1), (2, 2), (1, 3)]
+        )
+        assert report.passed, report.describe()
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            scale_spec(minimum_spec(), -1)
+
+
+class TestComposeSpecs:
+    def test_double_after_min(self):
+        composed = compose_specs(double_spec(), minimum_spec())
+        assert composed((3, 5)) == 6
+        assert composed.known_crn is not None
+        report = verify_stable_computation(
+            composed.known_crn, composed.func, inputs=[(1, 2), (2, 2)]
+        )
+        assert report.passed
+
+    def test_floor_after_double(self):
+        composed = compose_specs(floor_3x_over_2_spec(), double_spec())
+        assert composed((3,)) == 9
+        report = verify_stable_computation(composed.known_crn, composed.func, inputs=[(0,), (2,), (3,)])
+        assert report.passed
+
+    def test_outer_must_be_single_input(self):
+        with pytest.raises(ValueError):
+            compose_specs(minimum_spec(), minimum_spec())
+
+    def test_min_one_after_identity(self):
+        composed = compose_specs(min_one_spec(), identity_spec())
+        assert [composed((v,)) for v in range(4)] == [0, 1, 1, 1]

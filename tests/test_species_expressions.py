@@ -1,0 +1,97 @@
+"""Unit tests for Species and the reaction-expression DSL."""
+
+import pytest
+
+from repro.crn.species import Expression, Species, species
+from repro.crn.reaction import Reaction
+
+
+class TestSpecies:
+    def test_species_equality_by_name(self):
+        assert Species("X") == Species("X")
+        assert Species("X") != Species("Y")
+
+    def test_species_is_hashable(self):
+        assert len({Species("X"), Species("X"), Species("Y")}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Species("")
+
+    def test_whitespace_name_rejected(self):
+        with pytest.raises(ValueError):
+            Species("A B")
+
+    def test_with_prefix(self):
+        assert Species("X").with_prefix("up_") == Species("up_X")
+
+    def test_renamed(self):
+        assert Species("X").renamed("Z") == Species("Z")
+
+    def test_species_helper_splits_string(self):
+        a, b, c = species("A B C")
+        assert (a.name, b.name, c.name) == ("A", "B", "C")
+
+    def test_species_helper_accepts_iterable(self):
+        (only,) = species(["Solo"])
+        assert only.name == "Solo"
+
+    def test_species_helper_rejects_empty(self):
+        with pytest.raises(ValueError):
+            species("")
+
+
+class TestExpression:
+    def test_addition_of_species(self):
+        x, y = species("X Y")
+        expr = x + y
+        assert expr.count(x) == 1 and expr.count(y) == 1
+
+    def test_scalar_multiplication(self):
+        (x,) = species("X")
+        assert (3 * x).count(x) == 3
+        assert (x * 2).count(x) == 2
+
+    def test_repeated_addition_accumulates(self):
+        (x,) = species("X")
+        assert (x + x + x).count(x) == 3
+
+    def test_total_molecularity(self):
+        x, y = species("X Y")
+        assert (2 * x + 3 * y).total() == 5
+
+    def test_zero_literal_means_nothing(self):
+        (x,) = species("X")
+        rxn = x >> 0
+        assert rxn.products.is_empty()
+
+    def test_nonzero_int_rejected(self):
+        (x,) = species("X")
+        with pytest.raises(ValueError):
+            x >> 5
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            Expression({Species("X"): -1})
+
+    def test_expression_equality_and_hash(self):
+        x, y = species("X Y")
+        assert x + y == y + x
+        assert hash(x + y) == hash(y + x)
+        assert x + y != x + 2 * y
+
+    def test_str_sorted_by_name(self):
+        x, y = species("X Y")
+        assert str(2 * y + x) == "X + 2Y"
+
+    def test_rshift_builds_reaction(self):
+        x, y = species("X Y")
+        rxn = 2 * x >> y
+        assert isinstance(rxn, Reaction)
+        assert rxn.reactant_count(x) == 2
+        assert rxn.product_count(y) == 1
+
+    def test_species_rshift_species(self):
+        x, y = species("X Y")
+        rxn = x >> y
+        assert rxn.reactant_count(x) == 1 and rxn.product_count(y) == 1

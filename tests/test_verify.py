@@ -1,0 +1,130 @@
+"""Tests for the verification harness (stable, oblivious, overproduction, composition)."""
+
+import pytest
+
+from repro.functions.catalog import double_spec, maximum_spec, min_one_leaderless_crn, minimum_spec
+from repro.verify.composition import verify_composition
+from repro.verify.oblivious import audit_output_oblivious
+from repro.verify.overproduction import find_overproduction, measure_overshoot
+from repro.verify.stable import default_input_grid, verify_stable_computation
+
+
+class TestStableVerification:
+    def test_min_passes_exhaustively(self):
+        report = verify_stable_computation(minimum_spec().known_crn, lambda x: min(x))
+        assert report.passed
+        assert all(result.method == "exhaustive" for result in report.results)
+
+    def test_wrong_function_fails(self):
+        report = verify_stable_computation(
+            minimum_spec().known_crn, lambda x: max(x), inputs=[(1, 2)]
+        )
+        assert not report.passed
+        assert report.failures()
+
+    def test_simulation_fallback(self):
+        report = verify_stable_computation(
+            double_spec().known_crn,
+            lambda x: 2 * x[0],
+            inputs=[(30,)],
+            exhaustive_limit=10,
+            trials=3,
+        )
+        assert report.passed
+        assert report.results[0].method == "simulation"
+
+    def test_forced_simulation_method(self):
+        report = verify_stable_computation(
+            minimum_spec().known_crn, lambda x: min(x), inputs=[(2, 2)], method="simulation", trials=3
+        )
+        assert report.passed
+        assert report.results[0].method == "simulation"
+
+    def test_forced_exhaustive_reports_inconclusive_as_failure(self):
+        report = verify_stable_computation(
+            double_spec().known_crn,
+            lambda x: 2 * x[0],
+            inputs=[(40,)],
+            method="exhaustive",
+            exhaustive_limit=10,
+        )
+        assert not report.passed
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError):
+            verify_stable_computation(minimum_spec().known_crn, lambda x: min(x), method="magic")
+
+    def test_default_grid(self):
+        assert len(default_input_grid(2, 3)) == 16
+
+    def test_describe_output(self):
+        report = verify_stable_computation(
+            minimum_spec().known_crn, lambda x: min(x), inputs=[(1, 1)]
+        )
+        assert "PASS" in report.describe()
+
+
+class TestObliviousnessAudit:
+    def test_min_report(self):
+        report = audit_output_oblivious(minimum_spec().known_crn)
+        assert report.output_oblivious and report.output_monotonic
+        assert report.composable_by_concatenation()
+
+    def test_max_report(self):
+        report = audit_output_oblivious(maximum_spec().known_crn)
+        assert not report.output_oblivious and not report.output_monotonic
+        assert len(report.consuming_reactions) == 1
+        assert "K + Y" in report.describe()
+
+    def test_annihilation_report(self):
+        report = audit_output_oblivious(min_one_leaderless_crn())
+        assert not report.output_oblivious
+
+
+class TestOverproduction:
+    def test_max_crn_overshoots(self):
+        spec = maximum_spec()
+        witness = find_overproduction(spec.known_crn, spec.func, (4, 4), trials=10, seed=3)
+        assert witness is not None
+        assert witness.overshoot >= 1
+        assert not witness.permanent   # the max CRN eventually retracts the excess
+
+    def test_min_crn_never_overshoots(self):
+        spec = minimum_spec()
+        witness = find_overproduction(spec.known_crn, spec.func, (4, 4), trials=5, seed=3)
+        assert witness is None
+
+    def test_measure_overshoot_summary(self):
+        spec = maximum_spec()
+        summary = measure_overshoot(spec.known_crn, spec.func, [(2, 2), (3, 3)], trials=5, seed=5)
+        assert summary["max_overshoot"] >= 1
+        min_summary = measure_overshoot(
+            minimum_spec().known_crn, lambda x: min(x), [(2, 2)], trials=5, seed=5
+        )
+        assert min_summary["max_overshoot"] == 0
+
+
+class TestCompositionVerification:
+    def test_double_of_min_composes(self):
+        report = verify_composition(
+            minimum_spec().known_crn,
+            double_spec().known_crn,
+            lambda x: min(x),
+            lambda w: 2 * w[0],
+            inputs=[(0, 0), (1, 2), (2, 2)],
+        )
+        assert report.passed
+        assert report.upstream_output_oblivious
+
+    def test_double_of_max_concatenation_fails(self):
+        report = verify_composition(
+            maximum_spec().known_crn,
+            double_spec().known_crn,
+            lambda x: max(x),
+            lambda w: 2 * w[0],
+            inputs=[(1, 1), (2, 1)],
+            require_output_oblivious=False,
+        )
+        assert not report.passed
+        assert not report.upstream_output_oblivious
+        assert "∘" in report.describe()
