@@ -1,8 +1,26 @@
-"""Benchmark suite configuration: make the package importable from a bare checkout."""
+"""Benchmark suite configuration.
+
+Makes the package importable from a bare checkout, and skips every test in
+this directory unless ``--benchmark`` was passed (see the root ``conftest.py``)
+so the tier-1 test run stays fast.
+"""
 
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("benchmark", default=False):
+        return
+    skip = pytest.mark.skip(reason="benchmark suite; pass --benchmark to run")
+    for item in items:
+        if str(item.fspath).startswith(_HERE):
+            item.add_marker(skip)

@@ -1,26 +1,33 @@
-"""Simulator throughput benchmarks (Gillespie SSA vs. fair scheduler).
+"""Simulator throughput benchmarks: scalar loops vs. the vectorized batch engine.
 
 Not a paper figure, but the substrate ablation DESIGN.md calls out: reaction
-events per second for both schedulers across population sizes, and the cost of
-exhaustive reachability-based verification versus randomized simulation for the
-same small instance.
+events per second for the scalar Gillespie/fair schedulers and the numpy batch
+engines head-to-head across population sizes up to 10^5, plus the cost of
+exhaustive reachability-based verification versus randomized simulation.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks --benchmark`` (the suite
+is skipped without the flag).
 """
 
 import random
+import time
 
 import pytest
 
 from repro.crn.reachability import check_stable_computation_at
 from repro.functions.catalog import minimum_spec
+from repro.sim.engine import BatchFairEngine, BatchGillespieEngine
 from repro.sim.fair import FairScheduler
 from repro.sim.gillespie import GillespieSimulator
 from repro.verify.stable import verify_stable_computation
 
 
-POPULATIONS = [10, 100, 1000]
+SCALAR_POPULATIONS = [10, 100, 1000, 10_000]
+BATCH_POPULATIONS = [1000, 10_000, 100_000]
+BATCH = 64
 
 
-@pytest.mark.parametrize("population", POPULATIONS)
+@pytest.mark.parametrize("population", SCALAR_POPULATIONS)
 def test_gillespie_throughput(benchmark, population):
     crn = minimum_spec().known_crn
 
@@ -33,7 +40,7 @@ def test_gillespie_throughput(benchmark, population):
     assert result.output_count(crn) == population
 
 
-@pytest.mark.parametrize("population", POPULATIONS)
+@pytest.mark.parametrize("population", SCALAR_POPULATIONS)
 def test_fair_scheduler_throughput(benchmark, population):
     crn = minimum_spec().known_crn
 
@@ -44,6 +51,84 @@ def test_fair_scheduler_throughput(benchmark, population):
     result = benchmark(run)
     assert result.silent
     assert crn.output_count(result.final_configuration) == population
+
+
+@pytest.mark.parametrize("population", BATCH_POPULATIONS)
+def test_batch_gillespie_throughput(benchmark, population):
+    """Head-to-head counterpart of ``test_gillespie_throughput``: 64 rows at once.
+
+    Per-event cost is what to compare (each call fires ``BATCH`` x population
+    reactions, the scalar benchmark fires population).
+    """
+    compiled = minimum_spec().known_crn.compiled()
+
+    def run():
+        engine = BatchGillespieEngine(compiled, seed=1)
+        return engine.run_on_input((population, population), batch=BATCH)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.silent.all()
+    assert (result.output_counts() == population).all()
+
+
+@pytest.mark.parametrize("population", BATCH_POPULATIONS)
+def test_batch_fair_throughput(benchmark, population):
+    """Head-to-head counterpart of ``test_fair_scheduler_throughput``."""
+    compiled = minimum_spec().known_crn.compiled()
+
+    def run():
+        engine = BatchFairEngine(compiled, seed=1)
+        return engine.run_on_input((population, population), batch=BATCH)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.silent.all()
+    assert (result.output_counts() == population).all()
+
+
+def test_vectorized_speedup_at_population_1e4():
+    """Acceptance gate: >= 10x event throughput over the scalar loop at 10^4.
+
+    Both sides get a warm-up and the best of three timed samples so one GC
+    pause or CPU-contention spike cannot flip the gate either way.
+    """
+    population = 10_000
+    crn = minimum_spec().known_crn
+    compiled = crn.compiled()
+
+    def best_of(runs, run_once):
+        best = float("inf")
+        result = None
+        for _ in range(runs):
+            start = time.perf_counter()
+            result = run_once()
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    GillespieSimulator(crn, rng=random.Random(1)).run_on_input(
+        (population // 10, population // 10)
+    )  # warm-up
+    scalar_time, scalar_result = best_of(
+        3,
+        lambda: GillespieSimulator(crn, rng=random.Random(1)).run_on_input(
+            (population, population)
+        ),
+    )
+    scalar_events_per_sec = scalar_result.steps / scalar_time
+
+    engine = BatchGillespieEngine(compiled, seed=1)
+    engine.run_on_input((population // 10, population // 10), batch=8)  # warm-up
+    batch_time, batch_result = best_of(
+        3, lambda: engine.run_on_input((population, population), batch=256)
+    )
+    batch_events_per_sec = batch_result.total_steps() / batch_time
+
+    assert scalar_result.silent and batch_result.silent.all()
+    speedup = batch_events_per_sec / scalar_events_per_sec
+    print(
+        f"\n[speedup] scalar {scalar_events_per_sec:,.0f} ev/s, "
+        f"vectorized {batch_events_per_sec:,.0f} ev/s -> {speedup:.1f}x"
+    )
+    assert speedup >= 10.0
 
 
 def test_exhaustive_vs_simulation_verification(benchmark):
@@ -60,3 +145,21 @@ def test_exhaustive_vs_simulation_verification(benchmark):
     assert exhaustive.holds and simulated.passed
     print(f"\n[ablation] exhaustive check explored {exhaustive.reachable_count} configurations; "
           "the randomized check ran 3 fair-scheduler trials")
+
+
+def test_vectorized_verification_throughput(benchmark):
+    """The randomized verification path through ``engine='vectorized'``."""
+    crn = minimum_spec().known_crn
+
+    def run():
+        return verify_stable_computation(
+            crn,
+            lambda x: min(x),
+            inputs=[(500, 500)],
+            method="simulation",
+            trials=16,
+            engine="vectorized",
+        )
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.passed

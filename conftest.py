@@ -1,0 +1,17 @@
+"""Root pytest configuration.
+
+Registers the ``--benchmark`` flag: the throughput suites under
+``benchmarks/`` are skipped by default so the tier-1 run (``pytest -x -q``)
+stays fast, and opt in with::
+
+    PYTHONPATH=src python -m pytest benchmarks --benchmark
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--benchmark",
+        action="store_true",
+        default=False,
+        help="run the benchmark suites under benchmarks/ (skipped by default)",
+    )

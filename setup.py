@@ -1,5 +1,29 @@
-"""Setuptools shim so editable installs work without network access or the wheel package."""
+"""Package metadata for the conf_podc_SeversonHD19 reproduction.
 
-from setuptools import setup
+Kept as a plain ``setup.py`` so editable installs work without network access
+or the wheel package; ``pip install -e .`` or ``PYTHONPATH=src`` both work.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-composable-crn",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Composable computation in discrete chemical reaction "
+        "networks' (PODC 2019): superadditivity characterization, CRN "
+        "constructions, verification harness, and a vectorized batch "
+        "simulation engine."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[
+        # Load-bearing for repro.geometry.cones and the repro.sim.engine
+        # batch simulators.
+        "numpy>=1.22",
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+)

@@ -55,6 +55,7 @@ class CRN:
         self._output_species = output_species
         self._leader = leader
         self.name = name
+        self._compiled = None
         self._validate()
 
     # -- validation ----------------------------------------------------------
@@ -246,6 +247,19 @@ class CRN:
     def is_silent(self, config: Configuration) -> bool:
         """True if no reaction is applicable in ``config``."""
         return not any(rxn.applicable(config) for rxn in self._reactions)
+
+    def compiled(self):
+        """The dense :class:`repro.sim.engine.CompiledCRN` view of this network.
+
+        Compiled lazily on first use and cached (reactions and species are
+        immutable after construction, so the compilation never goes stale).
+        The numpy-backed batch engines consume this representation.
+        """
+        if self._compiled is None:
+            from repro.sim.engine import CompiledCRN
+
+            self._compiled = CompiledCRN(self)
+        return self._compiled
 
     # -- transformations -------------------------------------------------------
 

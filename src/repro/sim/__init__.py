@@ -1,22 +1,64 @@
-"""Simulators for discrete CRNs.
+"""Simulators for discrete CRNs: scalar reference schedulers + a numpy batch engine.
 
-Two schedulers are provided:
+Two scheduling semantics are provided, each in a scalar and a vectorized form:
 
-* :class:`GillespieSimulator` — the exact stochastic simulation algorithm
-  (Gillespie 1977), which samples the continuous-time Markov process the paper
-  describes.  Used for kinetic experiments and benchmarks.
-* :class:`FairScheduler` — a rate-agnostic scheduler that repeatedly fires a
-  uniformly random applicable reaction.  Stable computation is defined purely
-  by reachability, so a fair random scheduler converges to the stable output
-  with probability 1; this scheduler is the workhorse of the empirical
-  verification harness for inputs too large for exhaustive search.
+* **Gillespie** — the exact stochastic simulation algorithm (Gillespie 1977),
+  sampling the continuous-time Markov process the paper describes.  Used for
+  kinetic experiments and throughput benchmarks.
+* **Fair** — a rate-agnostic scheduler that repeatedly fires a uniformly
+  random applicable reaction.  Stable computation is defined purely by
+  reachability, so a fair random scheduler converges to the stable output with
+  probability 1; this is the workhorse of the empirical verification harness
+  for inputs too large for exhaustive search.
+
+The scalar simulators are the reference oracle; the batch engines
+(:mod:`repro.sim.engine`) advance ``B`` trajectories per numpy step and are
+selected via ``engine="vectorized"`` in the runner helpers.  See ``DESIGN.md``
+for the architecture and seeding policy.
+
+API
+---
+
+======================================  =======================================================
+Symbol                                  Purpose
+======================================  =======================================================
+``GillespieSimulator`` / ``..Result``   Scalar exact SSA over one trajectory.
+``FairScheduler`` / ``FairRunResult``   Scalar rate-independent scheduler (optional bias).
+``output_producing_bias``               Adversarial bias: prefer output-producing reactions.
+``output_consuming_bias``               Adversarial bias: prefer output-consuming reactions.
+``CompiledCRN``                         Dense stoichiometry compilation of a CRN (numpy).
+``BatchGillespieEngine``                Vectorized SSA: B independent trajectories per step.
+``BatchFairEngine``                     Vectorized fair scheduler with quiescence windows.
+``BatchRunResult``                      Array-valued result of a batch run.
+``Trajectory`` / ``TrajectoryPoint``    Recorded species counts along a scalar run.
+``ConvergenceReport``                   Aggregate statistics over repeated runs.
+``run_to_convergence``                  One fair run until silence / quiescence.
+``run_many``                            Repeated fair runs (``engine="python"|"vectorized"``).
+``estimate_expected_output``            Monte-Carlo mean output under Gillespie kinetics.
+``sweep_inputs``                        ``run_many`` over a collection of inputs.
+``default_quiescence_window``           Population-scaled convergence-detection window.
+``ENGINES``                             The valid ``engine=`` selector values.
+======================================  =======================================================
 """
 
 from repro.sim.gillespie import GillespieSimulator, GillespieResult
-from repro.sim.fair import FairScheduler, FairRunResult
+from repro.sim.fair import (
+    FairScheduler,
+    FairRunResult,
+    output_consuming_bias,
+    output_producing_bias,
+)
+from repro.sim.engine import (
+    BatchFairEngine,
+    BatchGillespieEngine,
+    BatchRunResult,
+    CompiledCRN,
+)
 from repro.sim.trajectory import Trajectory, TrajectoryPoint
 from repro.sim.runner import (
+    ENGINES,
     ConvergenceReport,
+    default_quiescence_window,
     run_to_convergence,
     run_many,
     estimate_expected_output,
@@ -28,6 +70,12 @@ __all__ = [
     "GillespieResult",
     "FairScheduler",
     "FairRunResult",
+    "output_producing_bias",
+    "output_consuming_bias",
+    "CompiledCRN",
+    "BatchGillespieEngine",
+    "BatchFairEngine",
+    "BatchRunResult",
     "Trajectory",
     "TrajectoryPoint",
     "ConvergenceReport",
@@ -35,4 +83,6 @@ __all__ = [
     "run_many",
     "estimate_expected_output",
     "sweep_inputs",
+    "default_quiescence_window",
+    "ENGINES",
 ]

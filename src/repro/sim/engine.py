@@ -1,0 +1,461 @@
+"""Vectorized batch simulation engine: many trajectories per numpy step.
+
+The scalar simulators (:mod:`repro.sim.gillespie`, :mod:`repro.sim.fair`)
+advance one trajectory at a time through dict-backed
+:class:`~repro.crn.configuration.Configuration` objects.  That representation
+is ideal for reachability search, but it caps kinetic benchmarks and the
+repeated-run evidence gathered by :mod:`repro.verify.stable` at populations of
+about a thousand molecules.
+
+This module trades the sparse dict representation for a dense one:
+
+* :class:`CompiledCRN` compiles a :class:`~repro.crn.network.CRN` once into
+  reactant / product / net stoichiometry matrices (R x S integer arrays over a
+  fixed species ordering) plus the rate vector and output-species index.
+* :class:`BatchGillespieEngine` advances ``B`` independent Gillespie
+  trajectories simultaneously: propensities are computed as a ``(B, R)``
+  matrix using binomial-coefficient mass-action kinetics, exponential waiting
+  times and reaction choices are sampled per row, and finished or silent rows
+  are masked out of subsequent steps.
+* :class:`BatchFairEngine` is the rate-independent counterpart: each row fires
+  a uniformly random (or statically biased) applicable reaction, with the same
+  per-row quiescence-window convergence detection as
+  :class:`~repro.sim.fair.FairScheduler`.
+
+The scalar simulators remain the reference oracle; see ``DESIGN.md`` for the
+architecture and the seeding / reproducibility policy, and
+``tests/test_engine.py`` for the scalar-vs-vectorized equivalence suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.crn.configuration import Configuration
+from repro.crn.species import Species
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (network imports us lazily)
+    from repro.crn.network import CRN
+    from repro.crn.reaction import Reaction
+
+
+class CompiledCRN:
+    """A dense, numpy-ready compilation of a :class:`~repro.crn.network.CRN`.
+
+    The compilation fixes the species ordering (sorted by name, matching
+    ``CRN.species()``) and materializes:
+
+    ``reactants`` / ``products`` / ``net``
+        ``(R, S)`` integer stoichiometry matrices; ``net = products - reactants``.
+    ``rates``
+        ``(R,)`` float vector of mass-action rate constants.
+    ``output_index``
+        Column index of the designated output species.
+
+    Compile once per network and reuse: :meth:`repro.crn.network.CRN.compiled`
+    caches the instance on the CRN.
+    """
+
+    def __init__(self, crn: "CRN") -> None:
+        self.crn = crn
+        self.species: Tuple[Species, ...] = crn.species()
+        self.index: Dict[Species, int] = {sp: i for i, sp in enumerate(self.species)}
+        n_reactions = len(crn.reactions)
+        n_species = len(self.species)
+        self.reactants = np.zeros((n_reactions, n_species), dtype=np.int64)
+        self.products = np.zeros((n_reactions, n_species), dtype=np.int64)
+        for r, rxn in enumerate(crn.reactions):
+            for sp, count in rxn.reactants.counts.items():
+                self.reactants[r, self.index[sp]] = count
+            for sp, count in rxn.products.counts.items():
+                self.products[r, self.index[sp]] = count
+        self.net = self.products - self.reactants
+        self.rates = np.array([rxn.rate for rxn in crn.reactions], dtype=np.float64)
+        self.output_index = self.index[crn.output_species]
+        # Per-reaction sparse term lists (species_index, coefficient): the hot
+        # loops touch only the species a reaction actually mentions, which is
+        # much cheaper than broadcasting full (B, R, S) intermediates.
+        self._terms: List[Tuple[Tuple[int, int], ...]] = [
+            tuple(
+                (s, int(self.reactants[r, s]))
+                for s in np.flatnonzero(self.reactants[r]).tolist()
+            )
+            for r in range(n_reactions)
+        ]
+
+    # -- shape accessors -----------------------------------------------------
+
+    @property
+    def n_species(self) -> int:
+        """Number of species columns ``S``."""
+        return len(self.species)
+
+    @property
+    def n_reactions(self) -> int:
+        """Number of reaction rows ``R``."""
+        return len(self.crn.reactions)
+
+    # -- encoding / decoding ---------------------------------------------------
+
+    def encode(self, config: Configuration) -> np.ndarray:
+        """Encode a sparse configuration as a dense ``(S,)`` count vector."""
+        vector = np.zeros(self.n_species, dtype=np.int64)
+        for sp, count in config.items():
+            try:
+                vector[self.index[sp]] = count
+            except KeyError:
+                raise ValueError(
+                    f"species {sp.name!r} does not occur in the compiled network"
+                ) from None
+        return vector
+
+    def encode_batch(self, config: Configuration, batch: int) -> np.ndarray:
+        """Tile one configuration into a ``(batch, S)`` matrix of row copies."""
+        if batch < 1:
+            raise ValueError(f"batch size must be positive, got {batch}")
+        return np.tile(self.encode(config), (batch, 1))
+
+    def decode(self, vector: np.ndarray) -> Configuration:
+        """Decode one dense ``(S,)`` count vector back into a configuration."""
+        return Configuration(
+            {sp: int(vector[i]) for sp, i in self.index.items() if vector[i] > 0}
+        )
+
+    # -- vectorized kinetics ---------------------------------------------------
+
+    def propensities(self, counts: np.ndarray) -> np.ndarray:
+        """Mass-action propensities as a ``(B, R)`` matrix.
+
+        ``counts`` is a ``(B, S)`` batch of configurations.  Row ``b``, column
+        ``r`` is ``rate_r * prod_s C(counts[b, s], reactants[r, s])`` — the
+        same binomial-coefficient form as
+        :meth:`repro.crn.reaction.Reaction.propensity`, zero whenever a
+        reactant is under-supplied.
+        """
+        counts = np.atleast_2d(counts)
+        out = np.broadcast_to(self.rates, (counts.shape[0], self.n_reactions)).copy()
+        for r, terms in enumerate(self._terms):
+            for s, coefficient in terms:
+                n = counts[:, s].astype(np.float64)
+                if coefficient == 1:
+                    out[:, r] *= n
+                else:
+                    # Falling-factorial form of C(n, k); hits an exact zero
+                    # factor whenever n < k, so no clamping is needed.
+                    for j in range(coefficient):
+                        out[:, r] *= (n - j) / (j + 1)
+        return out
+
+    def applicable(self, counts: np.ndarray) -> np.ndarray:
+        """Boolean ``(B, R)`` applicability matrix (all reactants present)."""
+        counts = np.atleast_2d(counts)
+        out = np.ones((counts.shape[0], self.n_reactions), dtype=bool)
+        for r, terms in enumerate(self._terms):
+            for s, coefficient in terms:
+                out[:, r] &= counts[:, s] >= coefficient
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledCRN({self.crn.name or '(unnamed)'}, "
+            f"R={self.n_reactions}, S={self.n_species})"
+        )
+
+
+@dataclass
+class BatchRunResult:
+    """Result of advancing a batch of ``B`` independent trajectories.
+
+    All per-trajectory fields are numpy arrays of length ``B``; ``counts`` is
+    the ``(B, S)`` matrix of final configurations in the compiled species
+    ordering.  ``times`` is only populated by the Gillespie engine and
+    ``converged`` only by the fair engine (it is all-False for Gillespie runs,
+    which have no quiescence detector).
+    """
+
+    compiled: CompiledCRN
+    counts: np.ndarray
+    steps: np.ndarray
+    silent: np.ndarray
+    converged: np.ndarray
+    max_output_seen: np.ndarray
+    times: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return self.counts.shape[0]
+
+    @property
+    def batch(self) -> int:
+        """The number of trajectories ``B``."""
+        return self.counts.shape[0]
+
+    def output_counts(self) -> np.ndarray:
+        """Final output-species counts, one per trajectory."""
+        return self.counts[:, self.compiled.output_index]
+
+    def configuration(self, row: int) -> Configuration:
+        """The final configuration of trajectory ``row`` as a sparse object."""
+        return self.compiled.decode(self.counts[row])
+
+    def configurations(self) -> List[Configuration]:
+        """All final configurations as sparse objects."""
+        return [self.configuration(row) for row in range(self.batch)]
+
+    def all_silent_or_converged(self) -> bool:
+        """True if every trajectory ended in silence or detected quiescence."""
+        return bool(np.all(self.silent | self.converged))
+
+    def total_steps(self) -> int:
+        """Total reaction events fired across the whole batch."""
+        return int(self.steps.sum())
+
+
+class _BatchEngineBase:
+    """Shared compilation / seeding plumbing for the batch engines."""
+
+    def __init__(
+        self,
+        crn: "CRN | CompiledCRN",
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.compiled = crn if isinstance(crn, CompiledCRN) else CompiledCRN(crn)
+        self.crn = self.compiled.crn
+        if rng is not None and seed is not None:
+            raise ValueError("pass either seed or rng, not both")
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+
+    def _initial_counts(self, initial: Configuration, batch: int) -> np.ndarray:
+        return self.compiled.encode_batch(initial, batch)
+
+
+class BatchGillespieEngine(_BatchEngineBase):
+    """Vectorized Gillespie direct method over ``B`` independent trajectories.
+
+    Statistically equivalent to running :class:`~repro.sim.gillespie.GillespieSimulator`
+    ``B`` times (same CTMC, different random streams); the equivalence suite in
+    ``tests/test_engine.py`` checks identical stable outputs and matching step
+    statistics against the scalar oracle.
+
+    Parameters
+    ----------
+    crn:
+        The network to simulate, or an already-compiled :class:`CompiledCRN`.
+    seed / rng:
+        Either an integer seed (fed to :func:`numpy.random.default_rng`) or an
+        explicit generator.  Mutually exclusive.
+    """
+
+    def run(
+        self,
+        initial: Configuration,
+        batch: int = 1,
+        max_steps: int = 1_000_000,
+        max_time: float = float("inf"),
+    ) -> BatchRunResult:
+        """Advance ``batch`` trajectories from ``initial`` until each is done.
+
+        A trajectory finishes when it falls silent (total propensity zero),
+        fires ``max_steps`` reactions, or passes ``max_time`` simulated time
+        (its clock is then clamped to ``max_time``, mirroring the scalar
+        simulator).
+        """
+        compiled = self.compiled
+        counts = self._initial_counts(initial, batch)
+        steps = np.zeros(batch, dtype=np.int64)
+        times = np.zeros(batch, dtype=np.float64)
+        silent = np.zeros(batch, dtype=bool)
+        max_output = counts[:, compiled.output_index].copy()
+        # A network with no reactions is silent everywhere (the scalar
+        # simulator's behaviour); the selection math below assumes R >= 1.
+        active = np.full(batch, compiled.n_reactions > 0)
+        silent |= ~active
+
+        while True:
+            rows = np.flatnonzero(active)
+            if rows.size == 0:
+                break
+            cumulative = np.cumsum(compiled.propensities(counts[rows]), axis=1)
+            # Totals are read off the cumulative sum so the inverse-CDF search
+            # below can never run past the last column (a separate sum() can
+            # disagree with cumsum by an ulp).
+            totals = cumulative[:, -1]
+            alive = totals > 0.0
+            newly_silent = rows[~alive]
+            silent[newly_silent] = True
+            active[newly_silent] = False
+            rows = rows[alive]
+            if rows.size == 0:
+                continue
+            cumulative = cumulative[alive]
+            totals = totals[alive]
+
+            waits = self.rng.standard_exponential(rows.size) / totals
+            new_times = times[rows] + waits
+            overtime = new_times > max_time
+            if overtime.any():
+                timed_out = rows[overtime]
+                times[timed_out] = max_time
+                active[timed_out] = False
+                rows = rows[~overtime]
+                if rows.size == 0:
+                    continue
+                cumulative = cumulative[~overtime]
+                totals = totals[~overtime]
+                new_times = new_times[~overtime]
+
+            # Picks are drawn from (0, total]; counting the cumulative entries
+            # strictly below the pick therefore always lands on a reaction
+            # with positive propensity (never a leading zero column, never
+            # past the end), mirroring the scalar simulator's guard.
+            picks = (1.0 - self.rng.random(rows.size)) * totals
+            chosen = (cumulative < picks[:, None]).sum(axis=1)
+
+            counts[rows] += compiled.net[chosen]
+            steps[rows] += 1
+            times[rows] = new_times
+            max_output[rows] = np.maximum(
+                max_output[rows], counts[rows, compiled.output_index]
+            )
+            exhausted = rows[steps[rows] >= max_steps]
+            active[exhausted] = False
+
+        return BatchRunResult(
+            compiled=compiled,
+            counts=counts,
+            steps=steps,
+            silent=silent,
+            converged=np.zeros(batch, dtype=bool),
+            max_output_seen=max_output,
+            times=times,
+        )
+
+    def run_on_input(self, x: Sequence[int], batch: int = 1, **kwargs) -> BatchRunResult:
+        """Advance ``batch`` trajectories from the initial configuration for ``x``."""
+        return self.run(self.crn.initial_configuration(x), batch=batch, **kwargs)
+
+
+class BatchFairEngine(_BatchEngineBase):
+    """Vectorized fair scheduler: each row fires a random applicable reaction.
+
+    The rate-independent counterpart of :class:`BatchGillespieEngine`, matching
+    the semantics of :class:`~repro.sim.fair.FairScheduler`: uniform choice
+    among the applicable reactions (or a static per-reaction bias), optional
+    per-row quiescence-window convergence detection for networks that never
+    fall silent.
+
+    Parameters
+    ----------
+    crn:
+        The network to run, or an already-compiled :class:`CompiledCRN`.
+    seed / rng:
+        Integer seed or explicit :class:`numpy.random.Generator` (exclusive).
+    bias:
+        Optional weighting function mapping a reaction to a nonnegative
+        weight, evaluated once per reaction at construction time (the scalar
+        scheduler's biases — e.g. :func:`repro.sim.fair.output_producing_bias`
+        — are static per reaction, so this loses no generality).
+    """
+
+    def __init__(
+        self,
+        crn: "CRN | CompiledCRN",
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        bias: Optional[Callable[["Reaction"], float]] = None,
+    ) -> None:
+        super().__init__(crn, seed=seed, rng=rng)
+        if bias is None:
+            self.weights = np.ones(self.compiled.n_reactions, dtype=np.float64)
+        else:
+            # Rows whose applicable reactions all get zero weight fall back to
+            # the uniform choice inside run(), so no normalization is needed.
+            self.weights = np.array(
+                [max(float(bias(rxn)), 0.0) for rxn in self.crn.reactions],
+                dtype=np.float64,
+            )
+
+    def run(
+        self,
+        initial: Configuration,
+        batch: int = 1,
+        max_steps: int = 1_000_000,
+        quiescence_window: int = 0,
+    ) -> BatchRunResult:
+        """Advance ``batch`` trajectories until silence, quiescence, or the bound.
+
+        ``quiescence_window`` matches :meth:`repro.sim.fair.FairScheduler.run`:
+        if positive, a row stops (``converged``) once its output count has been
+        unchanged for that many consecutive steps.
+        """
+        compiled = self.compiled
+        counts = self._initial_counts(initial, batch)
+        steps = np.zeros(batch, dtype=np.int64)
+        silent = np.zeros(batch, dtype=bool)
+        converged = np.zeros(batch, dtype=bool)
+        output_index = compiled.output_index
+        max_output = counts[:, output_index].copy()
+        last_output = counts[:, output_index].copy()
+        unchanged_for = np.zeros(batch, dtype=np.int64)
+        # As in the Gillespie engine: no reactions means silent everywhere.
+        active = np.full(batch, compiled.n_reactions > 0)
+        silent |= ~active
+
+        while True:
+            rows = np.flatnonzero(active)
+            if rows.size == 0:
+                break
+            applicable = compiled.applicable(counts[rows])
+            weighted = applicable * self.weights
+            # Rows where the bias zeroes out every applicable reaction fall
+            # back to the uniform choice, like the scalar scheduler.
+            fallback = ~weighted.any(axis=1) & applicable.any(axis=1)
+            if fallback.any():
+                weighted[fallback] = applicable[fallback].astype(np.float64)
+            cumulative = np.cumsum(weighted, axis=1)
+            totals = cumulative[:, -1]
+            alive = totals > 0.0
+            newly_silent = rows[~alive]
+            silent[newly_silent] = True
+            active[newly_silent] = False
+            rows = rows[alive]
+            if rows.size == 0:
+                continue
+            cumulative = cumulative[alive]
+            totals = totals[alive]
+
+            # (0, total] picks against the cumulative weights: never selects a
+            # zero-weight (inapplicable) reaction and never runs past the end.
+            picks = (1.0 - self.rng.random(rows.size)) * totals
+            chosen = (cumulative < picks[:, None]).sum(axis=1)
+
+            counts[rows] += compiled.net[chosen]
+            steps[rows] += 1
+            current = counts[rows, output_index]
+            max_output[rows] = np.maximum(max_output[rows], current)
+            same = current == last_output[rows]
+            unchanged_for[rows] = np.where(same, unchanged_for[rows] + 1, 0)
+            last_output[rows] = current
+            if quiescence_window:
+                quiescent = rows[unchanged_for[rows] >= quiescence_window]
+                converged[quiescent] = True
+                active[quiescent] = False
+            exhausted = steps[rows] >= max_steps
+            active[rows[exhausted]] = False
+
+        return BatchRunResult(
+            compiled=compiled,
+            counts=counts,
+            steps=steps,
+            silent=silent,
+            converged=converged,
+            max_output_seen=max_output,
+            times=None,
+        )
+
+    def run_on_input(self, x: Sequence[int], batch: int = 1, **kwargs) -> BatchRunResult:
+        """Advance ``batch`` trajectories from the initial configuration for ``x``."""
+        return self.run(self.crn.initial_configuration(x), batch=batch, **kwargs)

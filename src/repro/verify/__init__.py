@@ -4,13 +4,36 @@ Stable computation is a reachability property, checked here two ways:
 
 * exhaustively, by exploring the full reachability graph for small inputs
   (:mod:`repro.crn.reachability`), and
-* statistically, by running the fair random scheduler repeatedly and checking
-  that every run converges to the expected output
-  (:func:`repro.verify.stable.verify_stable_computation`).
+* statistically, by running the fair scheduler repeatedly and checking that
+  every run converges to the expected output
+  (:func:`repro.verify.stable.verify_stable_computation`).  The randomized
+  path accepts ``engine="vectorized"`` to gather its repeated-run evidence
+  through the numpy batch engine (:mod:`repro.sim.engine`), which is the
+  practical option at large populations; ``DESIGN.md`` documents why this
+  randomized substitution is sound evidence (though not a proof).
 
 The package also audits output-obliviousness, searches for overproduction
 witnesses (the failure mode of composing non-output-oblivious CRNs,
 Section 1.2), and checks compositions end to end.
+
+API
+---
+
+==============================  ==========================================================
+Symbol                          Purpose
+==============================  ==========================================================
+``verify_stable_computation``   Exhaustive-or-randomized stable-computation check
+                                (``method=``, ``engine="python"|"vectorized"``).
+``InputVerification``           Per-input verdict (method used, pass/fail, detail).
+``VerificationReport``          Aggregate over a grid of inputs, with ``describe()``.
+``audit_output_oblivious``      Structural audit: does Y ever appear as a reactant?
+``ObliviousnessReport``         Result of the audit, listing offending reactions.
+``find_overproduction``         Adversarial search for output overshoot witnesses.
+``OverproductionWitness``       A schedule that pushed output above the target.
+``measure_overshoot``           Peak-minus-final output statistics over biased runs.
+``verify_composition``          End-to-end check of composed (concatenated) CRNs.
+``CompositionReport``           Result of the composition check.
+==============================  ==========================================================
 """
 
 from repro.verify.oblivious import ObliviousnessReport, audit_output_oblivious

@@ -17,7 +17,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.crn.network import CRN
 from repro.crn.reachability import check_stable_computation_at
-from repro.sim.runner import run_many
+from repro.sim.runner import check_engine, run_many
 
 
 @dataclass
@@ -79,6 +79,7 @@ def verify_stable_computation(
     max_steps: int = 400_000,
     seed: Optional[int] = 7,
     function_name: str = "",
+    engine: str = "python",
 ) -> VerificationReport:
     """Verify that ``crn`` stably computes ``func`` on the given inputs.
 
@@ -89,9 +90,16 @@ def verify_stable_computation(
         forces the randomized fair-scheduler check, and ``"auto"`` (default)
         tries the exhaustive check first and falls back to simulation when the
         reachable set exceeds ``exhaustive_limit``.
+    engine:
+        Simulation engine for the randomized path: ``"python"`` (default, the
+        scalar fair scheduler, preserving historical seeded behaviour) or
+        ``"vectorized"`` (the numpy batch engine of :mod:`repro.sim.engine`,
+        which runs all trials simultaneously and makes repeated-run evidence
+        cheap to gather at large populations).
     """
     if method not in ("auto", "exhaustive", "simulation"):
         raise ValueError(f"unknown verification method {method!r}")
+    check_engine(engine)
     if inputs is None:
         inputs = default_input_grid(crn.dimension)
 
@@ -129,7 +137,7 @@ def verify_stable_computation(
                 continue
 
         convergence = run_many(
-            crn, x, trials=trials, max_steps=max_steps, seed=seed
+            crn, x, trials=trials, max_steps=max_steps, seed=seed, engine=engine
         )
         passed = (
             convergence.all_silent_or_converged
