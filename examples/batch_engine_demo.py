@@ -14,6 +14,7 @@ Run with::
 import random
 import time
 
+from repro.api import RunConfig
 from repro.functions.catalog import maximum_spec, minimum_spec
 from repro.sim import BatchFairEngine, BatchGillespieEngine, GillespieSimulator, run_many
 from repro.verify import verify_stable_computation
@@ -60,23 +61,23 @@ def main() -> None:
     print(f"outputs across {batch} runs: {outputs} (peak transient output {peak})")
     print()
 
-    print("=== Batched convergence evidence through run_many(engine='vectorized') ===")
-    report = run_many(maximum, (25, 60), trials=100, seed=3, engine="vectorized")
+    print("=== Batched convergence evidence through run_many(config=RunConfig(...)) ===")
+    config = RunConfig(trials=100, seed=3, engine="vectorized")
+    report = run_many(maximum, (25, 60), config=config)
     print(
         f"max(25, 60): unanimous={report.output_unanimous}, mode={report.output_mode}, "
         f"mean steps={report.mean_steps:.1f}, max overshoot={report.max_overshoot}"
     )
     print()
 
-    print("=== Randomized verification at scale (engine='vectorized') ===")
+    print("=== Randomized verification at scale (same config, fewer trials) ===")
     report = verify_stable_computation(
         minimum,
         lambda x: min(x),
         inputs=[(2_000, 3_000), (5_000, 1_000)],
         method="simulation",
-        trials=32,
-        engine="vectorized",
         function_name="min",
+        config=config.replace(trials=32),
     )
     print(report.describe())
 

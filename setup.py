@@ -8,12 +8,14 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-composable-crn",
-    version="0.2.0",
+    # Kept in sync with repro.__version__ (tests/test_api_workbench.py enforces it).
+    version="1.1.0",
     description=(
         "Reproduction of 'Composable computation in discrete chemical reaction "
         "networks' (PODC 2019): superadditivity characterization, CRN "
-        "constructions, verification harness, and a vectorized batch "
-        "simulation engine."
+        "constructions, verification harness, a vectorized batch simulation "
+        "engine, and the repro.api workbench facade with a pluggable engine "
+        "registry."
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),

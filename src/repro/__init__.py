@@ -8,7 +8,16 @@ the Section 7 domain decomposition, and the Section 8 continuous-CRN
 correspondence, together with simulators, a verification harness, and a
 benchmark suite regenerating every figure of the paper.
 
-Quickstart::
+Quickstart (the :class:`~repro.api.workbench.Workbench` facade)::
+
+    import repro
+
+    wb = repro.Workbench(repro.RunConfig(trials=20, seed=7))
+    compiled = wb.compile(repro.minimum_spec())
+    assert compiled.verify().passed
+    print(compiled.simulate((30, 50)).output_mode)  # -> 30
+
+or hands-on with the underlying pieces::
 
     from repro import species, CRN, verify_stable_computation
 
@@ -45,8 +54,21 @@ from repro.verify import (
     verify_composition,
     verify_stable_computation,
 )
+from repro.api import RunConfig
+from repro.api.workbench import CompiledFunction, Workbench
+from repro.functions import (
+    add_spec,
+    all_catalog_specs,
+    all_extended_specs,
+    all_paper_example_specs,
+    double_spec,
+    identity_spec,
+    maximum_spec,
+    minimum_spec,
+)
 
-__version__ = "1.0.0"
+# Kept in sync with setup.py (tests/test_api_workbench.py enforces it).
+__version__ = "1.1.0"
 
 __all__ = [
     "CRN",
@@ -71,5 +93,16 @@ __all__ = [
     "find_overproduction",
     "verify_composition",
     "verify_stable_computation",
+    "RunConfig",
+    "Workbench",
+    "CompiledFunction",
+    "add_spec",
+    "all_catalog_specs",
+    "all_extended_specs",
+    "all_paper_example_specs",
+    "double_spec",
+    "identity_spec",
+    "maximum_spec",
+    "minimum_spec",
     "__version__",
 ]

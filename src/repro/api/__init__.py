@@ -1,0 +1,34 @@
+"""``repro.api`` — the unified workbench facade.
+
+The stable, documented front door to the whole pipeline:
+
+* :class:`~repro.api.config.RunConfig` — one frozen value object for the
+  ``trials`` / ``max_steps`` / ``quiescence_window`` / ``seed`` / ``engine``
+  cloud, with ``replace()`` derivation and per-trial / per-input seed
+  spawning;
+* :class:`~repro.api.workbench.Workbench` — ``compile(spec, strategy=...)``
+  into a :class:`~repro.api.workbench.CompiledFunction` whose ``simulate`` /
+  ``sweep`` / ``verify`` / ``expected_output`` methods return the existing
+  report types;
+* the engine registry lives in :mod:`repro.sim.registry`; the workbench
+  surfaces it via :meth:`Workbench.engines`.
+
+``RunConfig`` is importable with no simulation dependencies; the workbench
+itself loads lazily so the low-level layers can import this package's config
+module without cycles.
+"""
+
+from repro.api.config import RunConfig
+
+__all__ = ["RunConfig", "Workbench", "CompiledFunction"]
+
+
+def __getattr__(name: str):
+    # Lazy: repro.sim.runner imports repro.api.config at module level, which
+    # executes this package __init__; importing the workbench eagerly here
+    # would re-enter repro.sim mid-initialization.
+    if name in ("Workbench", "CompiledFunction"):
+        from repro.api import workbench
+
+        return getattr(workbench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

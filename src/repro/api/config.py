@@ -1,0 +1,112 @@
+"""Run configuration for every repeated-run entry point.
+
+:class:`RunConfig` consolidates the kwarg cloud that used to be duplicated
+across ``run_many`` / ``estimate_expected_output`` / ``verify_stable_computation``
+(``trials`` / ``max_steps`` / ``quiescence_window`` / ``seed`` / ``engine``)
+into one frozen, validated value object.  The legacy keyword signatures remain
+supported everywhere — they are forwarded into a ``RunConfig`` internally — so
+a config is never *required*, it is simply the canonical form.
+
+Seeding is part of the config's job: :meth:`RunConfig.trial_seeds` spawns the
+per-trial seed sequence (matching the historical ``random.Random(seed)``
+stream bit for bit), and :meth:`RunConfig.per_input` derives independent
+per-input configs for sweeps so that two inputs in one sweep never replay the
+same random stream.
+
+This module deliberately imports nothing from the rest of the package, so the
+low-level simulation layer can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Immutable configuration for repeated simulation runs.
+
+    Attributes
+    ----------
+    trials:
+        Number of independent runs to aggregate (must be ``>= 1``).
+    max_steps:
+        Per-run reaction-event budget (must be ``>= 1``).
+    quiescence_window:
+        Convergence-detection window for the fair scheduler; ``None`` selects
+        the population-scaled default
+        (:func:`repro.sim.runner.default_quiescence_window`).
+    seed:
+        Master seed.  ``None`` draws fresh entropy per run; an integer makes
+        every derived stream reproducible.
+    engine:
+        Name of a registered simulation engine (see
+        :mod:`repro.sim.registry`).  Validated at dispatch time against the
+        live registry, not here, so configs stay registry-agnostic.
+    """
+
+    trials: int = 10
+    max_steps: int = 1_000_000
+    quiescence_window: Optional[int] = None
+    seed: Optional[int] = None
+    engine: str = "python"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.trials, int) or self.trials < 1:
+            raise ValueError(f"trials must be an integer >= 1, got {self.trials!r}")
+        if not isinstance(self.max_steps, int) or self.max_steps < 1:
+            raise ValueError(f"max_steps must be an integer >= 1, got {self.max_steps!r}")
+        if self.quiescence_window is not None and (
+            not isinstance(self.quiescence_window, int) or self.quiescence_window < 1
+        ):
+            raise ValueError(
+                f"quiescence_window must be None or an integer >= 1, "
+                f"got {self.quiescence_window!r}"
+            )
+        if not isinstance(self.engine, str) or not self.engine:
+            raise ValueError(f"engine must be a nonempty string, got {self.engine!r}")
+
+    # -- derivation -----------------------------------------------------------
+
+    def replace(self, **changes) -> "RunConfig":
+        """A copy of this config with the given fields changed (and re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def trial_seeds(self, count: Optional[int] = None) -> Tuple[int, ...]:
+        """The per-trial seed sequence spawned from the master seed.
+
+        Matches the historical scalar-runner stream bit for bit: a master
+        ``random.Random(seed)`` emits one 64-bit seed per trial.  With
+        ``seed=None`` the master generator is entropy-seeded, so the trials
+        are still independent, just not reproducible.
+        """
+        if count is None:
+            count = self.trials
+        master = random.Random(self.seed)
+        return tuple(master.getrandbits(64) for _ in range(count))
+
+    def per_input(self, count: int) -> Tuple["RunConfig", ...]:
+        """Independent per-input configs for a sweep over ``count`` inputs.
+
+        With a concrete master seed, each input gets its own 64-bit derived
+        seed (so no two inputs replay the same stream, and the whole sweep is
+        reproducible from the master).  With ``seed=None`` the config is
+        reused as-is: every run already draws fresh entropy.
+        """
+        if count < 0:
+            raise ValueError(f"count must be nonnegative, got {count}")
+        if self.seed is None:
+            return tuple(self for _ in range(count))
+        master = random.Random(self.seed)
+        return tuple(self.replace(seed=master.getrandbits(64)) for _ in range(count))
+
+    def describe(self) -> str:
+        """A compact single-line rendering (used by reports and examples)."""
+        window = "auto" if self.quiescence_window is None else str(self.quiescence_window)
+        return (
+            f"RunConfig(engine={self.engine}, trials={self.trials}, "
+            f"max_steps={self.max_steps}, quiescence_window={window}, seed={self.seed})"
+        )

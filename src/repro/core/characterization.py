@@ -27,6 +27,8 @@ from typing import List, Optional
 
 from repro.core.construction_1d import build_1d_crn
 from repro.core.construction_general import build_general_crn
+from repro.core.construction_leaderless import build_leaderless_1d_crn
+from repro.core.construction_quilt import build_quilt_affine_crn
 from repro.core.decomposition import DomainDecomposition, decompose
 from repro.core.impossibility import ContradictionWitness, find_contradiction_witness
 from repro.core.specs import FunctionSpec
@@ -230,23 +232,13 @@ def check_obliviously_computable(
     )
 
 
-def build_crn_for(spec: FunctionSpec, name: str = "", prefer_known: bool = True) -> CRN:
-    """Build an output-oblivious CRN stably computing ``spec``.
+CONSTRUCTION_STRATEGIES = ("auto", "known", "1d", "leaderless", "quilt", "general")
 
-    Dispatch order: the hand-written CRN from the paper if present (and
-    ``prefer_known``), the Theorem 3.1 construction for 1D functions, and the
-    Lemma 6.2 general construction otherwise (deriving the eventually-min
-    representation by decomposition when necessary).
-    """
-    if prefer_known and spec.known_crn is not None:
-        return spec.known_crn
-    if spec.dimension == 0:
-        raise ValueError("use a 1-input constant function spec to build a constant CRN")
-    if spec.dimension == 1:
-        return build_1d_crn(lambda t: spec((t,)), name=name or spec.name)
 
+def _build_general(spec: FunctionSpec, name: str) -> CRN:
+    """The Lemma 6.2 path, deriving the eventually-min structure when missing."""
     working = spec
-    if working.eventually_min is None:
+    if working.dimension >= 2 and working.eventually_min is None:
         if working.semilinear is None:
             raise ValueError(
                 f"{spec.name}: building the general construction requires either an "
@@ -260,3 +252,73 @@ def build_crn_for(spec: FunctionSpec, name: str = "", prefer_known: bool = True)
             )
         working = working.with_eventually_min(decomposition.eventually_min)
     return build_general_crn(working, name=name or spec.name)
+
+
+def build_crn_for(
+    spec: FunctionSpec,
+    name: str = "",
+    prefer_known: bool = True,
+    strategy: str = "auto",
+) -> CRN:
+    """Build an output-oblivious CRN stably computing ``spec``.
+
+    ``strategy`` selects the construction:
+
+    * ``"auto"`` (default) — the hand-written CRN from the paper if present
+      (and ``prefer_known``), the Theorem 3.1 construction for 1D functions,
+      and the Lemma 6.2 general construction otherwise (deriving the
+      eventually-min representation by decomposition when necessary);
+    * ``"known"`` — the hand-written CRN, erroring when the spec has none;
+    * ``"1d"`` — Theorem 3.1 (requires ``dimension == 1``);
+    * ``"leaderless"`` — Theorem 9.2 (requires ``dimension == 1`` and a
+      superadditive function);
+    * ``"quilt"`` — Lemma 6.1 (requires an eventually-min representation with
+      a single quilt-affine piece that equals the function everywhere);
+    * ``"general"`` — Lemma 6.2 directly, skipping the known-CRN shortcut.
+    """
+    if strategy not in CONSTRUCTION_STRATEGIES:
+        raise ValueError(
+            f"unknown construction strategy {strategy!r}; "
+            f"expected one of {CONSTRUCTION_STRATEGIES}"
+        )
+
+    if strategy == "known":
+        if spec.known_crn is None:
+            raise ValueError(f"{spec.name}: the spec carries no hand-written CRN")
+        return spec.known_crn
+    if strategy == "1d":
+        if spec.dimension != 1:
+            raise ValueError(
+                f"{spec.name}: the Theorem 3.1 construction is 1D only "
+                f"(dimension is {spec.dimension})"
+            )
+        return build_1d_crn(lambda t: spec((t,)), name=name or spec.name)
+    if strategy == "leaderless":
+        if spec.dimension != 1:
+            raise ValueError(
+                f"{spec.name}: the Theorem 9.2 leaderless construction is 1D only "
+                f"(dimension is {spec.dimension})"
+            )
+        return build_leaderless_1d_crn(lambda t: spec((t,)), name=name or spec.name)
+    if strategy == "quilt":
+        if spec.eventually_min is None or len(spec.eventually_min.pieces) != 1:
+            raise ValueError(
+                f"{spec.name}: the Lemma 6.1 construction needs an eventually-min "
+                "representation with exactly one quilt-affine piece "
+                "(use strategy='general' for a genuine min of several pieces)"
+            )
+        return build_quilt_affine_crn(
+            spec.eventually_min.pieces[0], name=name or spec.name
+        )
+    if strategy == "general":
+        return _build_general(spec, name)
+
+    # strategy == "auto" — the known-CRN shortcut runs first (even for
+    # dimension-0 specs that carry one, matching the pre-strategy behaviour).
+    if prefer_known and spec.known_crn is not None:
+        return spec.known_crn
+    if spec.dimension == 0:
+        raise ValueError("use a 1-input constant function spec to build a constant CRN")
+    if spec.dimension == 1:
+        return build_1d_crn(lambda t: spec((t,)), name=name or spec.name)
+    return _build_general(spec, name)

@@ -13,8 +13,11 @@ Two scheduling semantics are provided, each in a scalar and a vectorized form:
 
 The scalar simulators are the reference oracle; the batch engines
 (:mod:`repro.sim.engine`) advance ``B`` trajectories per numpy step and are
-selected via ``engine="vectorized"`` in the runner helpers.  See ``DESIGN.md``
-for the architecture and seeding policy.
+selected via ``engine="vectorized"`` in the runner helpers.  Engines are
+looked up in the pluggable registry (:mod:`repro.sim.registry`) — register a
+new backend with ``@register_engine("name")`` and it becomes addressable
+everywhere an ``engine=`` selector is accepted.  See ``DESIGN.md`` for the
+architecture and seeding policy.
 
 API
 ---
@@ -35,9 +38,12 @@ Symbol                                  Purpose
 ``run_to_convergence``                  One fair run until silence / quiescence.
 ``run_many``                            Repeated fair runs (``engine="python"|"vectorized"``).
 ``estimate_expected_output``            Monte-Carlo mean output under Gillespie kinetics.
-``sweep_inputs``                        ``run_many`` over a collection of inputs.
+``sweep_inputs``                        ``run_many`` over a collection of inputs (per-input seeds).
 ``default_quiescence_window``           Population-scaled convergence-detection window.
-``ENGINES``                             The valid ``engine=`` selector values.
+``register_engine`` / ``EngineInfo``    Pluggable engine registry (capability metadata).
+``get_engine`` / ``engine_names``       Registry lookup / the registered selector values.
+``check_engine``                        Validate an ``engine=`` selector against the registry.
+``ENGINES``                             Live tuple of registered engine names (back-compat).
 ======================================  =======================================================
 """
 
@@ -55,8 +61,16 @@ from repro.sim.engine import (
     CompiledCRN,
 )
 from repro.sim.trajectory import Trajectory, TrajectoryPoint
+from repro.sim.registry import (
+    EngineInfo,
+    check_engine,
+    engine_names,
+    get_engine,
+    register_engine,
+    registered_engines,
+    unregister_engine,
+)
 from repro.sim.runner import (
-    ENGINES,
     ConvergenceReport,
     default_quiescence_window,
     run_to_convergence,
@@ -64,6 +78,15 @@ from repro.sim.runner import (
     estimate_expected_output,
     sweep_inputs,
 )
+
+
+def __getattr__(name: str):
+    # ``ENGINES`` used to be a hard-coded tuple; it is now a live view of the
+    # engine registry so runtime registrations show up too.
+    if name == "ENGINES":
+        return engine_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "GillespieSimulator",
@@ -84,5 +107,12 @@ __all__ = [
     "estimate_expected_output",
     "sweep_inputs",
     "default_quiescence_window",
+    "EngineInfo",
+    "register_engine",
+    "registered_engines",
+    "unregister_engine",
+    "get_engine",
+    "engine_names",
+    "check_engine",
     "ENGINES",
 ]

@@ -1,0 +1,170 @@
+"""Pluggable simulation-engine registry.
+
+The repeated-run entry points (:func:`repro.sim.runner.run_many`,
+:func:`repro.sim.runner.estimate_expected_output`,
+:func:`repro.verify.stable.verify_stable_computation`) dispatch through this
+registry instead of a hard-coded ``if engine == ...`` ladder.  An engine is a
+class (or instance) exposing two methods::
+
+    run_many(crn, x, config: RunConfig) -> ConvergenceReport
+    estimate_expected_output(crn, x, config: RunConfig) -> float
+
+and is registered under a name with capability metadata::
+
+    from repro.sim.registry import register_engine
+
+    @register_engine(
+        "my-backend",
+        supports_gillespie=True,
+        supports_fair=False,
+        max_recommended_population=10**6,
+        description="FFI bridge to ...",
+    )
+    class MyBackend:
+        def run_many(self, crn, x, config): ...
+        def estimate_expected_output(self, crn, x, config): ...
+
+After registration, ``engine="my-backend"`` works everywhere an ``engine=``
+selector or :class:`~repro.api.config.RunConfig` is accepted — no dispatch
+code needs to change.  The built-in ``"python"`` and ``"vectorized"`` engines
+are registered the same way in :mod:`repro.sim.runner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+_REQUIRED_METHODS = ("run_many", "estimate_expected_output")
+
+
+@dataclass(frozen=True)
+class EngineInfo:
+    """A registered engine: its implementation plus capability metadata.
+
+    Attributes
+    ----------
+    name:
+        The ``engine=`` selector value.
+    implementation:
+        The object whose ``run_many`` / ``estimate_expected_output`` methods
+        perform the work.
+    supports_gillespie / supports_fair:
+        Which scheduling semantics the backend implements.  Dispatch does not
+        enforce these (an engine may raise its own errors); they exist so
+        tooling and users can pick a backend programmatically.
+    max_recommended_population:
+        Soft guidance on the population size beyond which the engine becomes
+        impractical (``None`` = no practical limit).
+    description:
+        One-line human-readable summary.
+    """
+
+    name: str
+    implementation: Any
+    supports_gillespie: bool = True
+    supports_fair: bool = True
+    max_recommended_population: Optional[int] = None
+    description: str = ""
+
+    def run_many(self, crn, x, config):
+        """Dispatch ``run_many`` to the implementation."""
+        return self.implementation.run_many(crn, x, config)
+
+    def estimate_expected_output(self, crn, x, config):
+        """Dispatch ``estimate_expected_output`` to the implementation."""
+        return self.implementation.estimate_expected_output(crn, x, config)
+
+
+_REGISTRY: Dict[str, EngineInfo] = {}
+
+
+def _ensure_builtin_engines() -> None:
+    import repro.sim.runner as runner
+
+    # Importing the runner registers the built-ins; re-register any that a
+    # caller (e.g. a test) unregistered, so the defaults are always
+    # restorable.  Only the missing names are touched — a deliberate
+    # replace=True override of the other built-in must survive.
+    missing = {"python", "vectorized"} - set(_REGISTRY)
+    if missing:
+        runner.register_builtin_engines(missing)
+
+
+def register_engine(
+    name: str,
+    *,
+    supports_gillespie: bool = True,
+    supports_fair: bool = True,
+    max_recommended_population: Optional[int] = None,
+    description: str = "",
+    replace: bool = False,
+):
+    """Class decorator registering a simulation engine under ``name``.
+
+    The decorated class is instantiated once at registration time (an already
+    constructed instance is also accepted).  It must expose ``run_many`` and
+    ``estimate_expected_output`` methods taking ``(crn, x, config)``.
+
+    Pass ``replace=True`` to overwrite an existing registration (useful in
+    tests); otherwise a duplicate name raises ``ValueError``.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"engine name must be a nonempty string, got {name!r}")
+
+    def decorator(cls):
+        if name in _REGISTRY and not replace:
+            raise ValueError(
+                f"engine {name!r} is already registered; pass replace=True to overwrite"
+            )
+        implementation = cls() if isinstance(cls, type) else cls
+        for method in _REQUIRED_METHODS:
+            if not callable(getattr(implementation, method, None)):
+                raise TypeError(
+                    f"engine {name!r} must define a callable {method}(crn, x, config)"
+                )
+        _REGISTRY[name] = EngineInfo(
+            name=name,
+            implementation=implementation,
+            supports_gillespie=supports_gillespie,
+            supports_fair=supports_fair,
+            max_recommended_population=max_recommended_population,
+            description=description,
+        )
+        return cls
+
+    return decorator
+
+
+def unregister_engine(name: str) -> None:
+    """Remove an engine registration (no-op if absent).  Intended for tests."""
+    _REGISTRY.pop(name, None)
+
+
+def engine_names() -> Tuple[str, ...]:
+    """The currently registered engine names, in registration order."""
+    _ensure_builtin_engines()
+    return tuple(_REGISTRY)
+
+
+def registered_engines() -> Tuple[EngineInfo, ...]:
+    """All current registrations with their capability metadata."""
+    _ensure_builtin_engines()
+    return tuple(_REGISTRY.values())
+
+
+def get_engine(name: str) -> EngineInfo:
+    """Look up a registered engine, raising a listing error when unknown."""
+    _ensure_builtin_engines()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulation engine {name!r}; registered engines: "
+            f"{', '.join(repr(known) for known in _REGISTRY) or '(none)'}"
+        ) from None
+
+
+def check_engine(engine: str) -> None:
+    """Raise ``ValueError`` unless ``engine`` names a registered engine."""
+    get_engine(engine)

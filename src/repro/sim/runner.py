@@ -1,6 +1,12 @@
 """High-level simulation runners and convergence reporting.
 
-Every repeated-run entry point takes an ``engine`` selector:
+Every repeated-run entry point accepts either the legacy keyword cloud
+(``trials`` / ``max_steps`` / ``quiescence_window`` / ``seed`` / ``engine``)
+or a single :class:`repro.api.config.RunConfig`; the keywords are forwarded
+into a ``RunConfig`` internally, so both spellings hit the same code path.
+
+Engines are resolved through the pluggable registry of
+:mod:`repro.sim.registry`.  The two built-ins are registered here:
 
 * ``"python"`` (default) — the scalar, dict-per-step simulators.  Seeded runs
   reproduce the historical behaviour bit for bit.
@@ -8,27 +14,32 @@ Every repeated-run entry point takes an ``engine`` selector:
   advance all trials simultaneously and are the only practical option for
   populations beyond ~10^3.  Seeded runs are reproducible, but draw from a
   numpy random stream distinct from the python engine's (see DESIGN.md).
+
+Third-party backends plug in via
+:func:`repro.sim.registry.register_engine` and become addressable as
+``engine="<name>"`` everywhere without touching any dispatch code.
 """
 
 from __future__ import annotations
 
 import random
 import statistics
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.crn.configuration import Configuration
+from repro.api.config import RunConfig
 from repro.crn.network import CRN
 from repro.sim.fair import FairRunResult, FairScheduler
 from repro.sim.gillespie import GillespieSimulator
+from repro.sim.registry import check_engine, engine_names, get_engine, register_engine
 
-ENGINES = ("python", "vectorized")
 
-
-def check_engine(engine: str) -> None:
-    """Raise ``ValueError`` unless ``engine`` is a valid ``engine=`` selector."""
-    if engine not in ENGINES:
-        raise ValueError(f"unknown simulation engine {engine!r}; expected one of {ENGINES}")
+def __getattr__(name: str):
+    # Back-compat: the hard-coded ``ENGINES`` tuple is now a live view of the
+    # registry, so engines registered at runtime show up too.
+    if name == "ENGINES":
+        return engine_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def default_quiescence_window(x: Sequence[int]) -> int:
@@ -54,6 +65,10 @@ class ConvergenceReport:
     @property
     def output_mode(self) -> int:
         """The most frequent final output (ties broken by smallest value)."""
+        if not self.outputs:
+            raise ValueError(
+                "ConvergenceReport aggregates zero runs; output_mode is undefined"
+            )
         counts: Dict[int, int] = {}
         for value in self.outputs:
             counts[value] = counts.get(value, 0) + 1
@@ -72,7 +87,10 @@ class ConvergenceReport:
 
     @property
     def max_overshoot(self) -> int:
-        """The largest amount by which any run's peak output exceeded its final output."""
+        """The largest amount by which any run's peak output exceeded its final output.
+
+        Zero when the report aggregates zero runs (no run overshot).
+        """
         return max(
             (peak - final for peak, final in zip(self.max_outputs, self.outputs)),
             default=0,
@@ -99,6 +117,129 @@ def run_to_convergence(
     )
 
 
+# ---------------------------------------------------------------------------
+# The built-in engines, registered through repro.sim.registry
+# ---------------------------------------------------------------------------
+
+
+class PythonEngine:
+    """The scalar reference engine (one trajectory at a time, ``random.Random``)."""
+
+    def run_many(self, crn: CRN, x: Sequence[int], config: RunConfig) -> ConvergenceReport:
+        outputs: List[int] = []
+        max_outputs: List[int] = []
+        steps: List[int] = []
+        all_done = True
+        for trial_seed in config.trial_seeds():
+            result = run_to_convergence(
+                crn,
+                x,
+                max_steps=config.max_steps,
+                quiescence_window=config.quiescence_window,
+                rng=random.Random(trial_seed),
+            )
+            outputs.append(crn.output_count(result.final_configuration))
+            max_outputs.append(result.max_output_seen)
+            steps.append(result.steps)
+            if not (result.silent or result.converged):
+                all_done = False
+        return ConvergenceReport(
+            input_value=tuple(x),
+            outputs=outputs,
+            max_outputs=max_outputs,
+            steps=steps,
+            all_silent_or_converged=all_done,
+        )
+
+    def estimate_expected_output(
+        self, crn: CRN, x: Sequence[int], config: RunConfig
+    ) -> float:
+        total = 0.0
+        for trial_seed in config.trial_seeds():
+            simulator = GillespieSimulator(crn, rng=random.Random(trial_seed))
+            result = simulator.run_on_input(x, max_steps=config.max_steps)
+            total += crn.output_count(result.final_configuration)
+        return total / config.trials
+
+
+class VectorizedEngine:
+    """The numpy batch engine (all trials advance simultaneously, one row each)."""
+
+    def run_many(self, crn: CRN, x: Sequence[int], config: RunConfig) -> ConvergenceReport:
+        from repro.sim.engine import BatchFairEngine
+
+        quiescence_window = config.quiescence_window
+        if quiescence_window is None:
+            quiescence_window = default_quiescence_window(x)
+        batch_engine = BatchFairEngine(crn.compiled(), seed=config.seed)
+        result = batch_engine.run_on_input(
+            x,
+            batch=config.trials,
+            max_steps=config.max_steps,
+            quiescence_window=quiescence_window,
+        )
+        return ConvergenceReport(
+            input_value=tuple(int(v) for v in x),
+            outputs=[int(v) for v in result.output_counts()],
+            max_outputs=[int(v) for v in result.max_output_seen],
+            steps=[int(v) for v in result.steps],
+            all_silent_or_converged=result.all_silent_or_converged(),
+        )
+
+    def estimate_expected_output(
+        self, crn: CRN, x: Sequence[int], config: RunConfig
+    ) -> float:
+        from repro.sim.engine import BatchGillespieEngine
+
+        batch_engine = BatchGillespieEngine(crn.compiled(), seed=config.seed)
+        result = batch_engine.run_on_input(
+            x, batch=config.trials, max_steps=config.max_steps
+        )
+        return float(result.output_counts().mean())
+
+
+def register_builtin_engines(names: Optional[Iterable[str]] = None) -> None:
+    """(Re-)register the built-in engines (all of them, or just ``names``).
+
+    Idempotent (``replace=True``), so module re-execution under
+    ``importlib.reload`` / IPython autoreload is safe, and the registry can
+    restore a built-in that a test unregistered without touching the other.
+    """
+    names = {"python", "vectorized"} if names is None else set(names)
+    if "python" in names:
+        register_engine(
+            "python",
+            supports_gillespie=True,
+            supports_fair=True,
+            max_recommended_population=2_000,
+            description=(
+                "Scalar dict-per-step reference simulators; historical seeded "
+                "behaviour, bit for bit"
+            ),
+            replace=True,
+        )(PythonEngine)
+    if "vectorized" in names:
+        register_engine(
+            "vectorized",
+            supports_gillespie=True,
+            supports_fair=True,
+            max_recommended_population=None,
+            description=(
+                "numpy batch engines advancing all trials per step; "
+                "reproducible but on a numpy random stream"
+            ),
+            replace=True,
+        )(VectorizedEngine)
+
+
+register_builtin_engines()
+
+
+# ---------------------------------------------------------------------------
+# Public entry points (legacy keyword signatures forwarded into RunConfig)
+# ---------------------------------------------------------------------------
+
+
 def run_many(
     crn: CRN,
     x: Sequence[int],
@@ -107,74 +248,24 @@ def run_many(
     quiescence_window: Optional[int] = None,
     seed: Optional[int] = None,
     engine: str = "python",
+    config: Optional[RunConfig] = None,
 ) -> ConvergenceReport:
     """Run the fair scheduler several times on input ``x`` and aggregate results.
 
-    With ``engine="vectorized"`` all trials advance simultaneously as one batch
-    through :class:`repro.sim.engine.BatchFairEngine`; the report fields are
-    identical in shape and meaning.
+    Pass either the individual keywords or a ready-made ``config``; an
+    explicit ``config`` takes precedence over the keywords.  The engine is
+    resolved through :mod:`repro.sim.registry`, so any registered backend is
+    addressable here.
     """
-    check_engine(engine)
-    if engine == "vectorized":
-        return _run_many_vectorized(
-            crn,
-            x,
+    if config is None:
+        config = RunConfig(
             trials=trials,
             max_steps=max_steps,
             quiescence_window=quiescence_window,
             seed=seed,
+            engine=engine,
         )
-    rng = random.Random(seed)
-    outputs: List[int] = []
-    max_outputs: List[int] = []
-    steps: List[int] = []
-    all_done = True
-    for _ in range(trials):
-        result = run_to_convergence(
-            crn,
-            x,
-            max_steps=max_steps,
-            quiescence_window=quiescence_window,
-            rng=random.Random(rng.getrandbits(64)),
-        )
-        outputs.append(crn.output_count(result.final_configuration))
-        max_outputs.append(result.max_output_seen)
-        steps.append(result.steps)
-        if not (result.silent or result.converged):
-            all_done = False
-    return ConvergenceReport(
-        input_value=tuple(x),
-        outputs=outputs,
-        max_outputs=max_outputs,
-        steps=steps,
-        all_silent_or_converged=all_done,
-    )
-
-
-def _run_many_vectorized(
-    crn: CRN,
-    x: Sequence[int],
-    trials: int,
-    max_steps: int,
-    quiescence_window: Optional[int],
-    seed: Optional[int],
-) -> ConvergenceReport:
-    """``run_many`` through the numpy batch fair engine (one trial per row)."""
-    from repro.sim.engine import BatchFairEngine
-
-    if quiescence_window is None:
-        quiescence_window = default_quiescence_window(x)
-    batch_engine = BatchFairEngine(crn.compiled(), seed=seed)
-    result = batch_engine.run_on_input(
-        x, batch=trials, max_steps=max_steps, quiescence_window=quiescence_window
-    )
-    return ConvergenceReport(
-        input_value=tuple(int(v) for v in x),
-        outputs=[int(v) for v in result.output_counts()],
-        max_outputs=[int(v) for v in result.max_output_seen],
-        steps=[int(v) for v in result.steps],
-        all_silent_or_converged=result.all_silent_or_converged(),
-    )
+    return get_engine(config.engine).run_many(crn, x, config)
 
 
 def estimate_expected_output(
@@ -184,22 +275,12 @@ def estimate_expected_output(
     max_steps: int = 500_000,
     seed: Optional[int] = None,
     engine: str = "python",
+    config: Optional[RunConfig] = None,
 ) -> float:
     """Monte-Carlo estimate of the expected final output under Gillespie kinetics."""
-    check_engine(engine)
-    if engine == "vectorized":
-        from repro.sim.engine import BatchGillespieEngine
-
-        batch_engine = BatchGillespieEngine(crn.compiled(), seed=seed)
-        result = batch_engine.run_on_input(x, batch=trials, max_steps=max_steps)
-        return float(result.output_counts().mean())
-    rng = random.Random(seed)
-    total = 0.0
-    for _ in range(trials):
-        simulator = GillespieSimulator(crn, rng=random.Random(rng.getrandbits(64)))
-        result = simulator.run_on_input(x, max_steps=max_steps)
-        total += crn.output_count(result.final_configuration)
-    return total / trials
+    if config is None:
+        config = RunConfig(trials=trials, max_steps=max_steps, seed=seed, engine=engine)
+    return get_engine(config.engine).estimate_expected_output(crn, x, config)
 
 
 def sweep_inputs(
@@ -207,7 +288,20 @@ def sweep_inputs(
     inputs: Iterable[Sequence[int]],
     trials: int = 5,
     seed: Optional[int] = None,
+    config: Optional[RunConfig] = None,
     **kwargs,
 ) -> List[ConvergenceReport]:
-    """Run :func:`run_many` over a collection of inputs."""
-    return [run_many(crn, x, trials=trials, seed=seed, **kwargs) for x in inputs]
+    """Run :func:`run_many` over a collection of inputs.
+
+    Each input gets an independent derived seed
+    (:meth:`~repro.api.config.RunConfig.per_input`), so no two inputs of one
+    sweep replay the same random stream while the whole sweep stays
+    reproducible from the master ``seed``.
+    """
+    if config is None:
+        config = RunConfig(trials=trials, seed=seed, **kwargs)
+    inputs = list(inputs)
+    return [
+        run_many(crn, x, config=derived)
+        for x, derived in zip(inputs, config.per_input(len(inputs)))
+    ]

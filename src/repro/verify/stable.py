@@ -15,9 +15,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.api.config import RunConfig
 from repro.crn.network import CRN
 from repro.crn.reachability import check_stable_computation_at
-from repro.sim.runner import check_engine, run_many
+from repro.sim.registry import check_engine
+from repro.sim.runner import run_many
 
 
 @dataclass
@@ -80,6 +82,7 @@ def verify_stable_computation(
     seed: Optional[int] = 7,
     function_name: str = "",
     engine: str = "python",
+    config: Optional[RunConfig] = None,
 ) -> VerificationReport:
     """Verify that ``crn`` stably computes ``func`` on the given inputs.
 
@@ -91,15 +94,33 @@ def verify_stable_computation(
         tries the exhaustive check first and falls back to simulation when the
         reachable set exceeds ``exhaustive_limit``.
     engine:
-        Simulation engine for the randomized path: ``"python"`` (default, the
-        scalar fair scheduler, preserving historical seeded behaviour) or
+        Simulation engine for the randomized path, resolved through the
+        registry of :mod:`repro.sim.registry`: ``"python"`` (default, the
+        scalar fair scheduler, preserving historical seeded behaviour),
         ``"vectorized"`` (the numpy batch engine of :mod:`repro.sim.engine`,
         which runs all trials simultaneously and makes repeated-run evidence
-        cheap to gather at large populations).
+        cheap to gather at large populations), or any engine registered via
+        :func:`repro.sim.registry.register_engine`.
+    config:
+        A ready-made :class:`~repro.api.config.RunConfig` for the randomized
+        path; takes precedence over the ``trials`` / ``max_steps`` / ``seed``
+        / ``engine`` keywords.
+
+    Note
+    ----
+    Unlike :func:`repro.sim.runner.sweep_inputs`, every input deliberately
+    reuses the *same* config (and hence the same per-trial seed sequence):
+    the check on each input is pass/fail against a fixed expected value, not
+    statistical aggregation across inputs, and reusing the config keeps
+    seeded verification runs bit-for-bit identical to the historical
+    behaviour.  Pass ``config.per_input(...)`` configs in a loop if
+    cross-input independence matters for your analysis.
     """
     if method not in ("auto", "exhaustive", "simulation"):
         raise ValueError(f"unknown verification method {method!r}")
-    check_engine(engine)
+    if config is None:
+        config = RunConfig(trials=trials, max_steps=max_steps, seed=seed, engine=engine)
+    check_engine(config.engine)
     if inputs is None:
         inputs = default_input_grid(crn.dimension)
 
@@ -136,9 +157,7 @@ def verify_stable_computation(
                 )
                 continue
 
-        convergence = run_many(
-            crn, x, trials=trials, max_steps=max_steps, seed=seed, engine=engine
-        )
+        convergence = run_many(crn, x, config=config)
         passed = (
             convergence.all_silent_or_converged
             and convergence.output_unanimous

@@ -1,0 +1,185 @@
+"""Engine registry: registration, capability metadata, and dynamic dispatch."""
+
+import pytest
+
+from repro.api.config import RunConfig
+from repro.functions.catalog import minimum_spec
+from repro.sim import registry
+from repro.sim.registry import (
+    EngineInfo,
+    check_engine,
+    engine_names,
+    get_engine,
+    register_engine,
+    registered_engines,
+    unregister_engine,
+)
+from repro.sim.runner import ConvergenceReport, estimate_expected_output, run_many
+
+
+@pytest.fixture
+def dummy_engine():
+    """Register a stub engine for the duration of one test."""
+
+    class DummyEngine:
+        def __init__(self):
+            self.calls = []
+
+        def run_many(self, crn, x, config):
+            self.calls.append(("run_many", tuple(x), config))
+            return ConvergenceReport(
+                input_value=tuple(x),
+                outputs=[42] * config.trials,
+                max_outputs=[42] * config.trials,
+                steps=[1] * config.trials,
+                all_silent_or_converged=True,
+            )
+
+        def estimate_expected_output(self, crn, x, config):
+            self.calls.append(("estimate", tuple(x), config))
+            return 42.0
+
+    instance = DummyEngine()
+    register_engine(
+        "dummy",
+        supports_gillespie=False,
+        supports_fair=True,
+        max_recommended_population=10,
+        description="test stub",
+    )(instance)
+    yield instance
+    unregister_engine("dummy")
+
+
+class TestRegistryBasics:
+    def test_builtin_engines_are_registered(self):
+        names = engine_names()
+        assert "python" in names
+        assert "vectorized" in names
+
+    def test_engines_tuple_is_live_view(self, dummy_engine):
+        import repro.sim
+
+        assert "dummy" in repro.sim.ENGINES
+        unregister_engine("dummy")
+        assert "dummy" not in repro.sim.ENGINES
+        # Re-register so the fixture teardown stays a no-op.
+        register_engine("dummy")(dummy_engine)
+
+    def test_capability_metadata(self):
+        python = get_engine("python")
+        assert isinstance(python, EngineInfo)
+        assert python.supports_gillespie and python.supports_fair
+        assert python.max_recommended_population == 2_000
+        vectorized = get_engine("vectorized")
+        assert vectorized.max_recommended_population is None
+        assert {info.name for info in registered_engines()} >= {"python", "vectorized"}
+
+    def test_unknown_engine_error_lists_registered_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            check_engine("cuda")
+        message = str(excinfo.value)
+        assert "'cuda'" in message
+        assert "'python'" in message and "'vectorized'" in message
+
+    def test_error_listing_includes_runtime_registrations(self, dummy_engine):
+        with pytest.raises(ValueError) as excinfo:
+            get_engine("no-such-engine")
+        assert "'dummy'" in str(excinfo.value)
+
+    def test_duplicate_registration_rejected_unless_replace(self, dummy_engine):
+        with pytest.raises(ValueError, match="already registered"):
+            register_engine("dummy")(dummy_engine)
+        register_engine("dummy", replace=True, description="swapped")(dummy_engine)
+        assert get_engine("dummy").description == "swapped"
+
+    def test_registration_requires_the_engine_methods(self):
+        class Incomplete:
+            def run_many(self, crn, x, config):
+                return None
+
+        with pytest.raises(TypeError, match="estimate_expected_output"):
+            register_engine("incomplete")(Incomplete)
+        assert "incomplete" not in engine_names()
+
+
+class TestRegistryDispatch:
+    def test_dummy_engine_dispatches_through_run_many(self, dummy_engine):
+        crn = minimum_spec().known_crn
+        report = run_many(crn, (3, 5), trials=4, engine="dummy")
+        assert report.outputs == [42, 42, 42, 42]
+        assert dummy_engine.calls[0][0] == "run_many"
+        assert dummy_engine.calls[0][2].trials == 4
+
+    def test_dummy_engine_dispatches_through_estimate(self, dummy_engine):
+        crn = minimum_spec().known_crn
+        assert estimate_expected_output(crn, (3, 5), engine="dummy") == 42.0
+
+    def test_dummy_engine_dispatches_through_runconfig(self, dummy_engine):
+        crn = minimum_spec().known_crn
+        config = RunConfig(trials=2, engine="dummy")
+        report = run_many(crn, (1, 1), config=config)
+        assert report.outputs == [42, 42]
+        assert dummy_engine.calls[-1][2] is config
+
+    def test_dummy_engine_dispatches_through_verification(self, dummy_engine):
+        from repro.verify import verify_stable_computation
+
+        crn = minimum_spec().known_crn
+        report = verify_stable_computation(
+            crn,
+            lambda x: 42,
+            inputs=[(5, 9)],
+            method="simulation",
+            engine="dummy",
+            function_name="const42",
+        )
+        assert report.passed
+        assert report.results[0].observed_outputs[0] == 42
+
+    def test_unregistered_engine_fails_at_dispatch(self):
+        crn = minimum_spec().known_crn
+        with pytest.raises(ValueError, match="registered engines"):
+            run_many(crn, (1, 1), engine="gone")
+
+
+class TestBackCompat:
+    def test_runner_module_still_exposes_engines_and_check_engine(self):
+        from repro.sim import runner
+
+        assert set(runner.ENGINES) >= {"python", "vectorized"}
+        runner.check_engine("python")
+        with pytest.raises(ValueError):
+            runner.check_engine("nope")
+
+    def test_unregistered_builtins_are_restored_on_lookup(self):
+        unregister_engine("python")
+        try:
+            assert get_engine("python").name == "python"
+        finally:
+            from repro.sim.runner import register_builtin_engines
+
+            register_builtin_engines()
+
+    def test_builtin_registration_is_idempotent(self):
+        from repro.sim.runner import register_builtin_engines
+
+        register_builtin_engines()
+        register_builtin_engines()
+        assert set(engine_names()) >= {"python", "vectorized"}
+
+    def test_builtin_restore_does_not_clobber_an_override(self, dummy_engine):
+        # Restoring one missing built-in must not re-register the other,
+        # which a caller may have deliberately replaced.
+        from repro.sim.runner import register_builtin_engines
+
+        original_vectorized = get_engine("vectorized").implementation
+        register_engine("vectorized", replace=True, description="override")(dummy_engine)
+        unregister_engine("python")
+        try:
+            assert get_engine("python").name == "python"  # restored
+            assert get_engine("vectorized").implementation is dummy_engine  # untouched
+        finally:
+            register_builtin_engines()
+        assert get_engine("vectorized").implementation is not dummy_engine
+        assert type(get_engine("vectorized").implementation) is type(original_vectorized)
