@@ -1,8 +1,11 @@
 """Benchmark suite configuration.
 
-Makes the package importable from a bare checkout, and skips every test in
-this directory unless ``--benchmark`` was passed (see the root ``conftest.py``)
-so the tier-1 test run stays fast.
+Makes the package importable from a bare checkout, skips every test in this
+directory unless ``--benchmark`` was passed (see the root ``conftest.py``) so
+the tier-1 test run stays fast, and collects machine-readable per-benchmark
+records into ``BENCH_results.json`` (schema shared with ``python -m repro
+bench`` — see :func:`repro.lab.aggregate.write_bench_json`) so the perf
+trajectory is tracked across PRs.
 """
 
 import os
@@ -15,6 +18,9 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
+_BENCH_JSON = os.path.join(os.path.dirname(_HERE), "BENCH_results.json")
+
+_RECORDS = []
 
 
 def pytest_collection_modifyitems(config, items):
@@ -24,3 +30,40 @@ def pytest_collection_modifyitems(config, items):
     for item in items:
         if str(item.fspath).startswith(_HERE):
             item.add_marker(skip)
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Append one machine-readable benchmark record.
+
+    ``bench_record(name, population, wall_time_s, steps)`` — steps/sec is
+    derived.  Records from the whole session land in ``BENCH_results.json``
+    at the repository root.
+    """
+
+    def record(name, population, wall_time_s, steps, **extra):
+        from repro.lab.aggregate import make_bench_record
+
+        _RECORDS.append(make_bench_record(name, population, wall_time_s, steps, **extra))
+
+    return record
+
+
+def mean_seconds(benchmark):
+    """Best-effort mean runtime from a pytest-benchmark fixture (None if unknown)."""
+    try:
+        return float(benchmark.stats.stats.mean)
+    except AttributeError:
+        try:
+            return float(benchmark.stats["mean"])
+        except Exception:
+            return None
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RECORDS:
+        return
+    from repro.lab.aggregate import write_bench_json
+
+    write_bench_json(_BENCH_JSON, list(_RECORDS), source="pytest benchmarks")
+    print(f"\n[bench] wrote {_BENCH_JSON} ({len(_RECORDS)} records)")

@@ -1,0 +1,120 @@
+"""The simulator benchmark family ported through the ``repro.lab`` executor.
+
+Where ``test_bench_simulators.py`` times raw simulator loops, this suite
+times the full campaign path — expansion, worker pool, store, cache — so
+orchestration overhead stays visible next to raw engine throughput, and
+parallel scaling is measured on the same workload the CLI runs.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks --benchmark``.
+"""
+
+import time
+
+import pytest
+
+from repro.api.config import RunConfig
+from repro.lab import (
+    Campaign,
+    PoolExecutor,
+    SerialExecutor,
+    SweepGrid,
+    run_campaign,
+)
+
+POPULATIONS = [100, 1000]
+WORKERS = 4
+
+
+def minimum_family(populations, trials=3):
+    return Campaign(
+        name="bench-minimum-family",
+        specs=[("minimum", "known")],
+        inputs=[(p, p) for p in populations],
+        engines=("python", "vectorized"),
+        configs=(RunConfig(trials=trials, max_steps=10_000_000),),
+        seed=1,
+    )
+
+
+@pytest.mark.parametrize("population", POPULATIONS)
+def test_campaign_cell_throughput(benchmark, bench_record, population):
+    """Per-cell cost through the serial executor (pure orchestration + engine)."""
+    campaign = minimum_family([population])
+    cells = campaign.expand()
+
+    def run():
+        return list(SerialExecutor().map(cells))
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert all(r.ok and r.correct for r in results)
+    total_steps = sum(r.total_steps for r in results)
+    from conftest import mean_seconds
+
+    bench_record(
+        f"campaign/serial/minimum/pop{2 * population}",
+        2 * population,
+        mean_seconds(benchmark),
+        total_steps,
+        cells=len(cells),
+    )
+
+
+def test_campaign_parallel_scaling(tmp_path, bench_record):
+    """Wall-clock for the same campaign: serial vs. a {WORKERS}-worker pool.
+
+    Asserts correctness and records both timings; it does NOT gate on a
+    speedup ratio (cells here are small, so pool overhead can dominate on a
+    loaded CI box) — the numbers exist to track the trend.
+    """
+    campaign = minimum_family(POPULATIONS, trials=4)
+    cells = campaign.expand()
+
+    start = time.perf_counter()
+    serial_run = run_campaign(
+        campaign, str(tmp_path / "serial"), workers=1, cache_dir=None
+    )
+    serial_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_run = run_campaign(
+        campaign, str(tmp_path / "parallel"), workers=WORKERS, cache_dir=None
+    )
+    parallel_time = time.perf_counter() - start
+
+    assert serial_run.summary.errors == parallel_run.summary.errors == 0
+    assert [r.deterministic_dict() for r in serial_run.results] == [
+        r.deterministic_dict() for r in parallel_run.results
+    ]
+    total_steps = sum(r.total_steps for r in serial_run.results)
+    bench_record(
+        "campaign/run_campaign/serial", sum(2 * p for p in POPULATIONS),
+        serial_time, total_steps, cells=len(cells),
+    )
+    bench_record(
+        f"campaign/run_campaign/workers{WORKERS}", sum(2 * p for p in POPULATIONS),
+        parallel_time, total_steps, cells=len(cells), workers=WORKERS,
+    )
+    print(
+        f"\n[campaign] {len(cells)} cells: serial {serial_time:.2f}s, "
+        f"{WORKERS} workers {parallel_time:.2f}s"
+    )
+
+
+def test_campaign_cache_replay_is_near_instant(tmp_path, bench_record):
+    """Acceptance gate: a fully cached campaign replays without simulating."""
+    campaign = minimum_family(POPULATIONS)
+    cache_dir = str(tmp_path / "cache")
+    first = run_campaign(campaign, str(tmp_path / "cold"), workers=2, cache_dir=cache_dir)
+    assert first.executed == first.total_cells
+
+    start = time.perf_counter()
+    second = run_campaign(campaign, str(tmp_path / "warm"), workers=2, cache_dir=cache_dir)
+    replay_time = time.perf_counter() - start
+
+    assert second.executed == 0
+    assert second.from_cache == second.total_cells
+    bench_record(
+        "campaign/cache-replay", sum(2 * p for p in POPULATIONS),
+        replay_time, 0, cells=second.total_cells,
+    )
+    assert replay_time < 5.0

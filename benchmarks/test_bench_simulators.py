@@ -14,6 +14,7 @@ import time
 
 import pytest
 
+from conftest import mean_seconds
 from repro.crn.reachability import check_stable_computation_at
 from repro.functions.catalog import minimum_spec
 from repro.sim.engine import BatchFairEngine, BatchGillespieEngine
@@ -28,7 +29,7 @@ BATCH = 64
 
 
 @pytest.mark.parametrize("population", SCALAR_POPULATIONS)
-def test_gillespie_throughput(benchmark, population):
+def test_gillespie_throughput(benchmark, bench_record, population):
     crn = minimum_spec().known_crn
 
     def run():
@@ -38,10 +39,16 @@ def test_gillespie_throughput(benchmark, population):
     result = benchmark(run)
     assert result.silent
     assert result.output_count(crn) == population
+    bench_record(
+        f"scalar/gillespie/pop{2 * population}",
+        2 * population,
+        mean_seconds(benchmark),
+        result.steps,
+    )
 
 
 @pytest.mark.parametrize("population", SCALAR_POPULATIONS)
-def test_fair_scheduler_throughput(benchmark, population):
+def test_fair_scheduler_throughput(benchmark, bench_record, population):
     crn = minimum_spec().known_crn
 
     def run():
@@ -51,10 +58,16 @@ def test_fair_scheduler_throughput(benchmark, population):
     result = benchmark(run)
     assert result.silent
     assert crn.output_count(result.final_configuration) == population
+    bench_record(
+        f"scalar/fair/pop{2 * population}",
+        2 * population,
+        mean_seconds(benchmark),
+        result.steps,
+    )
 
 
 @pytest.mark.parametrize("population", BATCH_POPULATIONS)
-def test_batch_gillespie_throughput(benchmark, population):
+def test_batch_gillespie_throughput(benchmark, bench_record, population):
     """Head-to-head counterpart of ``test_gillespie_throughput``: 64 rows at once.
 
     Per-event cost is what to compare (each call fires ``BATCH`` x population
@@ -69,10 +82,17 @@ def test_batch_gillespie_throughput(benchmark, population):
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.silent.all()
     assert (result.output_counts() == population).all()
+    bench_record(
+        f"batch/gillespie/pop{2 * population}",
+        2 * population,
+        mean_seconds(benchmark),
+        result.total_steps(),
+        batch=BATCH,
+    )
 
 
 @pytest.mark.parametrize("population", BATCH_POPULATIONS)
-def test_batch_fair_throughput(benchmark, population):
+def test_batch_fair_throughput(benchmark, bench_record, population):
     """Head-to-head counterpart of ``test_fair_scheduler_throughput``."""
     compiled = minimum_spec().known_crn.compiled()
 
@@ -83,9 +103,16 @@ def test_batch_fair_throughput(benchmark, population):
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.silent.all()
     assert (result.output_counts() == population).all()
+    bench_record(
+        f"batch/fair/pop{2 * population}",
+        2 * population,
+        mean_seconds(benchmark),
+        result.total_steps(),
+        batch=BATCH,
+    )
 
 
-def test_vectorized_speedup_at_population_1e4():
+def test_vectorized_speedup_at_population_1e4(bench_record):
     """Acceptance gate: >= 10x event throughput over the scalar loop at 10^4.
 
     Both sides get a warm-up and the best of three timed samples so one GC
@@ -123,6 +150,19 @@ def test_vectorized_speedup_at_population_1e4():
     batch_events_per_sec = batch_result.total_steps() / batch_time
 
     assert scalar_result.silent and batch_result.silent.all()
+    bench_record(
+        "speedup-gate/scalar-gillespie/pop20000",
+        2 * population,
+        scalar_time,
+        scalar_result.steps,
+    )
+    bench_record(
+        "speedup-gate/batch-gillespie/pop20000",
+        2 * population,
+        batch_time,
+        batch_result.total_steps(),
+        batch=256,
+    )
     speedup = batch_events_per_sec / scalar_events_per_sec
     print(
         f"\n[speedup] scalar {scalar_events_per_sec:,.0f} ev/s, "

@@ -67,8 +67,16 @@ from repro.functions import (
     minimum_spec,
 )
 
+from repro.lab import (
+    Campaign,
+    CampaignRun,
+    SweepGrid,
+    resume_campaign,
+    run_campaign,
+)
+
 # Kept in sync with setup.py (tests/test_api_workbench.py enforces it).
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CRN",
@@ -96,6 +104,11 @@ __all__ = [
     "RunConfig",
     "Workbench",
     "CompiledFunction",
+    "Campaign",
+    "CampaignRun",
+    "SweepGrid",
+    "resume_campaign",
+    "run_campaign",
     "add_spec",
     "all_catalog_specs",
     "all_extended_specs",

@@ -1,0 +1,8 @@
+"""``python -m repro`` — the campaign CLI (see :mod:`repro.lab.cli`)."""
+
+import sys
+
+from repro.lab.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

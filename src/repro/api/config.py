@@ -20,9 +20,11 @@ low-level simulation layer can depend on it without cycles.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import random
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -102,6 +104,35 @@ class RunConfig:
             return tuple(self for _ in range(count))
         master = random.Random(self.seed)
         return tuple(self.replace(seed=master.getrandbits(64)) for _ in range(count))
+
+    # -- serialization / hashing ----------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """All fields as a JSON-serializable dict (round-trips via :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are ignored, so rows written by a newer version of the
+        package (with extra config fields) still load; missing keys fall back
+        to the field defaults.  Validation runs as usual.
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+    def cache_key(self) -> str:
+        """A stable, order-independent content hash of all fields.
+
+        Two configs hash equal iff their field values are equal — the hash is
+        computed from the sorted-key JSON rendering, so field declaration
+        order, dict insertion order, and process hash randomization cannot
+        perturb it.  Used by :mod:`repro.lab.cache` to content-address
+        simulation results; stable across processes and sessions.
+        """
+        blob = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def describe(self) -> str:
         """A compact single-line rendering (used by reports and examples)."""

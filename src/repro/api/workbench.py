@@ -192,5 +192,51 @@ class Workbench:
         """The registered simulation engines with their capability metadata."""
         return registered_engines()
 
+    def campaign(
+        self,
+        name: str,
+        specs,
+        inputs,
+        engines: Optional[Sequence[str]] = None,
+        configs=None,
+        seed: Optional[int] = None,
+        out_dir: Optional[str] = None,
+        workers: int = 1,
+        **kwargs,
+    ):
+        """Run a :mod:`repro.lab` campaign seeded with this workbench's defaults.
+
+        ``specs`` accepts registered spec names, ``(name, strategy)`` pairs,
+        or :class:`~repro.core.specs.FunctionSpec` instances (auto-registered
+        under their own name); ``inputs`` is an explicit list of tuples or a
+        :class:`~repro.lab.campaign.SweepGrid`.  Unless overridden, the engine
+        axis, config variant, and master seed come from this workbench's
+        :class:`~repro.api.config.RunConfig`.  Returns the
+        :class:`~repro.lab.campaign.CampaignRun` (results + summary +
+        provenance counts); artifacts land in ``out_dir`` (default
+        ``runs/<name>``).  Extra keyword arguments flow to
+        :func:`repro.lab.campaign.run_campaign` (``cache_dir``, ``timeout``,
+        ``executor``, ``progress``, ...).
+        """
+        # Imported lazily: repro.lab sits above this module in the layering.
+        from repro.lab.campaign import Campaign, run_campaign
+
+        campaign = Campaign(
+            name=name,
+            specs=list(specs),
+            inputs=inputs,
+            engines=tuple(engines) if engines is not None else (self.config.engine,),
+            configs=tuple(configs) if configs is not None else (self.config,),
+            seed=seed if seed is not None else self.config.seed,
+        )
+        import os
+
+        return run_campaign(
+            campaign,
+            out_dir if out_dir is not None else os.path.join("runs", name),
+            workers=workers,
+            **kwargs,
+        )
+
     def __repr__(self) -> str:
         return f"Workbench(config={self.config.describe()}, cached={len(self._cache)})"

@@ -1,0 +1,204 @@
+"""Campaign summaries: convergence / correctness rates and engine throughput.
+
+:func:`summarize` folds a list of :class:`~repro.lab.store.CellResult` rows
+into a :class:`CampaignSummary`; :func:`format_report` renders it for humans.
+Rates are over *ok* rows; error rows are counted but never averaged in.
+Throughput is computed only from rows that actually simulated in this run —
+cache replays carry no wall time and would otherwise fake an infinite
+steps/sec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.lab.store import CellResult
+
+
+@dataclass
+class EngineStats:
+    """Per-engine slice of a campaign."""
+
+    engine: str
+    cells: int = 0
+    errors: int = 0
+    cache_hits: int = 0
+    converged: int = 0
+    correct: int = 0
+    total_steps: int = 0
+    wall_time: float = 0.0
+    steps_per_sec: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "cells": self.cells,
+            "errors": self.errors,
+            "cache_hits": self.cache_hits,
+            "converged": self.converged,
+            "correct": self.correct,
+            "total_steps": self.total_steps,
+            "wall_time_s": round(self.wall_time, 6),
+            "steps_per_sec": self.steps_per_sec,
+        }
+
+
+@dataclass
+class CampaignSummary:
+    """The aggregate view written to ``summary.json`` and printed by ``report``."""
+
+    campaign: str
+    total_cells: int
+    ok: int
+    errors: int
+    cache_hits: int
+    convergence_rate: float
+    correct_rate: float
+    mean_steps: float
+    wall_time: float
+    engines: Dict[str, EngineStats] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "campaign": self.campaign,
+            "total_cells": self.total_cells,
+            "ok": self.ok,
+            "errors": self.errors,
+            "cache_hits": self.cache_hits,
+            "convergence_rate": round(self.convergence_rate, 6),
+            "correct_rate": round(self.correct_rate, 6),
+            "mean_steps": round(self.mean_steps, 3),
+            "wall_time_s": round(self.wall_time, 6),
+            "engines": {name: stats.to_dict() for name, stats in self.engines.items()},
+        }
+
+
+def summarize(results: Iterable[CellResult], campaign: str = "") -> CampaignSummary:
+    """Fold rows into a :class:`CampaignSummary` (empty input yields zero rates)."""
+    rows: List[CellResult] = list(results)
+    per_engine: Dict[str, EngineStats] = {}
+    ok = errors = cache_hits = converged = correct = 0
+    steps_sum = 0.0
+    wall_time = 0.0
+
+    for row in rows:
+        stats = per_engine.setdefault(row.engine, EngineStats(engine=row.engine))
+        stats.cells += 1
+        if row.cached:
+            cache_hits += 1
+            stats.cache_hits += 1
+        if not row.ok:
+            errors += 1
+            stats.errors += 1
+            continue
+        ok += 1
+        if row.converged:
+            converged += 1
+            stats.converged += 1
+        if row.correct:
+            correct += 1
+            stats.correct += 1
+        steps_sum += row.mean_steps or 0.0
+        if row.total_steps:
+            stats.total_steps += row.total_steps
+        if not row.cached:
+            wall_time += row.wall_time
+            stats.wall_time += row.wall_time
+
+    for stats in per_engine.values():
+        if stats.wall_time > 0:
+            # only freshly simulated steps count toward throughput; a cached
+            # row's steps were earned in some earlier run
+            fresh_steps = stats.total_steps if stats.cache_hits == 0 else None
+            if fresh_steps is None:
+                fresh_steps = sum(
+                    row.total_steps or 0
+                    for row in rows
+                    if row.engine == stats.engine and row.ok and not row.cached
+                )
+            stats.steps_per_sec = round(fresh_steps / stats.wall_time, 1)
+
+    return CampaignSummary(
+        campaign=campaign,
+        total_cells=len(rows),
+        ok=ok,
+        errors=errors,
+        cache_hits=cache_hits,
+        convergence_rate=(converged / ok) if ok else 0.0,
+        correct_rate=(correct / ok) if ok else 0.0,
+        mean_steps=(steps_sum / ok) if ok else 0.0,
+        wall_time=wall_time,
+        engines=per_engine,
+    )
+
+
+#: Schema tag for machine-readable benchmark output (BENCH_results.json).
+BENCH_SCHEMA = "repro-bench-v1"
+
+
+def make_bench_record(
+    name: str, population: int, wall_time_s: Optional[float], steps: int, **extra
+) -> Dict[str, Any]:
+    """One ``BENCH_results.json`` record; the single place the shape is defined.
+
+    ``steps_per_sec`` is derived; an unknown or zero wall time yields ``None``
+    for both timing fields.  Extra keyword arguments pass through (``batch``,
+    ``workers``, ``cells``, ...).
+    """
+    record = {
+        "name": str(name),
+        "population": int(population),
+        "wall_time_s": round(float(wall_time_s), 6) if wall_time_s else None,
+        "steps": int(steps),
+        "steps_per_sec": round(steps / wall_time_s, 1) if wall_time_s else None,
+    }
+    record.update(extra)
+    return record
+
+
+def write_bench_json(path: str, records: List[Dict[str, Any]], source: str) -> None:
+    """Write benchmark records in the shared ``BENCH_results.json`` schema.
+
+    Each record carries ``name``, ``population``, ``wall_time_s``, ``steps``
+    and ``steps_per_sec`` (extra keys pass through).  Both the pytest
+    benchmark suite and ``python -m repro bench`` emit this schema, so the
+    perf trajectory is comparable across PRs regardless of which producer ran.
+    """
+    import json
+
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "source": source,
+        "results": sorted(records, key=lambda r: str(r.get("name", ""))),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_report(summary: CampaignSummary) -> str:
+    """A compact human-readable rendering of a summary."""
+    lines = [
+        f"campaign      : {summary.campaign or '(unnamed)'}",
+        f"cells         : {summary.total_cells} "
+        f"(ok {summary.ok}, errors {summary.errors}, cache hits {summary.cache_hits})",
+        f"convergence   : {summary.convergence_rate:.1%}",
+        f"correct       : {summary.correct_rate:.1%}",
+        f"mean steps    : {summary.mean_steps:,.1f}",
+        f"sim wall time : {summary.wall_time:.3f}s",
+    ]
+    if summary.engines:
+        lines.append("per engine    :")
+        for name in sorted(summary.engines):
+            stats = summary.engines[name]
+            throughput = (
+                f"{stats.steps_per_sec:,.0f} steps/s"
+                if stats.steps_per_sec is not None
+                else "throughput n/a (all cached)"
+            )
+            lines.append(
+                f"  {name:<12} {stats.cells} cells, {stats.errors} errors, "
+                f"{stats.cache_hits} cached, {throughput}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,594 @@
+"""Declarative experiment campaigns and their run/resume lifecycle.
+
+A :class:`Campaign` names *what* to compute — specs x inputs x engines x
+config variants — and :func:`run_campaign` turns it into artifacts on disk:
+
+1. **expand**: the grid is flattened into a deterministic, seeded list of
+   :class:`Cell` s.  Expansion is a pure function of the campaign, so the same
+   campaign always yields the same cells (ids, seeds, order) — the property
+   resume and caching both rest on.
+2. **skip**: cells whose ids already appear in the campaign's JSONL store are
+   done (a previous run, possibly interrupted, produced them).
+3. **cache**: remaining seeded cells are looked up in the content-addressed
+   :class:`~repro.lab.cache.ResultCache`; hits are replayed into the store
+   without simulating.
+4. **execute**: misses go to an executor (:mod:`repro.lab.executor`) — a
+   worker pool or the serial fallback — and every result (including error
+   rows) is appended to the store as it arrives.
+5. **aggregate**: all rows are summarized (:mod:`repro.lab.aggregate`) and the
+   summary is written next to the store.
+
+Specs travel to worker processes *by name*: a module-level factory registry
+maps names to zero-argument constructors, pre-populated with the package
+catalog.  Custom factories registered at runtime reach workers on platforms
+that fork (Linux); under a spawn start method only the built-in catalog is
+visible to workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api.config import RunConfig
+from repro.core.specs import FunctionSpec
+from repro.lab.aggregate import CampaignSummary, summarize
+from repro.lab.cache import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    cell_cache_key,
+    spec_fingerprint,
+)
+from repro.lab.store import CellResult, ResultStore
+from repro.sim.registry import registered_engines
+
+MANIFEST_NAME = "manifest.json"
+RESULTS_NAME = "results.jsonl"
+SUMMARY_NAME = "summary.json"
+
+
+# ---------------------------------------------------------------------------
+# Spec factories: names -> constructors, so cells are picklable and portable
+# ---------------------------------------------------------------------------
+
+_SPEC_FACTORIES: Dict[str, Callable[[], FunctionSpec]] = {}
+_SPEC_INSTANCES: Dict[str, FunctionSpec] = {}
+
+
+def register_spec_factory(
+    name: str, factory: Callable[[], FunctionSpec], replace: bool = False
+) -> None:
+    """Register a zero-argument spec constructor under ``name``.
+
+    Campaign cells reference specs by these names (a callable cannot ride a
+    pickle to a worker process).  ``replace=True`` overwrites — note the cache
+    is content-addressed via :func:`~repro.lab.cache.spec_fingerprint`, so
+    re-binding a name to a different function can never resurrect the old
+    function's cached results.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"spec name must be a nonempty string, got {name!r}")
+    if name in _SPEC_FACTORIES and not replace:
+        raise ValueError(
+            f"spec factory {name!r} is already registered; pass replace=True to overwrite"
+        )
+    _SPEC_FACTORIES[name] = factory
+    _SPEC_INSTANCES.pop(name, None)
+
+
+def spec_factory_names() -> Tuple[str, ...]:
+    """All registered spec names, sorted."""
+    return tuple(sorted(_SPEC_FACTORIES))
+
+
+def resolve_spec(name: str) -> FunctionSpec:
+    """Instantiate (once per process) the spec registered under ``name``."""
+    try:
+        spec = _SPEC_INSTANCES[name]
+    except KeyError:
+        try:
+            factory = _SPEC_FACTORIES[name]
+        except KeyError:
+            known = ", ".join(repr(n) for n in spec_factory_names()) or "(none)"
+            raise ValueError(
+                f"unknown spec {name!r}; registered specs: {known}"
+            ) from None
+        spec = _SPEC_INSTANCES[name] = factory()
+    return spec
+
+
+def _register_builtin_specs() -> None:
+    from repro.functions import catalog, extended, paper_examples
+
+    builtins: Dict[str, Callable[[], FunctionSpec]] = {
+        "double": catalog.double_spec,
+        "identity": catalog.identity_spec,
+        "add": catalog.add_spec,
+        "minimum": catalog.minimum_spec,
+        "maximum": catalog.maximum_spec,
+        "min_one": catalog.min_one_spec,
+        "floor_3x_over_2": catalog.floor_3x_over_2_spec,
+        "quilt_2d_fig3b": catalog.quilt_2d_fig3b_spec,
+        "threshold_capped": catalog.threshold_capped_spec,
+        "minimum_3d": extended.minimum_3d_spec,
+        "weighted_floor": extended.weighted_floor_spec,
+        "capped_sum": extended.capped_sum_spec,
+        "tropical_polynomial": extended.tropical_polynomial_spec,
+        "min3_with_offset": extended.min3_with_offset_spec,
+        "fig7": paper_examples.fig7_spec,
+        "eq2_counterexample": paper_examples.eq2_counterexample_spec,
+        "fig4a_style": paper_examples.fig4a_style_spec,
+        "interior_min_plus_one": paper_examples.interior_min_plus_one_spec,
+    }
+    for name, factory in builtins.items():
+        register_spec_factory(name, factory, replace=True)
+
+
+_register_builtin_specs()
+
+
+# ---------------------------------------------------------------------------
+# Engine selection from registry capability metadata
+# ---------------------------------------------------------------------------
+
+
+def resolve_engine(selector: str, x: Sequence[int]) -> str:
+    """Resolve an engine selector for one input, honouring ``"auto"``.
+
+    ``"auto"`` consults the engine registry's capability metadata: among
+    fair-scheduler-capable engines (in registration order, so the scalar
+    reference engine is preferred while it is practical), pick the first whose
+    ``max_recommended_population`` admits this input's population.  In the
+    default registry that means ``python`` for small inputs and
+    ``vectorized`` beyond ~2000 molecules.
+    """
+    if selector != "auto":
+        return selector
+    population = sum(int(v) for v in x)
+    fair_capable = [info for info in registered_engines() if info.supports_fair]
+    for info in fair_capable:
+        bound = info.max_recommended_population
+        if bound is None or population <= bound:
+            return info.name
+    return fair_capable[0].name if fair_capable else "python"
+
+
+# ---------------------------------------------------------------------------
+# Grids, cells, campaigns
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A cartesian input grid: one tuple of values per input dimension."""
+
+    axes: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "axes", tuple(tuple(int(v) for v in axis) for axis in self.axes)
+        )
+        if not self.axes or any(not axis for axis in self.axes):
+            raise ValueError("SweepGrid needs at least one nonempty axis per dimension")
+
+    @staticmethod
+    def from_ranges(*ranges: Tuple[int, int]) -> "SweepGrid":
+        """Half-open ``(lo, hi)`` ranges, one per dimension."""
+        return SweepGrid(tuple(tuple(range(lo, hi)) for lo, hi in ranges))
+
+    @staticmethod
+    def parse(text: str, dimension: Optional[int] = None) -> "SweepGrid":
+        """Parse ``"0:5"`` / ``"0:5,0:3"`` / ``"1,2,5"`` axis syntax.
+
+        Comma separates axes; each axis is a half-open ``lo:hi`` range or a
+        single value.  A single axis is replicated to ``dimension`` when one
+        is given (so ``"0:5"`` means the square/cube grid for any spec).
+        ``";"`` separates values *within* an axis: ``"0:3;7"`` is
+        ``(0, 1, 2, 7)``.
+        """
+        axes: List[Tuple[int, ...]] = []
+        for axis_text in text.split(","):
+            values: List[int] = []
+            for part in axis_text.split(";"):
+                part = part.strip()
+                if ":" in part:
+                    lo, hi = part.split(":", 1)
+                    values.extend(range(int(lo), int(hi)))
+                elif part:
+                    values.append(int(part))
+            axes.append(tuple(values))
+        if dimension is not None and len(axes) == 1 and dimension > 1:
+            axes = axes * dimension
+        return SweepGrid(tuple(axes))
+
+    @property
+    def dimension(self) -> int:
+        return len(self.axes)
+
+    def points(self) -> Tuple[Tuple[int, ...], ...]:
+        """All grid points, in row-major (itertools.product) order."""
+        return tuple(itertools.product(*self.axes))
+
+    def __len__(self) -> int:
+        size = 1
+        for axis in self.axes:
+            size *= len(axis)
+        return size
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One fully-resolved unit of campaign work (picklable, content-addressed).
+
+    ``config`` carries the cell's concrete engine and derived seed;
+    ``cell_id`` is a 16-hex-digit content hash of the descriptor, and
+    :meth:`cache_key` extends it with the code-version salt for the
+    result cache.
+    """
+
+    index: int
+    spec: str
+    strategy: str
+    input: Tuple[int, ...]
+    engine: str
+    config: RunConfig
+    spec_fingerprint: str
+    cell_id: str
+
+    @property
+    def cacheable(self) -> bool:
+        """Only seeded cells are deterministic, hence content-addressable."""
+        return self.config.seed is not None
+
+    def cache_key(self) -> str:
+        return cell_cache_key(
+            self.spec_fingerprint,
+            self.strategy,
+            self.input,
+            self.engine,
+            self.config.cache_key(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Cell(#{self.index} {self.spec}{list(self.input)} "
+            f"engine={self.engine} id={self.cell_id})"
+        )
+
+
+def _derive_cell_seed(master_seed: int, descriptor_blob: str) -> int:
+    digest = hashlib.sha256(
+        f"{master_seed}|{descriptor_blob}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+SpecLike = Union[str, Tuple[str, str], FunctionSpec]
+
+
+def _normalize_spec_entry(entry: SpecLike, default_strategy: str) -> Tuple[str, str]:
+    if isinstance(entry, FunctionSpec):
+        if entry.name in _SPEC_FACTORIES:
+            # never silently rebind a registered name (e.g. a catalog spec)
+            # to a different object — that would leak into every later
+            # resolve_spec() in the process
+            if resolve_spec(entry.name) is not entry:
+                raise ValueError(
+                    f"spec name {entry.name!r} is already registered to a "
+                    f"different spec; rename yours, or call "
+                    f"register_spec_factory({entry.name!r}, ..., replace=True) "
+                    f"explicitly first"
+                )
+        else:
+            register_spec_factory(entry.name, lambda spec=entry: spec)
+        return (entry.name, default_strategy)
+    if isinstance(entry, str):
+        return (entry, default_strategy)
+    name, strategy = entry
+    return (str(name), str(strategy))
+
+
+@dataclass
+class Campaign:
+    """A declarative sweep: specs x inputs x engines x config variants.
+
+    Attributes
+    ----------
+    name:
+        Campaign identifier (directory naming and reports only — it is *not*
+        part of cell ids, so identical work shares cache entries across
+        campaigns).
+    specs:
+        ``(spec name, strategy)`` pairs.  Bare names and
+        :class:`~repro.core.specs.FunctionSpec` instances are accepted and
+        normalized (instances are auto-registered under their own name).
+    inputs:
+        Explicit input tuples, or a :class:`SweepGrid` (expanded and stored as
+        points).  Every input must match every spec's dimension.
+    engines:
+        Engine selectors; ``"auto"`` resolves per cell via
+        :func:`resolve_engine`.
+    configs:
+        :class:`~repro.api.config.RunConfig` variants.  Each cell's config is
+        a variant with the resolved engine and derived seed substituted.
+    seed:
+        Master seed.  Each cell's seed is derived from it by hashing the
+        cell descriptor, so seeds are stable under re-expansion, independent
+        of cell order, and distinct across cells.  ``None`` leaves the
+        variants' own seeds in place (possibly unseeded = uncacheable).
+    """
+
+    name: str
+    specs: Sequence[SpecLike]
+    inputs: Union[SweepGrid, Sequence[Sequence[int]]]
+    engines: Sequence[str] = ("auto",)
+    configs: Sequence[RunConfig] = (RunConfig(),)
+    seed: Optional[int] = None
+    default_strategy: str = "auto"
+
+    def __post_init__(self) -> None:
+        self.specs = tuple(
+            _normalize_spec_entry(entry, self.default_strategy) for entry in self.specs
+        )
+        if isinstance(self.inputs, SweepGrid):
+            self.inputs = self.inputs.points()
+        else:
+            self.inputs = tuple(tuple(int(v) for v in x) for x in self.inputs)
+        self.engines = tuple(self.engines)
+        self.configs = tuple(self.configs)
+        if not self.specs:
+            raise ValueError("campaign needs at least one spec")
+        if not self.inputs:
+            raise ValueError("campaign needs at least one input")
+        if not self.engines:
+            raise ValueError("campaign needs at least one engine")
+        if not self.configs:
+            raise ValueError("campaign needs at least one config variant")
+
+    # -- expansion -------------------------------------------------------------
+
+    def expand(self) -> List[Cell]:
+        """The deterministic cell list (duplicate descriptors collapsed)."""
+        cells: List[Cell] = []
+        seen: set = set()
+        for spec_name, strategy in self.specs:
+            spec = resolve_spec(spec_name)
+            fingerprint = spec_fingerprint(spec)
+            for x in self.inputs:
+                if len(x) != spec.dimension:
+                    raise ValueError(
+                        f"input {x} has {len(x)} coordinates but spec "
+                        f"{spec_name!r} takes {spec.dimension}"
+                    )
+                for selector in self.engines:
+                    engine = resolve_engine(selector, x)
+                    for variant in self.configs:
+                        variant_fields = variant.to_dict()
+                        variant_fields.pop("seed")
+                        variant_fields.pop("engine")
+                        descriptor = json.dumps(
+                            {
+                                "spec_fp": fingerprint,
+                                "strategy": strategy,
+                                "input": list(x),
+                                "engine": engine,
+                                "config": variant_fields,
+                            },
+                            sort_keys=True,
+                            separators=(",", ":"),
+                        )
+                        if self.seed is not None:
+                            seed: Optional[int] = _derive_cell_seed(self.seed, descriptor)
+                        else:
+                            seed = variant.seed
+                        config = variant.replace(engine=engine, seed=seed)
+                        cell_id = hashlib.sha256(
+                            f"{descriptor}|seed={seed}".encode("utf-8")
+                        ).hexdigest()[:16]
+                        if cell_id in seen:
+                            continue
+                        seen.add(cell_id)
+                        cells.append(
+                            Cell(
+                                index=len(cells),
+                                spec=spec_name,
+                                strategy=strategy,
+                                input=tuple(x),
+                                engine=engine,
+                                config=config,
+                                spec_fingerprint=fingerprint,
+                                cell_id=cell_id,
+                            )
+                        )
+        return cells
+
+    def __len__(self) -> int:
+        return len(self.expand())
+
+    # -- manifest persistence --------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "specs": [list(entry) for entry in self.specs],
+            "inputs": [list(x) for x in self.inputs],
+            "engines": list(self.engines),
+            "configs": [config.to_dict() for config in self.configs],
+            "seed": self.seed,
+            "default_strategy": self.default_strategy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Campaign":
+        return cls(
+            name=data["name"],
+            specs=[tuple(entry) for entry in data["specs"]],
+            inputs=[tuple(x) for x in data["inputs"]],
+            engines=tuple(data["engines"]),
+            configs=tuple(RunConfig.from_dict(c) for c in data["configs"]),
+            seed=data.get("seed"),
+            default_strategy=data.get("default_strategy", "auto"),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Campaign":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+# ---------------------------------------------------------------------------
+# The campaign lifecycle: expand -> skip done -> cache -> execute -> aggregate
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignRun:
+    """What :func:`run_campaign` hands back: rows, summary, and provenance counts."""
+
+    campaign: Campaign
+    out_dir: str
+    results: List[CellResult]
+    summary: CampaignSummary
+    total_cells: int
+    already_done: int = 0
+    from_cache: int = 0
+    executed: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.already_done + self.from_cache + self.executed >= self.total_cells
+
+
+def run_campaign(
+    campaign: Campaign,
+    out_dir: str,
+    workers: int = 1,
+    chunksize: Optional[int] = None,
+    timeout: Optional[float] = None,
+    cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
+    executor=None,
+    progress: Optional[Callable[[CellResult, str], None]] = None,
+    retry_errors: bool = False,
+    cells: Optional[List[Cell]] = None,
+) -> CampaignRun:
+    """Run (or resume) a campaign into ``out_dir``; see the module docstring.
+
+    ``out_dir`` receives ``manifest.json``, ``results.jsonl``, and
+    ``summary.json``.  Running into a directory that already holds a
+    *different* campaign manifest is an error; the *same* campaign resumes.
+    ``cache_dir=None`` disables the content-addressed cache.  ``progress``
+    (if given) is called per cell with its result and its source: ``"done"``
+    (recorded by a previous run), ``"cache"``, or ``"run"``.  Recorded error
+    rows normally count as done; ``retry_errors=True`` re-executes them (the
+    retried row supersedes the old one when results are collected).  ``cells``
+    accepts a precomputed ``campaign.expand()`` so callers that already
+    expanded (the CLI, for its progress total) skip a second expansion.
+
+    Results are appended to the store in deterministic cell order (the pool
+    executor's ordered ``imap`` guarantees this even across workers).
+    """
+    out_dir = str(out_dir)
+    os.makedirs(out_dir, exist_ok=True)
+    manifest_path = os.path.join(out_dir, MANIFEST_NAME)
+    if os.path.exists(manifest_path):
+        existing = Campaign.load(manifest_path)
+        if existing.to_dict() != campaign.to_dict():
+            raise ValueError(
+                f"{out_dir!r} already holds a different campaign "
+                f"({existing.name!r}); pick a fresh --out directory"
+            )
+    else:
+        campaign.save(manifest_path)
+
+    store = ResultStore(os.path.join(out_dir, RESULTS_NAME))
+    if cells is None:
+        cells = campaign.expand()
+    recorded = {row.cell_id: row for row in store.iter_rows()}
+    already_done = 0
+    pending: List[Cell] = []
+    for cell in cells:
+        row = recorded.get(cell.cell_id)
+        if row is not None and (row.ok or not retry_errors):
+            already_done += 1
+            if progress:
+                progress(row, "done")
+        else:
+            pending.append(cell)
+
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    from_cache = 0
+    to_run: List[Cell] = []
+    for cell in pending:
+        payload = cache.get(cell.cache_key()) if cache and cell.cacheable else None
+        if payload is not None and payload.get("cell_id") == cell.cell_id:
+            result = CellResult.from_dict(payload)
+            result.cached = True
+            result.wall_time = 0.0
+            store.append(result)
+            from_cache += 1
+            if progress:
+                progress(result, "cache")
+        else:
+            to_run.append(cell)
+
+    if executor is None:
+        from repro.lab.executor import PoolExecutor, SerialExecutor
+
+        executor = (
+            PoolExecutor(workers=workers, chunksize=chunksize, timeout=timeout)
+            if workers > 1
+            else SerialExecutor(timeout=timeout)
+        )
+
+    executed = 0
+    for cell, result in zip(to_run, executor.map(to_run)):
+        store.append(result)
+        executed += 1
+        if cache is not None and cell.cacheable and result.ok:
+            cache.put(cell.cache_key(), result.deterministic_dict())
+        if progress:
+            progress(result, "run")
+
+    rows_by_id = {row.cell_id: row for row in store.iter_rows()}
+    results = [rows_by_id[cell.cell_id] for cell in cells if cell.cell_id in rows_by_id]
+    summary = summarize(results, campaign=campaign.name)
+    with open(os.path.join(out_dir, SUMMARY_NAME), "w", encoding="utf-8") as handle:
+        json.dump(summary.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    return CampaignRun(
+        campaign=campaign,
+        out_dir=out_dir,
+        results=results,
+        summary=summary,
+        total_cells=len(cells),
+        already_done=already_done,
+        from_cache=from_cache,
+        executed=executed,
+    )
+
+
+def resume_campaign(out_dir: str, **kwargs) -> CampaignRun:
+    """Resume an interrupted campaign from its ``manifest.json``.
+
+    Pure convenience over :func:`run_campaign` — running the same campaign
+    into the same directory *is* resumption; this just reloads the manifest
+    so callers (the CLI) need only the directory.
+    """
+    manifest_path = os.path.join(str(out_dir), MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        raise FileNotFoundError(
+            f"no campaign manifest at {manifest_path!r}; was this directory "
+            f"produced by `repro run` / run_campaign?"
+        )
+    campaign = Campaign.load(manifest_path)
+    return run_campaign(campaign, out_dir, **kwargs)

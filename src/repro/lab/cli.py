@@ -1,0 +1,333 @@
+"""The ``python -m repro`` command-line front end.
+
+Subcommands::
+
+    run     expand and execute a campaign (spec x grid x engines) into --out
+    resume  finish an interrupted campaign from its manifest
+    report  re-aggregate and print a finished (or partial) campaign
+    bench   run the benchmark family through the executor -> BENCH_results.json
+    specs   list the registered function specs
+    engines list the registered simulation engines
+
+Every command is plumbing over :mod:`repro.lab` — anything the CLI does is
+one function call away in Python, and the CLI never talks to the simulators
+directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from typing import List, Optional, Sequence, Tuple
+
+from repro.api.config import RunConfig
+from repro.lab.aggregate import (
+    format_report,
+    make_bench_record,
+    summarize,
+    write_bench_json,
+)
+from repro.lab.cache import DEFAULT_CACHE_DIR
+from repro.lab.campaign import (
+    MANIFEST_NAME,
+    RESULTS_NAME,
+    Campaign,
+    CampaignRun,
+    SweepGrid,
+    resolve_spec,
+    run_campaign,
+    spec_factory_names,
+)
+from repro.lab.store import ResultStore
+from repro.sim.registry import registered_engines
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Campaign runner for the CRN reproduction (repro.lab).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="expand and execute a campaign")
+    run.add_argument(
+        "--spec",
+        action="append",
+        required=True,
+        metavar="NAME",
+        help="spec to sweep (repeatable; see `specs` for the catalog)",
+    )
+    run.add_argument(
+        "--strategy",
+        default="auto",
+        help="construction strategy for every spec (default: auto)",
+    )
+    group = run.add_mutually_exclusive_group()
+    group.add_argument(
+        "--grid",
+        metavar="AXES",
+        help='input grid, e.g. "0:5" (square), "0:5,0:3", or "1;2;7" values',
+    )
+    group.add_argument(
+        "--input",
+        action="append",
+        metavar="X",
+        help='explicit input tuple, e.g. "3,4" (repeatable)',
+    )
+    run.add_argument(
+        "--engine",
+        action="append",
+        metavar="NAME",
+        help="engine selector (repeatable; 'auto' picks per cell; default: auto)",
+    )
+    run.add_argument("--trials", type=int, default=5)
+    run.add_argument("--max-steps", type=int, default=1_000_000)
+    run.add_argument("--quiescence-window", type=int, default=None)
+    run.add_argument("--seed", type=int, default=None, help="campaign master seed")
+    run.add_argument("--name", default=None, help="campaign name (default: from specs)")
+    run.add_argument("--out", default=None, help="output directory (default: runs/<name>)")
+    _add_execution_arguments(run)
+
+    resume = sub.add_parser("resume", help="finish an interrupted campaign")
+    resume.add_argument("out_dir", help="directory holding manifest.json")
+    _add_execution_arguments(resume)
+
+    report = sub.add_parser("report", help="print the aggregate for a campaign dir")
+    report.add_argument("out_dir")
+    report.add_argument("--json", action="store_true", help="print summary as JSON")
+
+    bench = sub.add_parser(
+        "bench", help="benchmark family through the campaign executor"
+    )
+    bench.add_argument("--out", default="BENCH_results.json")
+    bench.add_argument("--workers", type=int, default=2)
+    bench.add_argument(
+        "--populations",
+        default="100,500",
+        help="comma-separated per-species input counts (default: 100,500)",
+    )
+    bench.add_argument("--trials", type=int, default=3)
+
+    sub.add_parser("specs", help="list registered function specs")
+    sub.add_parser("engines", help="list registered simulation engines")
+    return parser
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1, help="worker processes")
+    parser.add_argument("--chunksize", type=int, default=None)
+    parser.add_argument(
+        "--timeout", type=float, default=None, help="per-cell wall-clock budget (s)"
+    )
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    parser.add_argument(
+        "--retry-errors",
+        action="store_true",
+        help="re-execute cells whose recorded row is an error",
+    )
+    parser.add_argument("--json", action="store_true", help="print summary as JSON")
+    parser.add_argument("--quiet", action="store_true", help="no per-cell progress")
+
+
+def _progress_printer(total: int, quiet: bool):
+    state = {"count": 0}
+
+    def on_result(result, source: str) -> None:
+        state["count"] += 1
+        if quiet:
+            return
+        tag = {"cache": "cached", "run": result.status, "done": "done"}[source]
+        print(
+            f"[{state['count']}/{total}] {tag:>6} {result.spec}{list(result.input)} "
+            f"engine={result.engine}",
+            file=sys.stderr,
+        )
+
+    return on_result
+
+
+def _finish(run: CampaignRun, as_json: bool) -> int:
+    if as_json:
+        payload = run.summary.to_dict()
+        payload["provenance"] = {
+            "total_cells": run.total_cells,
+            "already_done": run.already_done,
+            "from_cache": run.from_cache,
+            "executed": run.executed,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_report(run.summary))
+        print(
+            f"provenance    : {run.already_done} already done, "
+            f"{run.from_cache} from cache, {run.executed} executed"
+        )
+        print(f"artifacts     : {run.out_dir}")
+    return 0 if run.summary.errors == 0 else 3
+
+
+def _execution_kwargs(args) -> dict:
+    return {
+        "workers": args.workers,
+        "chunksize": args.chunksize,
+        "timeout": args.timeout,
+        "cache_dir": None if args.no_cache else args.cache_dir,
+        "retry_errors": args.retry_errors,
+    }
+
+
+def _command_run(args) -> int:
+    specs: List[Tuple[str, str]] = [(name, args.strategy) for name in args.spec]
+    dimensions = {name: resolve_spec(name).dimension for name, _ in specs}
+    if args.input:
+        inputs = [tuple(int(v) for v in text.split(",")) for text in args.input]
+    else:
+        distinct = set(dimensions.values())
+        if len(distinct) > 1:
+            raise SystemExit(
+                f"specs have different dimensions ({dimensions}); use explicit "
+                f"--input tuples or run one campaign per dimension"
+            )
+        dimension = distinct.pop()
+        inputs = list(SweepGrid.parse(args.grid or "0:4", dimension=dimension).points())
+
+    name = args.name or "-".join(args.spec)
+    campaign = Campaign(
+        name=name,
+        specs=specs,
+        inputs=inputs,
+        engines=tuple(args.engine) if args.engine else ("auto",),
+        configs=(
+            RunConfig(
+                trials=args.trials,
+                max_steps=args.max_steps,
+                quiescence_window=args.quiescence_window,
+            ),
+        ),
+        seed=args.seed,
+    )
+    out_dir = args.out or os.path.join("runs", name)
+    cells = campaign.expand()
+    run = run_campaign(
+        campaign,
+        out_dir,
+        cells=cells,
+        progress=_progress_printer(len(cells), args.quiet),
+        **_execution_kwargs(args),
+    )
+    return _finish(run, args.json)
+
+
+def _command_resume(args) -> int:
+    manifest = os.path.join(args.out_dir, MANIFEST_NAME)
+    if not os.path.exists(manifest):
+        print(f"error: no {MANIFEST_NAME} in {args.out_dir!r}", file=sys.stderr)
+        return 2
+    campaign = Campaign.load(manifest)
+    cells = campaign.expand()
+    run = run_campaign(
+        campaign,
+        args.out_dir,
+        cells=cells,
+        progress=_progress_printer(len(cells), args.quiet),
+        **_execution_kwargs(args),
+    )
+    return _finish(run, args.json)
+
+
+def _command_report(args) -> int:
+    manifest = os.path.join(args.out_dir, MANIFEST_NAME)
+    store = ResultStore(os.path.join(args.out_dir, RESULTS_NAME))
+    if not store.exists():
+        print(f"error: no {RESULTS_NAME} in {args.out_dir!r}", file=sys.stderr)
+        return 2
+    name = Campaign.load(manifest).name if os.path.exists(manifest) else ""
+    summary = summarize(store.load(), campaign=name)
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_report(summary))
+    return 0
+
+
+def _command_bench(args) -> int:
+    populations = [int(v) for v in str(args.populations).split(",") if v.strip()]
+    campaign = Campaign(
+        name="bench-minimum",
+        specs=[("minimum", "known")],
+        inputs=[(p, p) for p in populations],
+        engines=("python", "vectorized"),
+        configs=(RunConfig(trials=args.trials, max_steps=10_000_000),),
+        seed=1,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as out_dir:
+        # cache off: a benchmark that replays cached results measures nothing
+        run = run_campaign(
+            campaign, out_dir, workers=args.workers, cache_dir=None
+        )
+    records = []
+    for row in run.results:
+        if not row.ok:
+            continue
+        population = sum(row.input)
+        records.append(
+            make_bench_record(
+                f"campaign/{row.spec}/{row.engine}/pop{population}",
+                population,
+                row.wall_time,
+                row.total_steps,
+            )
+        )
+    write_bench_json(args.out, records, source="repro.lab.cli bench")
+    print(format_report(run.summary))
+    print(f"wrote {args.out} ({len(records)} records)")
+    return 0 if run.summary.errors == 0 else 3
+
+
+def _command_specs(args) -> int:
+    for name in spec_factory_names():
+        spec = resolve_spec(name)
+        print(f"{name:<24} d={spec.dimension}  {spec!r}")
+    return 0
+
+
+def _command_engines(args) -> int:
+    for info in registered_engines():
+        bound = (
+            "unbounded"
+            if info.max_recommended_population is None
+            else f"<= {info.max_recommended_population}"
+        )
+        print(f"{info.name:<12} pop {bound:<12} {info.description}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _command_run,
+    "resume": _command_resume,
+    "report": _command_report,
+    "bench": _command_bench,
+    "specs": _command_specs,
+    "engines": _command_engines,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted — rerun `python -m repro resume <out-dir>` to finish",
+            file=sys.stderr,
+        )
+        return 130
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

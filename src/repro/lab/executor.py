@@ -1,0 +1,201 @@
+"""Campaign executors: a multiprocessing worker pool and a serial fallback.
+
+Both executors drive the same pure worker function, :func:`run_cell`, so for
+seeded cells they are interchangeable by construction — the parallel pool
+must produce bit-identical deterministic rows to the serial loop (enforced by
+``tests/test_lab_executor.py``).  The division of labour:
+
+* :func:`run_cell` — resolve the cell's spec by name, build (and memoize, per
+  process) its CRN, run the configured engine, and fold the outcome into a
+  :class:`~repro.lab.store.CellResult`.  *Every* exception is captured as an
+  ``status="error"`` row: a failed cell is a data point, not a crashed
+  campaign.
+* :class:`SerialExecutor` — in-process loop; the debugging baseline (plain
+  tracebacks in ``error`` rows, no fork in the way of ``pdb``).
+* :class:`PoolExecutor` — ``multiprocessing.Pool`` + ordered ``imap`` with
+  explicit chunking.  Ordered iteration keeps the result stream (and hence
+  the JSONL store) in deterministic cell order regardless of which worker
+  finishes first.
+
+Per-cell wall-clock timeouts use ``SIGALRM`` inside the worker (pool workers
+run tasks on their main thread), so a hung cell becomes a timeout error row
+without poisoning the pool.  On platforms without ``SIGALRM`` the timeout is
+silently unenforced rather than failing the campaign.
+
+New executor backends (async, remote, sharded) plug in by exposing the same
+``map(cells) -> iterator of CellResult`` surface and being passed to
+:func:`repro.lab.campaign.run_campaign` via ``executor=``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.crn.network import CRN
+from repro.lab.campaign import Cell, resolve_spec
+from repro.lab.store import CellResult
+from repro.sim.runner import run_many
+
+
+class CellTimeoutError(Exception):
+    """A cell exceeded its wall-clock budget."""
+
+
+# Per-process CRN memo: workers build each (spec, strategy) CRN once and
+# reuse it for every cell that references it.
+_CRN_CACHE: Dict[Tuple[str, str], CRN] = {}
+
+
+def _built_crn(spec_name: str, strategy: str) -> CRN:
+    key = (spec_name, strategy)
+    crn = _CRN_CACHE.get(key)
+    if crn is None:
+        from repro.core.characterization import build_crn_for
+
+        spec = resolve_spec(spec_name)
+        crn = build_crn_for(spec, name=spec.name, strategy=strategy)
+        crn.compiled()  # warm the dense matrices for vectorized cells
+        _CRN_CACHE[key] = crn
+    return crn
+
+
+def _error_row(cell: Cell, exc: BaseException, wall_time: float) -> CellResult:
+    return CellResult(
+        cell_id=cell.cell_id,
+        spec=cell.spec,
+        strategy=cell.strategy,
+        input=cell.input,
+        engine=cell.engine,
+        config=cell.config.to_dict(),
+        status="error",
+        error=f"{type(exc).__name__}: {exc}",
+        wall_time=wall_time,
+    )
+
+
+def run_cell(cell: Cell) -> CellResult:
+    """Execute one cell; deterministic for seeded cells, never raises."""
+    start = time.perf_counter()
+    try:
+        spec = resolve_spec(cell.spec)
+        expected = spec(cell.input)
+        crn = _built_crn(cell.spec, cell.strategy)
+        report = run_many(crn, cell.input, config=cell.config)
+        return CellResult(
+            cell_id=cell.cell_id,
+            spec=cell.spec,
+            strategy=cell.strategy,
+            input=cell.input,
+            engine=cell.engine,
+            config=cell.config.to_dict(),
+            status="ok",
+            expected=expected,
+            outputs=tuple(report.outputs),
+            output_mode=report.output_mode,
+            output_unanimous=report.output_unanimous,
+            converged=report.all_silent_or_converged,
+            correct=(report.output_mode == expected),
+            mean_steps=report.mean_steps,
+            total_steps=sum(report.steps),
+            wall_time=time.perf_counter() - start,
+        )
+    except Exception as exc:  # noqa: BLE001 — failure capture is the contract
+        return _error_row(cell, exc, time.perf_counter() - start)
+
+
+def run_cell_with_timeout(cell: Cell, timeout: Optional[float] = None) -> CellResult:
+    """:func:`run_cell` under a ``SIGALRM`` wall-clock budget (when enforceable)."""
+    can_alarm = (
+        timeout is not None
+        and timeout > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not can_alarm:
+        return run_cell(cell)
+
+    def _on_alarm(signum, frame):
+        raise CellTimeoutError(f"cell exceeded the {timeout}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        # a timeout inside run_cell is caught by its handler and becomes an
+        # error row; the except below covers the race where the alarm fires
+        # in the gap between run_cell returning and the timer reset
+        return run_cell(cell)
+    except CellTimeoutError as exc:
+        return _error_row(cell, exc, timeout)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _pool_task(payload: Tuple[Cell, Optional[float]]) -> CellResult:
+    cell, timeout = payload
+    return run_cell_with_timeout(cell, timeout)
+
+
+class SerialExecutor:
+    """In-process, one cell at a time — the debugging fallback."""
+
+    def __init__(self, timeout: Optional[float] = None) -> None:
+        self.timeout = timeout
+
+    def map(self, cells: Iterable[Cell]) -> Iterator[CellResult]:
+        for cell in cells:
+            yield run_cell_with_timeout(cell, self.timeout)
+
+    def __repr__(self) -> str:
+        return f"SerialExecutor(timeout={self.timeout})"
+
+
+class PoolExecutor:
+    """Multiprocessing worker pool with ordered results and explicit chunking.
+
+    ``chunksize=None`` picks ``len(cells) / (4 * workers)`` (clamped to
+    [1, 16]): large enough to amortize IPC, small enough that the tail of the
+    campaign still load-balances.  Falls back to the serial path for empty or
+    single-cell batches.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        if workers is None:
+            workers = max(1, (os.cpu_count() or 2) - 1)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.chunksize = chunksize
+        self.timeout = timeout
+
+    def _chunksize_for(self, count: int) -> int:
+        if self.chunksize is not None:
+            return max(1, self.chunksize)
+        return max(1, min(16, count // (4 * self.workers)))
+
+    def map(self, cells: Iterable[Cell]) -> Iterator[CellResult]:
+        cells = list(cells)
+        if len(cells) <= 1 or self.workers == 1:
+            yield from SerialExecutor(timeout=self.timeout).map(cells)
+            return
+        payloads = [(cell, self.timeout) for cell in cells]
+        with multiprocessing.Pool(processes=min(self.workers, len(cells))) as pool:
+            # imap (not imap_unordered): results come back in cell order, so
+            # the store stays deterministic no matter the scheduling.
+            yield from pool.imap(_pool_task, payloads, self._chunksize_for(len(cells)))
+
+    def __repr__(self) -> str:
+        return (
+            f"PoolExecutor(workers={self.workers}, chunksize={self.chunksize}, "
+            f"timeout={self.timeout})"
+        )

@@ -1,0 +1,133 @@
+"""Typed campaign artifacts: :class:`CellResult` rows in a JSONL store.
+
+One campaign produces one ``results.jsonl`` file — one JSON object per line,
+one line per cell.  Append-only and flushed per row, so a campaign killed
+mid-run leaves a valid store behind; resume reads the completed cell ids back
+and schedules only the remainder.
+
+The **determinism contract**: everything in :meth:`CellResult.deterministic_dict`
+is a pure function of the cell descriptor (spec fingerprint, input, config,
+engine) for seeded cells, so the serial and parallel executors must produce
+bit-identical deterministic rows.  ``wall_time`` and ``cached`` are
+provenance — they describe *this* execution, not the result — and are the
+only fields excluded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Set, Tuple
+
+#: Fields describing how a row was produced rather than what was computed.
+#: Excluded from the deterministic view (and therefore from cache payloads).
+PROVENANCE_FIELDS = ("wall_time", "cached")
+
+
+@dataclass
+class CellResult:
+    """The outcome of one campaign cell (one spec x input x engine x config run).
+
+    ``status`` is ``"ok"`` or ``"error"``; error rows keep the descriptor
+    fields populated and carry the exception rendering in ``error`` so a
+    failed cell is a recorded data point, never a crashed campaign.
+    """
+
+    cell_id: str
+    spec: str
+    strategy: str
+    input: Tuple[int, ...]
+    engine: str
+    config: Dict[str, Any]
+    status: str
+    expected: Optional[int] = None
+    outputs: Tuple[int, ...] = ()
+    output_mode: Optional[int] = None
+    output_unanimous: Optional[bool] = None
+    converged: Optional[bool] = None
+    correct: Optional[bool] = None
+    mean_steps: Optional[float] = None
+    total_steps: Optional[int] = None
+    error: Optional[str] = None
+    wall_time: float = 0.0
+    cached: bool = False
+
+    def __post_init__(self) -> None:
+        self.input = tuple(int(v) for v in self.input)
+        self.outputs = tuple(int(v) for v in self.outputs)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The full row, provenance included (one JSONL line)."""
+        data = asdict(self)
+        data["input"] = list(self.input)
+        data["outputs"] = list(self.outputs)
+        return data
+
+    def deterministic_dict(self) -> Dict[str, Any]:
+        """The row minus provenance — the executor-equivalence / cache payload view."""
+        data = self.to_dict()
+        for name in PROVENANCE_FIELDS:
+            data.pop(name)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CellResult":
+        """Rebuild a row from :meth:`to_dict` / :meth:`deterministic_dict` output."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in known}
+        return cls(**kwargs)
+
+
+class ResultStore:
+    """Append-only JSONL store for :class:`CellResult` rows.
+
+    Rows are flushed (and fsync'd) as they are appended, so the store is
+    always a valid prefix of the campaign — the property resume depends on.
+    A trailing partial line (the one a ``kill -9`` can leave behind) is
+    ignored on read.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def append(self, result: CellResult) -> None:
+        line = json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def iter_rows(self) -> Iterator[CellResult]:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line from an interrupted writer
+                yield CellResult.from_dict(data)
+
+    def load(self) -> List[CellResult]:
+        return list(self.iter_rows())
+
+    def completed_ids(self) -> Set[str]:
+        """Cell ids already recorded (both ok and error rows count as done)."""
+        return {row.cell_id for row in self.iter_rows()}
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_rows())
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.path!r})"

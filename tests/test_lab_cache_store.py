@@ -1,0 +1,272 @@
+"""Cache keys, the content-addressed cache, the JSONL store, and resume."""
+
+import json
+
+import pytest
+
+from repro.api.config import RunConfig
+from repro.core.specs import FunctionSpec
+from repro.lab.cache import ResultCache, cell_cache_key, spec_fingerprint
+from repro.lab.campaign import Campaign, SweepGrid, run_campaign
+from repro.lab.store import CellResult, ResultStore
+
+
+class TestRunConfigCacheKey:
+    def test_equal_configs_hash_equal(self):
+        assert RunConfig(trials=3, seed=7).cache_key() == RunConfig(trials=3, seed=7).cache_key()
+
+    def test_any_field_change_changes_the_key(self):
+        base = RunConfig(trials=3, seed=7)
+        for change in (
+            {"trials": 4},
+            {"max_steps": 99},
+            {"quiescence_window": 5},
+            {"seed": 8},
+            {"seed": None},
+            {"engine": "vectorized"},
+        ):
+            assert base.replace(**change).cache_key() != base.cache_key()
+
+    def test_key_is_stable_across_processes(self):
+        # regression pin: the key must never depend on hash randomization
+        assert RunConfig().cache_key() == (
+            RunConfig.from_dict(RunConfig().to_dict()).cache_key()
+        )
+
+    def test_to_dict_from_dict_round_trip(self):
+        config = RunConfig(trials=2, max_steps=50, quiescence_window=9, seed=4, engine="vectorized")
+        assert RunConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = RunConfig(trials=2).to_dict()
+        data["future_field"] = "whatever"
+        assert RunConfig.from_dict(data) == RunConfig(trials=2)
+
+    def test_from_dict_still_validates(self):
+        with pytest.raises(ValueError):
+            RunConfig.from_dict({"trials": 0})
+
+
+class TestSpecFingerprint:
+    def test_same_function_same_fingerprint(self):
+        a = FunctionSpec(name="f", dimension=1, func=lambda x: x[0])
+        b = FunctionSpec(name="f", dimension=1, func=lambda x: x[0] * 1)
+        assert spec_fingerprint(a) == spec_fingerprint(b)
+
+    def test_same_name_different_behaviour_differs(self):
+        a = FunctionSpec(name="f", dimension=1, func=lambda x: x[0])
+        b = FunctionSpec(name="f", dimension=1, func=lambda x: 2 * x[0])
+        assert spec_fingerprint(a) != spec_fingerprint(b)
+
+    def test_cell_key_sensitive_to_every_component(self):
+        base = dict(
+            spec_fingerprint_hex="ab",
+            strategy="auto",
+            input_value=(1, 2),
+            engine="python",
+            config_key=RunConfig(seed=1).cache_key(),
+        )
+        key = cell_cache_key(**base)
+        for change in (
+            {"spec_fingerprint_hex": "cd"},
+            {"strategy": "known"},
+            {"input_value": (2, 1)},
+            {"engine": "vectorized"},
+            {"config_key": RunConfig(seed=2).cache_key()},
+        ):
+            assert cell_cache_key(**{**base, **change}) != key
+        assert cell_cache_key(**base, salt="other-code-version") != key
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        assert cache.get("a" * 64) is None
+        cache.put("a" * 64, {"cell_id": "x", "status": "ok"})
+        assert cache.get("a" * 64) == {"cell_id": "x", "status": "ok"}
+        assert ("a" * 64) in cache
+        assert len(cache) == 1
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.put("b" * 64, {"status": "ok"})
+        with open(cache._path("b" * 64), "w") as handle:
+            handle.write("{not json")
+        assert cache.get("b" * 64) is None
+
+
+class TestResultStore:
+    def row(self, cell_id="c1", **overrides):
+        kwargs = dict(
+            cell_id=cell_id,
+            spec="minimum",
+            strategy="auto",
+            input=(1, 2),
+            engine="python",
+            config=RunConfig(seed=3).to_dict(),
+            status="ok",
+            expected=1,
+            outputs=(1, 1),
+            output_mode=1,
+            output_unanimous=True,
+            converged=True,
+            correct=True,
+            mean_steps=2.0,
+            total_steps=4,
+            wall_time=0.5,
+        )
+        kwargs.update(overrides)
+        return CellResult(**kwargs)
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        store.append(self.row("c1"))
+        store.append(self.row("c2", status="error", error="Boom: x", outputs=()))
+        rows = store.load()
+        assert [r.cell_id for r in rows] == ["c1", "c2"]
+        assert rows[0] == self.row("c1")
+        assert store.completed_ids() == {"c1", "c2"}
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        store.append(self.row("c1"))
+        with open(store.path, "a") as handle:
+            handle.write('{"cell_id": "c2", "trunc')  # kill -9 mid-write
+        assert store.completed_ids() == {"c1"}
+
+    def test_deterministic_dict_drops_provenance_only(self):
+        row = self.row(cached=True)
+        deterministic = row.deterministic_dict()
+        assert "wall_time" not in deterministic and "cached" not in deterministic
+        assert deterministic["outputs"] == [1, 1]
+        rebuilt = CellResult.from_dict(deterministic)
+        assert rebuilt.wall_time == 0.0 and rebuilt.cached is False
+        assert rebuilt.deterministic_dict() == deterministic
+
+
+def tiny_campaign(seed=9):
+    return Campaign(
+        name="cache-test",
+        specs=["minimum"],
+        inputs=SweepGrid.parse("0:3", dimension=2),
+        engines=("python",),
+        configs=(RunConfig(trials=2),),
+        seed=seed,
+    )
+
+
+class TestCampaignCacheAndResume:
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        first = run_campaign(tiny_campaign(), str(tmp_path / "out1"), cache_dir=cache_dir)
+        assert first.executed == first.total_cells == 9
+        second = run_campaign(tiny_campaign(), str(tmp_path / "out2"), cache_dir=cache_dir)
+        assert second.executed == 0
+        assert second.from_cache == second.total_cells
+        assert second.summary.cache_hits == second.total_cells
+        assert [r.deterministic_dict() for r in first.results] == [
+            r.deterministic_dict() for r in second.results
+        ]
+
+    def test_rerun_into_same_dir_skips_done_cells(self, tmp_path):
+        out = str(tmp_path / "out")
+        run_campaign(tiny_campaign(), out, cache_dir=None)
+        events = []
+        again = run_campaign(
+            tiny_campaign(),
+            out,
+            cache_dir=None,
+            progress=lambda result, source: events.append(source),
+        )
+        assert again.already_done == again.total_cells
+        assert again.executed == 0 and again.from_cache == 0
+        # already-recorded cells are reported too, so progress reaches 100%
+        assert events == ["done"] * again.total_cells
+
+    def test_resume_after_interrupt_runs_only_the_remainder(self, tmp_path):
+        out = str(tmp_path / "out")
+        full = run_campaign(tiny_campaign(), out, cache_dir=None)
+        before = [r.deterministic_dict() for r in full.results]
+        # simulate a kill mid-run: keep only the first 4 completed rows
+        store_path = str(tmp_path / "out" / "results.jsonl")
+        with open(store_path) as handle:
+            lines = handle.readlines()
+        with open(store_path, "w") as handle:
+            handle.writelines(lines[:4])
+        resumed = run_campaign(tiny_campaign(), out, cache_dir=None)
+        assert resumed.already_done == 4
+        assert resumed.executed == resumed.total_cells - 4
+        assert [r.deterministic_dict() for r in resumed.results] == before
+
+    def test_unseeded_cells_never_touch_the_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        campaign = tiny_campaign(seed=None)
+        first = run_campaign(campaign, str(tmp_path / "o1"), cache_dir=cache_dir)
+        second = run_campaign(campaign, str(tmp_path / "o2"), cache_dir=cache_dir)
+        assert first.executed == second.executed == first.total_cells
+        assert second.from_cache == 0
+        assert len(ResultCache(cache_dir)) == 0
+
+    def test_error_rows_count_as_done_by_default(self, tmp_path):
+        campaign = Campaign(
+            name="err",
+            specs=[("minimum", "no-such-strategy")],
+            inputs=[(1, 1), (2, 2)],
+            engines=("python",),
+            seed=3,
+        )
+        out = str(tmp_path / "out")
+        first = run_campaign(campaign, out, cache_dir=None)
+        assert first.summary.errors == 2
+        again = run_campaign(campaign, out, cache_dir=None)
+        assert again.already_done == 2 and again.executed == 0
+
+    def test_retry_errors_reexecutes_error_rows_only(self, tmp_path):
+        bad = Campaign(
+            name="mixed",
+            specs=[("minimum", "no-such-strategy"), ("minimum", "known")],
+            inputs=[(1, 1)],
+            engines=("python",),
+            seed=3,
+        )
+        out = str(tmp_path / "out")
+        first = run_campaign(bad, out, cache_dir=None)
+        assert first.summary.errors == 1 and first.summary.ok == 1
+        retried = run_campaign(bad, out, cache_dir=None, retry_errors=True)
+        assert retried.already_done == 1  # the ok row stays done
+        assert retried.executed == 1      # only the error row re-ran
+        # the retried row supersedes the old one in the collected results
+        assert len(retried.results) == 2
+
+    def test_timeout_race_alarm_after_return_still_yields_error_row(self):
+        # direct check of the race guard: CellTimeoutError escaping run_cell
+        # must be folded into an error row by run_cell_with_timeout
+        from repro.lab import executor as executor_module
+        from repro.lab.executor import run_cell_with_timeout
+
+        cells = tiny_campaign().expand()
+
+        def explode(cell):
+            raise executor_module.CellTimeoutError("late alarm")
+
+        original = executor_module.run_cell
+        executor_module.run_cell = explode
+        try:
+            result = run_cell_with_timeout(cells[0], timeout=5.0)
+        finally:
+            executor_module.run_cell = original
+        assert result.status == "error"
+        assert "CellTimeoutError" in result.error
+
+    def test_different_campaign_in_same_dir_rejected(self, tmp_path):
+        out = str(tmp_path / "out")
+        run_campaign(tiny_campaign(seed=9), out, cache_dir=None)
+        with pytest.raises(ValueError, match="different campaign"):
+            run_campaign(tiny_campaign(seed=10), out, cache_dir=None)
+
+    def test_summary_written_next_to_store(self, tmp_path):
+        out = tmp_path / "out"
+        run = run_campaign(tiny_campaign(), str(out), cache_dir=None)
+        on_disk = json.loads((out / "summary.json").read_text())
+        assert on_disk == run.summary.to_dict()
+        assert on_disk["correct_rate"] == 1.0

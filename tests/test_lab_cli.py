@@ -1,0 +1,116 @@
+"""CLI smoke tests: ``python -m repro`` end to end in a subprocess."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def repro_cli(*args, cwd):
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=str(cwd),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestCliSmoke:
+    def test_run_report_resume_round_trip(self, tmp_path):
+        run = repro_cli(
+            "run", "--spec", "minimum", "--grid", "0:3", "--trials", "2",
+            "--seed", "5", "--workers", "2", "--out", "camp", "--quiet", "--json",
+            cwd=tmp_path,
+        )
+        assert run.returncode == 0, run.stderr
+        summary = json.loads(run.stdout)
+        assert summary["total_cells"] == 9
+        assert summary["errors"] == 0
+        assert summary["correct_rate"] == 1.0
+        assert summary["provenance"]["executed"] == 9
+        assert (tmp_path / "camp" / "manifest.json").exists()
+        assert (tmp_path / "camp" / "results.jsonl").exists()
+        assert (tmp_path / "camp" / "summary.json").exists()
+
+        report = repro_cli("report", "camp", "--json", cwd=tmp_path)
+        assert report.returncode == 0, report.stderr
+        assert json.loads(report.stdout)["total_cells"] == 9
+
+        resume = repro_cli("resume", "camp", "--quiet", "--json", cwd=tmp_path)
+        assert resume.returncode == 0, resume.stderr
+        provenance = json.loads(resume.stdout)["provenance"]
+        assert provenance["already_done"] == 9
+        assert provenance["executed"] == 0
+
+    def test_interrupted_campaign_resumes_only_remainder(self, tmp_path):
+        run = repro_cli(
+            "run", "--spec", "minimum", "--grid", "0:3", "--trials", "2",
+            "--seed", "5", "--out", "camp", "--quiet", "--no-cache",
+            cwd=tmp_path,
+        )
+        assert run.returncode == 0, run.stderr
+        store = tmp_path / "camp" / "results.jsonl"
+        lines = store.read_text().splitlines(keepends=True)
+        store.write_text("".join(lines[:3]))  # as if killed after 3 cells
+
+        resume = repro_cli(
+            "resume", "camp", "--quiet", "--no-cache", "--json", cwd=tmp_path
+        )
+        assert resume.returncode == 0, resume.stderr
+        provenance = json.loads(resume.stdout)["provenance"]
+        assert provenance["already_done"] == 3
+        assert provenance["executed"] == 6
+        assert json.loads(resume.stdout)["total_cells"] == 9
+
+    def test_second_run_hits_cache(self, tmp_path):
+        args = (
+            "run", "--spec", "minimum", "--grid", "0:3", "--trials", "2",
+            "--seed", "5", "--quiet", "--json", "--cache-dir", "cache",
+        )
+        first = repro_cli(*args, "--out", "one", cwd=tmp_path)
+        assert first.returncode == 0, first.stderr
+        second = repro_cli(*args, "--out", "two", cwd=tmp_path)
+        assert second.returncode == 0, second.stderr
+        provenance = json.loads(second.stdout)["provenance"]
+        assert provenance["from_cache"] == 9
+        assert provenance["executed"] == 0
+
+    def test_specs_and_engines_listings(self, tmp_path):
+        specs = repro_cli("specs", cwd=tmp_path)
+        assert specs.returncode == 0
+        assert "minimum" in specs.stdout
+        engines = repro_cli("engines", cwd=tmp_path)
+        assert engines.returncode == 0
+        assert "python" in engines.stdout and "vectorized" in engines.stdout
+
+    def test_unknown_spec_is_a_clean_error(self, tmp_path):
+        run = repro_cli(
+            "run", "--spec", "definitely-not-a-spec", "--out", "x", cwd=tmp_path
+        )
+        assert run.returncode == 2
+        assert "unknown spec" in run.stderr
+
+    def test_bench_writes_schema(self, tmp_path):
+        bench = repro_cli(
+            "bench", "--populations", "20", "--trials", "2", "--workers", "2",
+            "--out", "B.json", cwd=tmp_path,
+        )
+        assert bench.returncode == 0, bench.stderr
+        payload = json.loads((tmp_path / "B.json").read_text())
+        assert payload["schema"] == "repro-bench-v1"
+        names = [record["name"] for record in payload["results"]]
+        assert any("python" in name for name in names)
+        assert any("vectorized" in name for name in names)
+        for record in payload["results"]:
+            assert record["steps"] > 0
+            assert record["wall_time_s"] > 0

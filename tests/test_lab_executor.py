@@ -1,0 +1,127 @@
+"""Executor contract: parallel == serial bit for bit, failure capture, timeouts."""
+
+import time
+
+import pytest
+
+from repro.api.config import RunConfig
+from repro.lab.campaign import Campaign, SweepGrid, register_spec_factory
+from repro.lab.executor import PoolExecutor, SerialExecutor, run_cell, run_cell_with_timeout
+from repro.core.specs import FunctionSpec
+
+
+def seeded_cells(specs=("minimum",), engines=("python",), seed=11, grid="0:3"):
+    campaign = Campaign(
+        name="exec-test",
+        specs=list(specs),
+        inputs=SweepGrid.parse(grid, dimension=2),
+        engines=engines,
+        configs=(RunConfig(trials=3),),
+        seed=seed,
+    )
+    return campaign.expand()
+
+
+class TestRunCell:
+    def test_ok_row_fields(self):
+        cells = seeded_cells()
+        result = run_cell(cells[4])  # input (1, 1), minimum -> 1
+        assert result.ok
+        assert result.cell_id == cells[4].cell_id
+        assert result.expected == min(cells[4].input)
+        assert result.output_mode == result.expected
+        assert result.correct is True
+        assert result.converged is True
+        assert len(result.outputs) == 3
+        assert result.wall_time > 0
+
+    def test_run_cell_is_deterministic_for_seeded_cells(self):
+        cell = seeded_cells()[5]
+        assert run_cell(cell).deterministic_dict() == run_cell(cell).deterministic_dict()
+
+    def test_exception_becomes_error_row(self):
+        # an unknown construction strategy fails inside build_crn_for
+        campaign = Campaign(
+            name="err",
+            specs=[("minimum", "no-such-strategy")],
+            inputs=[(1, 1)],
+            engines=("python",),
+            seed=1,
+        )
+        (result,) = SerialExecutor().map(campaign.expand())
+        assert result.status == "error"
+        assert "no-such-strategy" in result.error
+        assert result.outputs == ()
+
+    def test_error_cell_does_not_kill_the_batch(self):
+        good = seeded_cells()[:2]
+        bad = Campaign(
+            name="err",
+            specs=[("minimum", "no-such-strategy")],
+            inputs=[(1, 1)],
+            engines=("python",),
+            seed=1,
+        ).expand()
+        results = list(SerialExecutor().map(bad + good))
+        assert [r.status for r in results] == ["error", "ok", "ok"]
+
+
+class TestParallelSerialEquivalence:
+    def test_pool_rows_bit_identical_to_serial_python_engine(self):
+        cells = seeded_cells(specs=("minimum", "add"), grid="0:4")
+        serial = [r.deterministic_dict() for r in SerialExecutor().map(cells)]
+        pool = [r.deterministic_dict() for r in PoolExecutor(workers=4).map(cells)]
+        assert serial == pool
+
+    def test_pool_rows_bit_identical_for_vectorized_engine(self):
+        cells = seeded_cells(engines=("vectorized",), grid="0:3")
+        serial = [r.deterministic_dict() for r in SerialExecutor().map(cells)]
+        pool = [r.deterministic_dict() for r in PoolExecutor(workers=2).map(cells)]
+        assert serial == pool
+
+    def test_pool_preserves_cell_order(self):
+        cells = seeded_cells(grid="0:4")
+        results = list(PoolExecutor(workers=4, chunksize=1).map(cells))
+        assert [r.cell_id for r in results] == [c.cell_id for c in cells]
+
+    def test_single_cell_falls_back_to_serial(self):
+        cells = seeded_cells()[:1]
+        (result,) = PoolExecutor(workers=4).map(cells)
+        assert result.ok
+
+    def test_empty_batch(self):
+        assert list(PoolExecutor(workers=2).map([])) == []
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            PoolExecutor(workers=0)
+
+
+class TestTimeout:
+    def test_slow_cell_becomes_timeout_error_row(self):
+        def slow_spec():
+            def slow(x):
+                # fast on the fingerprint grid [0, 5); the campaign input
+                # (7,) is the one that hangs
+                if x[0] >= 5:
+                    time.sleep(10)
+                return 0
+
+            return FunctionSpec(name="lab-test-slow", dimension=1, func=slow)
+
+        register_spec_factory("lab-test-slow", slow_spec, replace=True)
+        campaign = Campaign(
+            name="slow", specs=["lab-test-slow"], inputs=[(7,)], engines=("python",), seed=1
+        )
+        (cell,) = campaign.expand()
+        start = time.perf_counter()
+        result = run_cell_with_timeout(cell, timeout=0.3)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 5
+        assert result.status == "error"
+        assert "CellTimeoutError" in result.error
+
+    def test_no_timeout_leaves_fast_cells_untouched(self):
+        cell = seeded_cells()[0]
+        assert run_cell_with_timeout(cell, timeout=None).ok
+        assert run_cell_with_timeout(cell, timeout=30).ok
