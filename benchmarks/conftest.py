@@ -65,5 +65,7 @@ def pytest_sessionfinish(session, exitstatus):
         return
     from repro.lab.aggregate import write_bench_json
 
-    write_bench_json(_BENCH_JSON, list(_RECORDS), source="pytest benchmarks")
+    # merge=True: a partial run (-k one family) updates its own records and
+    # leaves the rest of the perf trajectory in place.
+    write_bench_json(_BENCH_JSON, list(_RECORDS), source="pytest benchmarks", merge=True)
     print(f"\n[bench] wrote {_BENCH_JSON} ({len(_RECORDS)} records)")

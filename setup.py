@@ -9,13 +9,14 @@ from setuptools import find_packages, setup
 setup(
     name="repro-composable-crn",
     # Kept in sync with repro.__version__ (tests/test_api_workbench.py enforces it).
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Reproduction of 'Composable computation in discrete chemical reaction "
         "networks' (PODC 2019): superadditivity characterization, CRN "
-        "constructions, verification harness, a vectorized batch simulation "
-        "engine, and the repro.api workbench facade with a pluggable engine "
-        "registry."
+        "constructions, verification harness, a unified scalar simulation "
+        "kernel with dependency-graph propensity updates, a vectorized batch "
+        "simulation engine, and the repro.api workbench facade with a "
+        "pluggable engine registry."
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),

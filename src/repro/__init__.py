@@ -75,8 +75,9 @@ from repro.lab import (
     run_campaign,
 )
 
-# Kept in sync with setup.py (tests/test_api_workbench.py enforces it).
-__version__ = "1.2.0"
+# Kept in sync with setup.py (tests/test_api_workbench.py enforces it and
+# `python -m repro --version` prints it).
+__version__ = "1.3.0"
 
 __all__ = [
     "CRN",

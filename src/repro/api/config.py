@@ -11,7 +11,10 @@ Seeding is part of the config's job: :meth:`RunConfig.trial_seeds` spawns the
 per-trial seed sequence (matching the historical ``random.Random(seed)``
 stream bit for bit), and :meth:`RunConfig.per_input` derives independent
 per-input configs for sweeps so that two inputs in one sweep never replay the
-same random stream.
+same random stream.  The ``"python"`` engine feeds each per-trial seed into a
+``random.Random`` consumed by the scalar kernel (:mod:`repro.sim.kernel`),
+which preserves the legacy per-step draw order — so seeded results are stable
+across the dict-loop → kernel migration.
 
 This module deliberately imports nothing from the rest of the package, so the
 low-level simulation layer can depend on it without cycles.

@@ -42,10 +42,13 @@ from repro.verify.stable import VerificationReport, verify_stable_computation
 class CompiledFunction:
     """A spec bound to a built CRN, ready to simulate and verify.
 
-    Produced by :meth:`Workbench.compile`.  Holds the CRN *and* its dense
-    :class:`~repro.sim.engine.CompiledCRN` matrices (forced eagerly so the
-    first vectorized run pays no compilation cost), plus the run configuration
-    inherited from the workbench.
+    Produced by :meth:`Workbench.compile`.  Holds the CRN *and* its
+    :class:`~repro.sim.engine.CompiledCRN` IR (forced eagerly so the first
+    run pays no compilation cost — the IR now carries the sparse term lists
+    and reaction dependency graph consumed by the scalar kernel of
+    :mod:`repro.sim.kernel` as well as the dense matrices consumed by the
+    vectorized batch engines), plus the run configuration inherited from the
+    workbench.
     """
 
     def __init__(

@@ -11,7 +11,7 @@ steps/sec.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.lab.store import CellResult
 
@@ -136,6 +136,46 @@ def summarize(results: Iterable[CellResult], campaign: str = "") -> CampaignSumm
 #: Schema tag for machine-readable benchmark output (BENCH_results.json).
 BENCH_SCHEMA = "repro-bench-v1"
 
+#: Canonical benchmark-output filename (repository root).
+BENCH_FILENAME = "BENCH_results.json"
+
+
+def default_bench_path(start: Optional[str] = None) -> str:
+    """The default ``BENCH_results.json`` location: the repository root.
+
+    Walks upward from ``start`` (default: the working directory) looking for a
+    repository marker (``.git`` / ``ROADMAP.md`` / ``setup.py``), so both the
+    pytest benchmark suite and ``python -m repro bench`` land their records in
+    the same tracked file regardless of the directory they were launched from.
+    Falls back to ``start`` itself when no marker is found.
+    """
+    import os
+
+    current = os.path.abspath(start if start is not None else os.getcwd())
+    probe = current
+    while True:
+        if any(
+            os.path.exists(os.path.join(probe, marker))
+            for marker in (".git", "ROADMAP.md", "setup.py")
+        ):
+            return os.path.join(probe, BENCH_FILENAME)
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            return os.path.join(current, BENCH_FILENAME)
+        probe = parent
+
+
+def load_bench_json(path: str) -> Optional[Dict[str, Any]]:
+    """Load a ``BENCH_results.json`` payload (``None`` if absent or unreadable)."""
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
 
 def make_bench_record(
     name: str, population: int, wall_time_s: Optional[float], steps: int, **extra
@@ -157,16 +197,35 @@ def make_bench_record(
     return record
 
 
-def write_bench_json(path: str, records: List[Dict[str, Any]], source: str) -> None:
+def write_bench_json(
+    path: str, records: List[Dict[str, Any]], source: str, merge: bool = False
+) -> None:
     """Write benchmark records in the shared ``BENCH_results.json`` schema.
 
     Each record carries ``name``, ``population``, ``wall_time_s``, ``steps``
     and ``steps_per_sec`` (extra keys pass through).  Both the pytest
     benchmark suite and ``python -m repro bench`` emit this schema, so the
     perf trajectory is comparable across PRs regardless of which producer ran.
+
+    With ``merge=True`` the new records are folded into whatever the file
+    already holds: records are keyed by ``name``, fresh measurements replace
+    stale ones, and untouched names survive.  This is what keeps the perf
+    trajectory *cumulative* — a partial benchmark run (one family, one test)
+    no longer wipes every other family's record.
     """
     import json
 
+    if merge:
+        existing = load_bench_json(path)
+        if existing is not None:
+            by_name = {
+                str(record.get("name", "")): record
+                for record in existing.get("results", [])
+                if isinstance(record, dict)
+            }
+            for record in records:
+                by_name[str(record.get("name", ""))] = record
+            records = list(by_name.values())
     payload = {
         "schema": BENCH_SCHEMA,
         "source": source,
@@ -175,6 +234,60 @@ def write_bench_json(path: str, records: List[Dict[str, Any]], source: str) -> N
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def compare_bench_results(
+    previous: Dict[str, Any],
+    current: Dict[str, Any],
+    max_regression: float = 0.30,
+    name_filter: str = "",
+) -> Tuple[List[str], List[str]]:
+    """Compare two ``BENCH_results.json`` payloads by per-record throughput.
+
+    Returns ``(regressions, report_lines)``: one human-readable line per
+    record name present in *both* payloads with a positive ``steps_per_sec``
+    (optionally restricted to names containing ``name_filter``), and a list of
+    failure descriptions for every record whose throughput dropped by more
+    than ``max_regression`` (e.g. ``0.30`` = fail on >30% slower).  Records
+    missing from either side are skipped — a renamed or newly added benchmark
+    is not a regression.
+    """
+    if not 0.0 <= max_regression < 1.0:
+        raise ValueError(
+            f"max_regression must be a fraction in [0, 1), got {max_regression!r}"
+        )
+
+    def throughput_by_name(payload: Dict[str, Any]) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for record in payload.get("results", []):
+            if not isinstance(record, dict):
+                continue
+            value = record.get("steps_per_sec")
+            if isinstance(value, (int, float)) and value > 0:
+                out[str(record.get("name", ""))] = float(value)
+        return out
+
+    old = throughput_by_name(previous)
+    new = throughput_by_name(current)
+    regressions: List[str] = []
+    lines: List[str] = []
+    for name in sorted(set(old) & set(new)):
+        if name_filter and name_filter not in name:
+            continue
+        ratio = new[name] / old[name]
+        line = (
+            f"{name}: {old[name]:,.0f} -> {new[name]:,.0f} steps/s "
+            f"({ratio:.0%} of baseline)"
+        )
+        if ratio < 1.0 - max_regression:
+            regressions.append(
+                f"{name}: throughput fell {1.0 - ratio:.0%} "
+                f"({old[name]:,.0f} -> {new[name]:,.0f} steps/s; "
+                f"limit is {max_regression:.0%})"
+            )
+            line += "  << REGRESSION"
+        lines.append(line)
+    return regressions, lines
 
 
 def format_report(summary: CampaignSummary) -> str:

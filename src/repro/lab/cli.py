@@ -2,12 +2,16 @@
 
 Subcommands::
 
-    run     expand and execute a campaign (spec x grid x engines) into --out
-    resume  finish an interrupted campaign from its manifest
-    report  re-aggregate and print a finished (or partial) campaign
-    bench   run the benchmark family through the executor -> BENCH_results.json
-    specs   list the registered function specs
-    engines list the registered simulation engines
+    run            expand and execute a campaign (spec x grid x engines) into --out
+    resume         finish an interrupted campaign from its manifest
+    report         re-aggregate and print a finished (or partial) campaign
+    bench          run the benchmark family through the executor -> BENCH_results.json
+    bench-compare  diff two BENCH_results.json files; fail on throughput regression
+    specs          list the registered function specs
+    engines        list the registered simulation engines
+
+``python -m repro --version`` prints the package version (kept in sync with
+``setup.py``; a tier-1 test enforces it).
 
 Every command is plumbing over :mod:`repro.lab` — anything the CLI does is
 one function call away in Python, and the CLI never talks to the simulators
@@ -25,7 +29,10 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.api.config import RunConfig
 from repro.lab.aggregate import (
+    compare_bench_results,
+    default_bench_path,
     format_report,
+    load_bench_json,
     make_bench_record,
     summarize,
     write_bench_json,
@@ -46,9 +53,14 @@ from repro.sim.registry import registered_engines
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Campaign runner for the CRN reproduction (repro.lab).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -102,7 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="benchmark family through the campaign executor"
     )
-    bench.add_argument("--out", default="BENCH_results.json")
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="output file (default: BENCH_results.json at the repository root)",
+    )
     bench.add_argument("--workers", type=int, default=2)
     bench.add_argument(
         "--populations",
@@ -110,6 +126,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated per-species input counts (default: 100,500)",
     )
     bench.add_argument("--trials", type=int, default=3)
+
+    compare = sub.add_parser(
+        "bench-compare",
+        help="diff two BENCH_results.json files; nonzero exit on regression",
+    )
+    compare.add_argument("previous", help="baseline BENCH_results.json")
+    compare.add_argument("current", help="candidate BENCH_results.json")
+    compare.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="fail when a record's steps/sec drops by more than this fraction "
+        "(default: 0.30)",
+    )
+    compare.add_argument(
+        "--filter",
+        default="",
+        metavar="SUBSTRING",
+        help="only compare records whose name contains this substring "
+        '(e.g. "scalar" for the scalar-simulator family)',
+    )
 
     sub.add_parser("specs", help="list registered function specs")
     sub.add_parser("engines", help="list registered simulation engines")
@@ -257,6 +294,7 @@ def _command_report(args) -> int:
 
 
 def _command_bench(args) -> int:
+    out = args.out if args.out is not None else default_bench_path()
     populations = [int(v) for v in str(args.populations).split(",") if v.strip()]
     campaign = Campaign(
         name="bench-minimum",
@@ -284,10 +322,52 @@ def _command_bench(args) -> int:
                 row.total_steps,
             )
         )
-    write_bench_json(args.out, records, source="repro.lab.cli bench")
+    # merge=True: refresh the campaign records, keep every other family's
+    # entry so the root BENCH_results.json stays a cumulative trajectory.
+    write_bench_json(out, records, source="repro.lab.cli bench", merge=True)
     print(format_report(run.summary))
-    print(f"wrote {args.out} ({len(records)} records)")
+    print(f"wrote {out} ({len(records)} records)")
     return 0 if run.summary.errors == 0 else 3
+
+
+def _command_bench_compare(args) -> int:
+    current = load_bench_json(args.current)
+    if current is None:
+        print(f"error: cannot read current results {args.current!r}", file=sys.stderr)
+        return 2
+    previous = load_bench_json(args.previous)
+    if previous is None:
+        # First run (or lost artifact): nothing to compare against is not a
+        # regression — report and succeed so CI bootstraps cleanly.
+        print(
+            f"no baseline at {args.previous!r}; skipping comparison "
+            f"({len(current.get('results', []))} current records accepted)"
+        )
+        return 0
+    regressions, lines = compare_bench_results(
+        previous,
+        current,
+        max_regression=args.max_regression,
+        name_filter=args.filter,
+    )
+    for line in lines:
+        print(line)
+    if not lines:
+        print(
+            f"no overlapping records"
+            + (f" matching {args.filter!r}" if args.filter else "")
+            + "; nothing to compare"
+        )
+    if regressions:
+        print(
+            f"\n{len(regressions)} throughput regression(s) beyond "
+            f"{args.max_regression:.0%}:",
+            file=sys.stderr,
+        )
+        for failure in regressions:
+            print(f"  {failure}", file=sys.stderr)
+        return 4
+    return 0
 
 
 def _command_specs(args) -> int:
@@ -313,6 +393,7 @@ _COMMANDS = {
     "resume": _command_resume,
     "report": _command_report,
     "bench": _command_bench,
+    "bench-compare": _command_bench_compare,
     "specs": _command_specs,
     "engines": _command_engines,
 }

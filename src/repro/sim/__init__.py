@@ -1,4 +1,4 @@
-"""Simulators for discrete CRNs: scalar reference schedulers + a numpy batch engine.
+"""Simulators for discrete CRNs: one scalar kernel + a numpy batch engine.
 
 Two scheduling semantics are provided, each in a scalar and a vectorized form:
 
@@ -11,13 +11,18 @@ Two scheduling semantics are provided, each in a scalar and a vectorized form:
   probability 1; this is the workhorse of the empirical verification harness
   for inputs too large for exhaustive search.
 
-The scalar simulators are the reference oracle; the batch engines
+Both forms run over the single :class:`~repro.sim.engine.CompiledCRN` IR.
+The scalar side is the kernel (:mod:`repro.sim.kernel`): one
+:class:`~repro.sim.kernel.SimulatorCore` step loop with pluggable
+:class:`~repro.sim.kernel.StepPolicy` strategies and Gibson–Bruck
+dependency-graph propensity updates; ``GillespieSimulator`` / ``FairScheduler``
+are thin compatibility shims over it.  The batch engines
 (:mod:`repro.sim.engine`) advance ``B`` trajectories per numpy step and are
 selected via ``engine="vectorized"`` in the runner helpers.  Engines are
 looked up in the pluggable registry (:mod:`repro.sim.registry`) — register a
 new backend with ``@register_engine("name")`` and it becomes addressable
-everywhere an ``engine=`` selector is accepted.  See ``DESIGN.md`` for the
-architecture and seeding policy.
+everywhere an ``engine=`` selector is accepted.  See ``DESIGN.md`` §5 for the
+kernel architecture and seeding policy.
 
 API
 ---
@@ -25,11 +30,16 @@ API
 ======================================  =======================================================
 Symbol                                  Purpose
 ======================================  =======================================================
-``GillespieSimulator`` / ``..Result``   Scalar exact SSA over one trajectory.
-``FairScheduler`` / ``FairRunResult``   Scalar rate-independent scheduler (optional bias).
+``GillespieSimulator`` / ``..Result``   Scalar exact SSA over one trajectory (kernel shim).
+``FairScheduler`` / ``FairRunResult``   Scalar rate-independent scheduler (kernel shim).
 ``output_producing_bias``               Adversarial bias: prefer output-producing reactions.
 ``output_consuming_bias``               Adversarial bias: prefer output-consuming reactions.
-``CompiledCRN``                         Dense stoichiometry compilation of a CRN (numpy).
+``SimulatorCore``                       The scalar step loop over the compiled IR.
+``StepPolicy``                          Base class for pluggable scheduling strategies.
+``GillespiePolicy`` / ``FairPolicy``    The two built-in step policies.
+``KernelRunResult``                     Raw result of one ``SimulatorCore.run``.
+``CompiledCRN``                         The shared IR: dense stoichiometry + sparse terms +
+                                        reaction dependency graph.
 ``BatchGillespieEngine``                Vectorized SSA: B independent trajectories per step.
 ``BatchFairEngine``                     Vectorized fair scheduler with quiescence windows.
 ``BatchRunResult``                      Array-valued result of a batch run.
@@ -60,6 +70,14 @@ from repro.sim.engine import (
     BatchRunResult,
     CompiledCRN,
 )
+from repro.sim.kernel import (
+    FairPolicy,
+    GillespiePolicy,
+    KernelRunResult,
+    SimulatorCore,
+    StepPolicy,
+    default_quiescence_window,
+)
 from repro.sim.trajectory import Trajectory, TrajectoryPoint
 from repro.sim.registry import (
     EngineInfo,
@@ -72,7 +90,6 @@ from repro.sim.registry import (
 )
 from repro.sim.runner import (
     ConvergenceReport,
-    default_quiescence_window,
     run_to_convergence,
     run_many,
     estimate_expected_output,
@@ -99,6 +116,11 @@ __all__ = [
     "BatchGillespieEngine",
     "BatchFairEngine",
     "BatchRunResult",
+    "SimulatorCore",
+    "StepPolicy",
+    "GillespiePolicy",
+    "FairPolicy",
+    "KernelRunResult",
     "Trajectory",
     "TrajectoryPoint",
     "ConvergenceReport",

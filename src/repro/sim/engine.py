@@ -1,17 +1,19 @@
 """Vectorized batch simulation engine: many trajectories per numpy step.
 
 The scalar simulators (:mod:`repro.sim.gillespie`, :mod:`repro.sim.fair`)
-advance one trajectory at a time through dict-backed
-:class:`~repro.crn.configuration.Configuration` objects.  That representation
-is ideal for reachability search, but it caps kinetic benchmarks and the
-repeated-run evidence gathered by :mod:`repro.verify.stable` at populations of
-about a thousand molecules.
+advance one trajectory at a time through the step loop of
+:mod:`repro.sim.kernel`.  One trajectory at a time is ideal for adversarial
+schedules and trajectory inspection, but kinetic benchmarks and the
+repeated-run evidence gathered by :mod:`repro.verify.stable` want many
+independent trajectories, which is this module's job.
 
 This module trades the sparse dict representation for a dense one:
 
 * :class:`CompiledCRN` compiles a :class:`~repro.crn.network.CRN` once into
   reactant / product / net stoichiometry matrices (R x S integer arrays over a
-  fixed species ordering) plus the rate vector and output-species index.
+  fixed species ordering) plus the rate vector, output-species index,
+  per-reaction sparse term lists, and the reaction dependency graph.  It is
+  the single IR shared with the scalar kernel (:mod:`repro.sim.kernel`).
 * :class:`BatchGillespieEngine` advances ``B`` independent Gillespie
   trajectories simultaneously: propensities are computed as a ``(B, R)``
   matrix using binomial-coefficient mass-action kinetics, exponential waiting
@@ -22,9 +24,9 @@ This module trades the sparse dict representation for a dense one:
   per-row quiescence-window convergence detection as
   :class:`~repro.sim.fair.FairScheduler`.
 
-The scalar simulators remain the reference oracle; see ``DESIGN.md`` for the
-architecture and the seeding / reproducibility policy, and
-``tests/test_engine.py`` for the scalar-vs-vectorized equivalence suite.
+See ``DESIGN.md`` for the architecture and the seeding / reproducibility
+policy, ``tests/test_engine.py`` for the scalar-vs-vectorized equivalence
+suite, and ``tests/test_kernel.py`` for the kernel-vs-legacy scalar suite.
 """
 
 from __future__ import annotations
@@ -54,7 +56,26 @@ class CompiledCRN:
         ``(R,)`` float vector of mass-action rate constants.
     ``output_index``
         Column index of the designated output species.
+    ``rate_list``
+        The rate constants as plain python floats (scalar-kernel hot loop).
+    ``reactant_terms``
+        Per-reaction sparse ``(species_index, coefficient)`` reactant lists, in
+        each reaction's own ``reactants.counts`` iteration order so the scalar
+        kernel reproduces :meth:`repro.crn.reaction.Reaction.propensity`
+        bit for bit (float multiplication is not associative).
+    ``net_terms``
+        Per-reaction sparse ``(species_index, delta)`` net-change lists; firing
+        a reaction is ``counts[s] += delta`` over its terms.
+    ``dependency_graph``
+        Gibson–Bruck-style reaction dependency graph: entry ``j`` lists the
+        reactions whose reactant multiset shares a species with the species
+        *changed* by reaction ``j`` (the net-change support).  After firing
+        ``j``, only those propensities / applicability flags can change, so the
+        scalar kernel recomputes exactly that set.  A catalytic no-op reaction
+        (empty net change) has no dependents — not even itself.
 
+    This is the single IR shared by the scalar kernel
+    (:mod:`repro.sim.kernel`) and the vectorized batch engines below.
     Compile once per network and reuse: :meth:`repro.crn.network.CRN.compiled`
     caches the instance on the CRN.
     """
@@ -74,17 +95,32 @@ class CompiledCRN:
                 self.products[r, self.index[sp]] = count
         self.net = self.products - self.reactants
         self.rates = np.array([rxn.rate for rxn in crn.reactions], dtype=np.float64)
+        self.rate_list: Tuple[float, ...] = tuple(rxn.rate for rxn in crn.reactions)
         self.output_index = self.index[crn.output_species]
-        # Per-reaction sparse term lists (species_index, coefficient): the hot
-        # loops touch only the species a reaction actually mentions, which is
-        # much cheaper than broadcasting full (B, R, S) intermediates.
+        # Per-reaction sparse term lists.  ``reactant_terms`` preserves the
+        # reaction's own dict order (the order Reaction.propensity multiplies
+        # in); ``_terms`` is the same content sorted by species index, used by
+        # the batch engines, which is much cheaper than broadcasting full
+        # (B, R, S) intermediates.
+        self.reactant_terms: Tuple[Tuple[Tuple[int, int], ...], ...] = tuple(
+            tuple((self.index[sp], count) for sp, count in rxn.reactants.counts.items())
+            for rxn in crn.reactions
+        )
         self._terms: List[Tuple[Tuple[int, int], ...]] = [
+            tuple(sorted(terms)) for terms in self.reactant_terms
+        ]
+        self.net_terms: Tuple[Tuple[Tuple[int, int], ...], ...] = tuple(
             tuple(
-                (s, int(self.reactants[r, s]))
-                for s in np.flatnonzero(self.reactants[r]).tolist()
+                (s, int(self.net[r, s])) for s in np.flatnonzero(self.net[r]).tolist()
             )
             for r in range(n_reactions)
-        ]
+        )
+        changed = [frozenset(s for s, _ in terms) for terms in self.net_terms]
+        needs = [frozenset(s for s, _ in terms) for terms in self.reactant_terms]
+        self.dependency_graph: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(r for r in range(n_reactions) if needs[r] & changed[j])
+            for j in range(n_reactions)
+        )
 
     # -- shape accessors -----------------------------------------------------
 

@@ -11,6 +11,15 @@ The scheduler also supports *biased* adversarial modes used by the
 overproduction-witness search (:mod:`repro.verify.overproduction`), which
 prefer reactions that produce the output species in order to surface
 overshooting behaviour quickly.
+
+:class:`FairScheduler` is a thin compatibility shim over the shared scalar
+kernel (:class:`repro.sim.kernel.SimulatorCore` with
+:class:`~repro.sim.kernel.FairPolicy`): same public API, same result type,
+and bit-for-bit identical seeded runs (``tests/test_kernel.py`` locks this
+against :mod:`repro.sim._reference`).  Subclasses that override the legacy
+``_choose`` hook are detected and transparently routed through the frozen
+reference loop, so their custom selection still takes effect — see the README
+migration note.
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ from repro.crn.configuration import Configuration
 from repro.crn.network import CRN
 from repro.crn.reaction import Reaction
 from repro.crn.species import Species
+from repro.sim.kernel import FairPolicy, SimulatorCore
 from repro.sim.trajectory import Trajectory
 
 
@@ -46,7 +56,7 @@ class FairRunResult:
 
 
 class FairScheduler:
-    """Uniform-random (or biased) scheduler over applicable reactions.
+    """Uniform-random (or biased) scheduler over applicable reactions (kernel-backed).
 
     Parameters
     ----------
@@ -57,7 +67,9 @@ class FairScheduler:
     bias:
         Optional weighting function mapping a reaction to a positive weight;
         reactions are then chosen proportionally to their weight among the
-        applicable ones.  ``None`` means uniform choice.
+        applicable ones.  ``None`` means uniform choice.  The kernel evaluates
+        the bias once per reaction per run (every in-repo bias is a pure
+        function of the reaction, so this is observationally identical).
     """
 
     def __init__(
@@ -71,6 +83,14 @@ class FairScheduler:
         self.bias = bias
 
     def _choose(self, applicable: List[Reaction]) -> Reaction:
+        """Legacy per-step selection hook, kept for subclass compatibility.
+
+        The kernel-backed :meth:`run` no longer calls this for plain
+        ``FairScheduler`` instances (selection happens inside
+        :class:`~repro.sim.kernel.FairPolicy`); a subclass that overrides it
+        is automatically run through the frozen reference loop instead, so
+        the override keeps working.
+        """
         if self.bias is None:
             return self.rng.choice(applicable)
         weights = [max(self.bias(rxn), 0.0) for rxn in applicable]
@@ -103,49 +123,37 @@ class FairScheduler:
             a heuristic convergence detector for CRNs that never fall silent
             (e.g. those with catalytic reactions).
         """
-        config = initial
-        trajectory = Trajectory(track) if track else None
-        if trajectory is not None:
-            trajectory.record(0.0, 0, config)
+        if "_choose" in self.__dict__ or type(self)._choose is not FairScheduler._choose:
+            # A subclass (or an instance-level monkey-patch, a common
+            # test-double pattern) customized the per-step selection hook:
+            # honour it by running the frozen pre-kernel loop, which calls
+            # _choose every step.
+            from repro.sim._reference import ReferenceFairScheduler
 
-        output_species = self.crn.output_species
-        max_output = config[output_species]
-        steps = 0
-        silent = False
-        converged = False
-        steps_since_output_change = 0
-        last_output = config[output_species]
-
-        while steps < max_steps:
-            applicable = self.crn.applicable_reactions(config)
-            if not applicable:
-                silent = True
-                break
-            rxn = self._choose(applicable)
-            config = rxn.apply(config)
-            steps += 1
-            current_output = config[output_species]
-            max_output = max(max_output, current_output)
-            if current_output == last_output:
-                steps_since_output_change += 1
-            else:
-                steps_since_output_change = 0
-                last_output = current_output
-            if trajectory is not None and steps % record_every == 0:
-                trajectory.record(float(steps), steps, config)
-            if quiescence_window and steps_since_output_change >= quiescence_window:
-                converged = True
-                break
-
-        if trajectory is not None and (len(trajectory) == 0 or trajectory[-1].step != steps):
-            trajectory.record(float(steps), steps, config)
+            legacy = ReferenceFairScheduler(self.crn, rng=self.rng, bias=self.bias)
+            legacy._choose = self._choose  # type: ignore[method-assign]
+            return legacy.run(
+                initial,
+                max_steps=max_steps,
+                quiescence_window=quiescence_window,
+                track=track,
+                record_every=record_every,
+            )
+        core = SimulatorCore(self.crn, FairPolicy(bias=self.bias), rng=self.rng)
+        result = core.run(
+            initial,
+            max_steps=max_steps,
+            quiescence_window=quiescence_window,
+            track=track,
+            record_every=record_every,
+        )
         return FairRunResult(
-            final_configuration=config,
-            steps=steps,
-            silent=silent,
-            converged=converged,
-            max_output_seen=max_output,
-            trajectory=trajectory,
+            final_configuration=result.final_configuration,
+            steps=result.steps,
+            silent=result.silent,
+            converged=result.converged,
+            max_output_seen=result.max_output_seen,
+            trajectory=result.trajectory,
         )
 
     def run_on_input(self, x: Sequence[int], **kwargs) -> FairRunResult:

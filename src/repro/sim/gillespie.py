@@ -9,6 +9,14 @@ chosen proportionally to its propensity.
 Stable computation is rate-independent, so the Gillespie simulator is used for
 kinetic experiments (time-to-convergence, overshoot dynamics) and throughput
 benchmarks rather than correctness proofs.
+
+:class:`GillespieSimulator` is a thin compatibility shim over the shared
+scalar kernel (:class:`repro.sim.kernel.SimulatorCore` with
+:class:`~repro.sim.kernel.GillespiePolicy`): the public API and result type
+are unchanged, seeded runs reproduce the historical dict-backed loop bit for
+bit (``tests/test_kernel.py`` locks this against the frozen reference in
+:mod:`repro.sim._reference`), and large-population runs are several times
+faster thanks to dense counts and dependency-graph propensity updates.
 """
 
 from __future__ import annotations
@@ -16,12 +24,12 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.crn.configuration import Configuration
 from repro.crn.network import CRN
-from repro.crn.reaction import Reaction
 from repro.crn.species import Species
+from repro.sim.kernel import GillespiePolicy, SimulatorCore
 from repro.sim.trajectory import Trajectory
 
 
@@ -42,7 +50,7 @@ class GillespieResult:
 
 
 class GillespieSimulator:
-    """Gillespie direct-method simulator for a fixed CRN.
+    """Gillespie direct-method simulator for a fixed CRN (kernel-backed).
 
     Parameters
     ----------
@@ -81,55 +89,21 @@ class GillespieSimulator:
             Optional predicate on the current configuration; the run stops as
             soon as it returns True.
         """
-        config = initial
-        time_now = 0.0
-        trajectory = Trajectory(track) if track else None
-        if trajectory is not None:
-            trajectory.record(time_now, 0, config)
-
-        steps = 0
-        silent = False
-        while steps < max_steps and time_now < max_time:
-            if stop_when is not None and stop_when(config):
-                break
-            propensities: List[float] = []
-            total = 0.0
-            for rxn in self.crn.reactions:
-                a = rxn.propensity(config)
-                propensities.append(a)
-                total += a
-            if total <= 0.0:
-                silent = True
-                break
-            time_now += self.rng.expovariate(total)
-            if time_now > max_time:
-                time_now = max_time
-                break
-            choice = self.rng.random() * total
-            cumulative = 0.0
-            fired: Optional[Reaction] = None
-            for rxn, a in zip(self.crn.reactions, propensities):
-                cumulative += a
-                if choice <= cumulative:
-                    fired = rxn
-                    break
-            if fired is None:  # numerical edge case: fall back to the last positive one
-                fired = next(
-                    rxn for rxn, a in zip(reversed(self.crn.reactions), reversed(propensities)) if a > 0
-                )
-            config = fired.apply(config)
-            steps += 1
-            if trajectory is not None and steps % record_every == 0:
-                trajectory.record(time_now, steps, config)
-
-        if trajectory is not None and (len(trajectory) == 0 or trajectory[-1].step != steps):
-            trajectory.record(time_now, steps, config)
+        core = SimulatorCore(self.crn, GillespiePolicy(), rng=self.rng)
+        result = core.run(
+            initial,
+            max_steps=max_steps,
+            max_time=max_time,
+            track=track,
+            record_every=record_every,
+            stop_when=stop_when,
+        )
         return GillespieResult(
-            final_configuration=config,
-            final_time=time_now,
-            steps=steps,
-            silent=silent,
-            trajectory=trajectory,
+            final_configuration=result.final_configuration,
+            final_time=result.final_time,
+            steps=result.steps,
+            silent=result.silent,
+            trajectory=result.trajectory,
         )
 
     def run_on_input(self, x: Sequence[int], **kwargs) -> GillespieResult:

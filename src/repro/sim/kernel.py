@@ -1,0 +1,457 @@
+"""The scalar simulation kernel: one step loop, pluggable step policies.
+
+Historically the package carried two parallel scalar hot loops — the Gillespie
+direct method in :mod:`repro.sim.gillespie` and the fair scheduler in
+:mod:`repro.sim.fair` — each advancing an immutable dict-backed
+:class:`~repro.crn.configuration.Configuration` one reaction at a time and
+re-deriving every propensity / applicability flag from scratch at every step.
+That duplicated the applicability, propensity, and quiescence logic already
+present in the batch engines and capped scalar runs at populations around
+10^3 (every step paid a full dict copy plus ``R`` dict-lookup propensity
+evaluations).
+
+This module replaces both loops with a single :class:`SimulatorCore` running
+over the shared :class:`~repro.sim.engine.CompiledCRN` IR:
+
+* species counts live in one mutable dense list, so firing a reaction is a
+  handful of integer adds over the reaction's sparse ``net_terms``;
+* propensities / applicability flags are recomputed *incrementally*: after
+  reaction ``j`` fires, only the reactions listed in
+  ``CompiledCRN.dependency_graph[j]`` (those whose reactants share a species
+  with the species ``j`` changed) are refreshed — the Gibson–Bruck dependency
+  trick, which makes exact SSA scale with the number of *affected* reactions
+  instead of the number of reactions;
+* scheduling semantics are pluggable :class:`StepPolicy` strategies —
+  :class:`GillespiePolicy` (exponential clocks, propensity-proportional
+  choice) and :class:`FairPolicy` (uniform or statically biased choice among
+  applicable reactions) — while the quiescence-window convergence detector,
+  step/time bounds, trajectory recording, and ``stop_when`` predicates live
+  once in the core.
+
+Seeding / reproducibility policy
+--------------------------------
+
+The kernel consumes a :class:`random.Random` generator with *exactly* the
+draw order of the legacy loops: Gillespie draws ``expovariate(total)`` then
+``random()`` per step; the fair policy draws one ``choice()`` (unbiased) or
+one ``random()`` (biased) per step, and propensities are multiplied in each
+reaction's own term order.  Seeded runs therefore reproduce the historical
+scalar simulators bit for bit — ``tests/test_kernel.py`` locks this against
+the frozen legacy implementation in :mod:`repro.sim._reference`.  The one
+documented divergence: a :class:`FairPolicy` bias function is evaluated once
+per reaction per run (it is static in every in-repo use), not once per step,
+so a *stateful* bias callable would observe fewer calls than under the legacy
+scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.crn.configuration import Configuration
+from repro.crn.species import Species
+from repro.sim.engine import CompiledCRN
+from repro.sim.trajectory import Trajectory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.crn.network import CRN
+    from repro.crn.reaction import Reaction
+
+
+def default_quiescence_window(x: Sequence[int]) -> int:
+    """The default quiescence window, scaled with the input population.
+
+    Catalytic CRNs never fall silent, so convergence is detected by the output
+    count staying unchanged for this many consecutive steps.  This is the
+    single definition shared by the scalar kernel, the runner entry points,
+    and the vectorized engines (it used to be duplicated per call site).
+    """
+    population = sum(int(v) for v in x) + 2
+    return max(200, 50 * population)
+
+
+@dataclass
+class KernelRunResult:
+    """Result of one :meth:`SimulatorCore.run` — the union of what the two
+    scalar result dataclasses need, so the compatibility shims are pure field
+    mappings."""
+
+    final_configuration: Configuration
+    steps: int
+    silent: bool
+    """True if the run ended because no reaction was applicable."""
+    converged: bool
+    """True if the run stopped because the output was quiescent for the window."""
+    final_time: float
+    """Simulated time (Gillespie clocks); 0.0 under time-free policies."""
+    max_output_seen: int
+    """The maximum output count observed at any point during the run."""
+    trajectory: Optional[Trajectory] = None
+
+
+class StepPolicy:
+    """A scheduling strategy for :class:`SimulatorCore`.
+
+    A policy owns reaction *selection* (and, for kinetic policies, the clock);
+    the core owns everything else — counts, firing, bounds, quiescence
+    detection, trajectory recording.  ``bind`` returns a fresh single-run
+    stepper; policy objects themselves are stateless and reusable.
+    """
+
+    #: Whether the policy advances simulated time (enables ``max_time``).
+    uses_time: bool = False
+
+    def bind(self, compiled: CompiledCRN, rng: random.Random):
+        """Return a bound per-run stepper exposing ``start`` / ``select`` / ``fired``."""
+        raise NotImplementedError
+
+
+class GillespiePolicy(StepPolicy):
+    """Exact SSA (Gillespie 1977 direct method) over the compiled IR.
+
+    Per step: total propensity summed in reaction order, an exponential
+    waiting time, then a propensity-proportional reaction choice — the same
+    draws, in the same order, as the legacy ``GillespieSimulator`` loop.
+    Propensities are refreshed incrementally through the dependency graph.
+    """
+
+    uses_time = True
+
+    def bind(self, compiled: CompiledCRN, rng: random.Random) -> "_GillespieStepper":
+        return _GillespieStepper(compiled, rng)
+
+
+class FairPolicy(StepPolicy):
+    """Rate-agnostic fair scheduling: a random applicable reaction per step.
+
+    ``bias`` optionally maps a reaction to a nonnegative weight; applicable
+    reactions are then chosen proportionally to their weight (falling back to
+    the uniform choice when every applicable reaction weighs zero).  The bias
+    is evaluated once per reaction when a run starts — see the module
+    docstring for how this relates to the legacy scheduler.
+    """
+
+    def __init__(self, bias: Optional[Callable[["Reaction"], float]] = None) -> None:
+        self.bias = bias
+
+    def bind(self, compiled: CompiledCRN, rng: random.Random) -> "_FairStepper":
+        weights = None
+        if self.bias is not None:
+            # max(..., 0.0) mirrors the legacy _choose clamp, including its
+            # int-preserving behaviour (max(3, 0.0) stays an int).
+            weights = [max(self.bias(rxn), 0.0) for rxn in compiled.crn.reactions]
+        return _FairStepper(compiled, rng, weights)
+
+
+#: Sentinel select() results (reaction indices are always >= 0).
+_SILENT = -1
+_TIMED_OUT = -2
+
+
+class _GillespieStepper:
+    """Single-run Gillespie state: the propensity vector, kept incrementally."""
+
+    __slots__ = ("compiled", "rng", "props", "last_recomputed")
+
+    def __init__(self, compiled: CompiledCRN, rng: random.Random) -> None:
+        self.compiled = compiled
+        self.rng = rng
+        self.props: List[float] = []
+        #: Reactions refreshed by the most recent ``fired`` call (test hook).
+        self.last_recomputed: Tuple[int, ...] = ()
+
+    def _propensity(self, r: int, counts: List[int]) -> float:
+        # Bit-identical to Reaction.propensity: start from the rate constant
+        # and multiply binomial coefficients in the reaction's own term order.
+        p = self.compiled.rate_list[r]
+        for s, k in self.compiled.reactant_terms[r]:
+            n = counts[s]
+            if n < k:
+                return 0.0
+            p *= n if k == 1 else math.comb(n, k)
+        return p
+
+    def start(self, counts: List[int]) -> None:
+        self.props = [
+            self._propensity(r, counts) for r in range(self.compiled.n_reactions)
+        ]
+
+    def select(self, time_now: float, max_time: float) -> Tuple[int, float]:
+        """Pick the next reaction; returns ``(index, new_time)``.
+
+        ``index`` is ``_SILENT`` when the total propensity is zero and
+        ``_TIMED_OUT`` when the sampled waiting time crosses ``max_time`` (the
+        clock is then clamped, matching the legacy loop).
+        """
+        props = self.props
+        total = sum(props)
+        if total <= 0.0:
+            return _SILENT, time_now
+        rng = self.rng
+        time_now += rng.expovariate(total)
+        if time_now > max_time:
+            return _TIMED_OUT, max_time
+        choice = rng.random() * total
+        cumulative = 0.0
+        for j, a in enumerate(props):
+            cumulative += a
+            if choice <= cumulative:
+                if a <= 0.0:
+                    # Only reachable when random() returns exactly 0.0 with a
+                    # leading zero-propensity reaction; the legacy loop then
+                    # fired it through Reaction.apply, which raises.
+                    raise ValueError(
+                        f"reaction {self.compiled.crn.reactions[j]} is not "
+                        f"applicable (zero propensity)"
+                    )
+                return j, time_now
+        # Numerical edge case (choice exceeded the accumulated total by an
+        # ulp): fall back to the last reaction with positive propensity.
+        for j in range(len(props) - 1, -1, -1):
+            if props[j] > 0.0:
+                return j, time_now
+        raise AssertionError("positive total propensity but no positive term")
+
+    def fired(self, j: int, counts: List[int]) -> None:
+        """Refresh exactly the propensities that firing ``j`` can have changed."""
+        dependents = self.compiled.dependency_graph[j]
+        self.last_recomputed = dependents
+        props = self.props
+        for r in dependents:
+            props[r] = self._propensity(r, counts)
+
+    def propensities(self) -> Tuple[float, ...]:
+        """A snapshot of the incrementally-maintained propensity vector."""
+        return tuple(self.props)
+
+
+class _FairStepper:
+    """Single-run fair-scheduler state: the applicability flags, kept incrementally."""
+
+    __slots__ = ("compiled", "rng", "weights", "app", "last_recomputed")
+
+    def __init__(
+        self,
+        compiled: CompiledCRN,
+        rng: random.Random,
+        weights: Optional[List[float]],
+    ) -> None:
+        self.compiled = compiled
+        self.rng = rng
+        self.weights = weights
+        self.app: List[bool] = []
+        #: Reactions refreshed by the most recent ``fired`` call (test hook).
+        self.last_recomputed: Tuple[int, ...] = ()
+
+    def _applicable(self, r: int, counts: List[int]) -> bool:
+        for s, k in self.compiled.reactant_terms[r]:
+            if counts[s] < k:
+                return False
+        return True
+
+    def start(self, counts: List[int]) -> None:
+        self.app = [
+            self._applicable(r, counts) for r in range(self.compiled.n_reactions)
+        ]
+
+    def select(self, time_now: float, max_time: float) -> Tuple[int, float]:
+        """Pick a random applicable reaction (``_SILENT`` when there is none)."""
+        app = self.app
+        applicable = [j for j in range(len(app)) if app[j]]
+        if not applicable:
+            return _SILENT, time_now
+        rng = self.rng
+        if self.weights is None:
+            return rng.choice(applicable), time_now
+        weights = [self.weights[j] for j in applicable]
+        total = sum(weights)
+        if total <= 0:
+            return rng.choice(applicable), time_now
+        pick = rng.random() * total
+        cumulative = 0.0
+        for j, weight in zip(applicable, weights):
+            cumulative += weight
+            if pick <= cumulative:
+                return j, time_now
+        return applicable[-1], time_now
+
+    def fired(self, j: int, counts: List[int]) -> None:
+        """Refresh exactly the applicability flags firing ``j`` can have changed."""
+        dependents = self.compiled.dependency_graph[j]
+        self.last_recomputed = dependents
+        app = self.app
+        for r in dependents:
+            app[r] = self._applicable(r, counts)
+
+    def applicability(self) -> Tuple[bool, ...]:
+        """A snapshot of the incrementally-maintained applicability flags."""
+        return tuple(self.app)
+
+
+class SimulatorCore:
+    """The one scalar step loop, parameterized by a :class:`StepPolicy`.
+
+    Parameters
+    ----------
+    crn:
+        The network to simulate (a :class:`~repro.crn.network.CRN`, compiled
+        lazily and cached on the network) or an existing
+        :class:`~repro.sim.engine.CompiledCRN`.
+    policy:
+        The scheduling strategy (:class:`GillespiePolicy`,
+        :class:`FairPolicy`, or a third-party :class:`StepPolicy`).
+    rng:
+        Optional :class:`random.Random` for reproducibility; draw order per
+        step matches the legacy scalar simulators (see the module docstring).
+    """
+
+    def __init__(
+        self,
+        crn: "CRN | CompiledCRN",
+        policy: StepPolicy,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.compiled = crn if isinstance(crn, CompiledCRN) else crn.compiled()
+        self.crn = self.compiled.crn
+        self.policy = policy
+        self.rng = rng or random.Random()
+
+    # -- encoding --------------------------------------------------------------
+
+    def _encode(self, initial: Configuration) -> Tuple[List[int], Dict[Species, int]]:
+        """Dense counts plus a passthrough dict for out-of-network species.
+
+        The legacy dict-backed simulators carried species the network never
+        mentions through a run untouched (no reaction can consume them); the
+        kernel preserves that by re-merging them into every decoded
+        configuration.
+        """
+        counts = [0] * self.compiled.n_species
+        extras: Dict[Species, int] = {}
+        index = self.compiled.index
+        for sp, count in initial.items():
+            i = index.get(sp)
+            if i is None:
+                extras[sp] = count
+            else:
+                counts[i] = count
+        return counts, extras
+
+    def _decode(self, counts: List[int], extras: Dict[Species, int]) -> Configuration:
+        merged = {sp: counts[i] for sp, i in self.compiled.index.items() if counts[i] > 0}
+        if extras:
+            merged.update(extras)
+        return Configuration(merged)
+
+    # -- the step loop ---------------------------------------------------------
+
+    def run(
+        self,
+        initial: Configuration,
+        max_steps: int = 1_000_000,
+        max_time: float = math.inf,
+        quiescence_window: int = 0,
+        track: Sequence[Species] = (),
+        record_every: int = 1,
+        stop_when: Optional[Callable[[Configuration], bool]] = None,
+    ) -> KernelRunResult:
+        """Advance from ``initial`` until silence, quiescence, a bound, or ``stop_when``.
+
+        Parameters
+        ----------
+        max_steps / max_time:
+            Upper bounds on reactions fired / simulated time (``max_time``
+            only binds under a clock-bearing policy such as
+            :class:`GillespiePolicy`).
+        quiescence_window:
+            If positive, stop (``converged``) once the output count has been
+            unchanged for this many consecutive steps while reactions kept
+            firing — the convergence detector for CRNs that never fall silent.
+        track / record_every:
+            Species recorded into a :class:`~repro.sim.trajectory.Trajectory`,
+            sampled every ``record_every`` reaction events.
+        stop_when:
+            Optional predicate on the current configuration, checked before
+            each step; the run stops as soon as it returns True.
+        """
+        compiled = self.compiled
+        counts, extras = self._encode(initial)
+        stepper = self.policy.bind(compiled, self.rng)
+        stepper.start(counts)
+        select = stepper.select
+        fired = stepper.fired
+        net_terms = compiled.net_terms
+        output_index = compiled.output_index
+        uses_time = self.policy.uses_time
+
+        time_now = 0.0
+        steps = 0
+        silent = False
+        converged = False
+        max_output = counts[output_index]
+        last_output = max_output
+        unchanged_for = 0
+        trajectory = Trajectory(track) if track else None
+        if trajectory is not None:
+            trajectory.record(0.0, 0, self._decode(counts, extras))
+
+        while steps < max_steps and time_now < max_time:
+            if stop_when is not None and stop_when(self._decode(counts, extras)):
+                break
+            j, time_now = select(time_now, max_time)
+            if j < 0:
+                if j == _SILENT:
+                    silent = True
+                break
+            for s, delta in net_terms[j]:
+                counts[s] += delta
+            steps += 1
+            fired(j, counts)
+            current = counts[output_index]
+            if current > max_output:
+                max_output = current
+            if current == last_output:
+                unchanged_for += 1
+            else:
+                unchanged_for = 0
+                last_output = current
+            if trajectory is not None and steps % record_every == 0:
+                trajectory.record(
+                    time_now if uses_time else float(steps),
+                    steps,
+                    self._decode(counts, extras),
+                )
+            if quiescence_window and unchanged_for >= quiescence_window:
+                converged = True
+                break
+
+        if trajectory is not None and (
+            len(trajectory) == 0 or trajectory[-1].step != steps
+        ):
+            trajectory.record(
+                time_now if uses_time else float(steps),
+                steps,
+                self._decode(counts, extras),
+            )
+        return KernelRunResult(
+            final_configuration=self._decode(counts, extras),
+            steps=steps,
+            silent=silent,
+            converged=converged,
+            final_time=time_now,
+            max_output_seen=max_output,
+            trajectory=trajectory,
+        )
+
+    def run_on_input(self, x: Sequence[int], **kwargs) -> KernelRunResult:
+        """Run from the CRN's initial configuration for input ``x``."""
+        return self.run(self.crn.initial_configuration(x), **kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatorCore({self.compiled!r}, "
+            f"policy={type(self.policy).__name__})"
+        )

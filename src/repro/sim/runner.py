@@ -8,11 +8,13 @@ into a ``RunConfig`` internally, so both spellings hit the same code path.
 Engines are resolved through the pluggable registry of
 :mod:`repro.sim.registry`.  The two built-ins are registered here:
 
-* ``"python"`` (default) — the scalar, dict-per-step simulators.  Seeded runs
-  reproduce the historical behaviour bit for bit.
+* ``"python"`` (default) — the scalar simulators, now backed by the shared
+  kernel (:mod:`repro.sim.kernel`): one trajectory at a time over the
+  ``CompiledCRN`` IR with dependency-graph propensity updates.  Seeded runs
+  reproduce the historical dict-backed behaviour bit for bit.
 * ``"vectorized"`` — the numpy batch engines of :mod:`repro.sim.engine`, which
-  advance all trials simultaneously and are the only practical option for
-  populations beyond ~10^3.  Seeded runs are reproducible, but draw from a
+  advance all trials simultaneously and remain the best option for very large
+  populations or trial counts.  Seeded runs are reproducible, but draw from a
   numpy random stream distinct from the python engine's (see DESIGN.md).
 
 Third-party backends plug in via
@@ -31,7 +33,20 @@ from repro.api.config import RunConfig
 from repro.crn.network import CRN
 from repro.sim.fair import FairRunResult, FairScheduler
 from repro.sim.gillespie import GillespieSimulator
+from repro.sim.kernel import default_quiescence_window
 from repro.sim.registry import check_engine, engine_names, get_engine, register_engine
+
+__all__ = [
+    "ConvergenceReport",
+    "default_quiescence_window",  # re-exported; defined in repro.sim.kernel
+    "run_to_convergence",
+    "run_many",
+    "estimate_expected_output",
+    "sweep_inputs",
+    "register_builtin_engines",
+    "PythonEngine",
+    "VectorizedEngine",
+]
 
 
 def __getattr__(name: str):
@@ -40,16 +55,6 @@ def __getattr__(name: str):
     if name == "ENGINES":
         return engine_names()
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
-def default_quiescence_window(x: Sequence[int]) -> int:
-    """The default quiescence window, scaled with the input population.
-
-    Catalytic CRNs never fall silent, so convergence is detected by the output
-    count staying unchanged for this many consecutive steps.
-    """
-    population = sum(int(v) for v in x) + 2
-    return max(200, 50 * population)
 
 
 @dataclass
@@ -123,7 +128,13 @@ def run_to_convergence(
 
 
 class PythonEngine:
-    """The scalar reference engine (one trajectory at a time, ``random.Random``)."""
+    """The scalar reference engine: one trajectory at a time, ``random.Random``.
+
+    Backed by the shared scalar kernel (:mod:`repro.sim.kernel`) through the
+    :class:`~repro.sim.fair.FairScheduler` /
+    :class:`~repro.sim.gillespie.GillespieSimulator` shims, so seeded runs
+    stay bit-for-bit reproducible while populations of 10^4+ remain practical.
+    """
 
     def run_many(self, crn: CRN, x: Sequence[int], config: RunConfig) -> ConvergenceReport:
         outputs: List[int] = []
@@ -211,10 +222,10 @@ def register_builtin_engines(names: Optional[Iterable[str]] = None) -> None:
             "python",
             supports_gillespie=True,
             supports_fair=True,
-            max_recommended_population=2_000,
+            max_recommended_population=20_000,
             description=(
-                "Scalar dict-per-step reference simulators; historical seeded "
-                "behaviour, bit for bit"
+                "Scalar kernel (shared CompiledCRN IR, sparse incremental "
+                "propensities); historical seeded behaviour, bit for bit"
             ),
             replace=True,
         )(PythonEngine)

@@ -1,0 +1,376 @@
+"""The scalar simulation kernel: equivalence, dependency graph, and IR tests.
+
+Three layers of protection for the dict-loop -> kernel rebase:
+
+* **IR correctness** — the sparse term lists and the reaction dependency
+  graph on :class:`~repro.sim.engine.CompiledCRN` match brute-force
+  recomputation from the reactions themselves.
+* **Bit-for-bit equivalence** — seeded runs of the kernel-backed
+  ``GillespieSimulator`` / ``FairScheduler`` reproduce the frozen pre-kernel
+  loops (:mod:`repro.sim._reference`) exactly: same final configuration, same
+  step/time bookkeeping, same trajectories, across every construction
+  strategy (known / 1d / leaderless / quilt / general).
+* **Incrementality** — after firing reaction ``r``, the kernel recomputes
+  exactly the propensities / applicability flags of reactions sharing a
+  species with the species ``r`` changed, and the incrementally-maintained
+  state always equals a from-scratch recomputation.
+"""
+
+import random
+
+import pytest
+
+from repro.core.characterization import build_crn_for
+from repro.crn.configuration import Configuration
+from repro.crn.network import CRN
+from repro.crn.species import species
+from repro.functions.catalog import (
+    double_spec,
+    maximum_spec,
+    minimum_spec,
+    quilt_2d_fig3b_spec,
+    threshold_capped_spec,
+)
+from repro.sim._reference import ReferenceFairScheduler, ReferenceGillespieSimulator
+from repro.sim.fair import FairScheduler, output_consuming_bias, output_producing_bias
+from repro.sim.gillespie import GillespieSimulator
+from repro.sim.kernel import (
+    FairPolicy,
+    GillespiePolicy,
+    SimulatorCore,
+    default_quiescence_window,
+)
+from repro.sim.runner import run_many
+
+
+X1, X2, Y, Z = species("X1 X2 Y Z")
+
+
+def build_strategy_cases():
+    """(label, CRN, input) cases covering every construction strategy."""
+    return [
+        ("known/min", minimum_spec().known_crn, (4, 7)),
+        ("known/max", maximum_spec().known_crn, (5, 3)),
+        ("known/double", double_spec().known_crn, (6,)),
+        ("1d/threshold", build_crn_for(threshold_capped_spec(), strategy="1d"), (5,)),
+        ("leaderless/double", build_crn_for(double_spec(), strategy="leaderless"), (4,)),
+        ("quilt/fig3b", build_crn_for(quilt_2d_fig3b_spec(), strategy="quilt"), (3, 2)),
+        ("general/min", build_crn_for(minimum_spec(), strategy="general"), (3, 4)),
+    ]
+
+
+STRATEGY_CASES = build_strategy_cases()
+STRATEGY_IDS = [label for label, _, _ in STRATEGY_CASES]
+
+
+def assert_same_gillespie(kernel_result, reference_result):
+    assert kernel_result.final_configuration == reference_result.final_configuration
+    assert kernel_result.final_time == reference_result.final_time
+    assert kernel_result.steps == reference_result.steps
+    assert kernel_result.silent == reference_result.silent
+
+
+def assert_same_fair(kernel_result, reference_result):
+    assert kernel_result.final_configuration == reference_result.final_configuration
+    assert kernel_result.steps == reference_result.steps
+    assert kernel_result.silent == reference_result.silent
+    assert kernel_result.converged == reference_result.converged
+    assert kernel_result.max_output_seen == reference_result.max_output_seen
+
+
+def assert_same_trajectory(kernel_trajectory, reference_trajectory):
+    assert kernel_trajectory is not None and reference_trajectory is not None
+    assert len(kernel_trajectory) == len(reference_trajectory)
+    for ours, theirs in zip(kernel_trajectory, reference_trajectory):
+        assert (ours.time, ours.step, ours.counts) == (
+            theirs.time,
+            theirs.step,
+            theirs.counts,
+        )
+
+
+class TestCompiledIRExtensions:
+    def test_reactant_terms_follow_reaction_order(self):
+        crn = maximum_spec().known_crn
+        compiled = crn.compiled()
+        for r, rxn in enumerate(crn.reactions):
+            expected = tuple(
+                (compiled.index[sp], count)
+                for sp, count in rxn.reactants.counts.items()
+            )
+            assert compiled.reactant_terms[r] == expected
+
+    def test_net_terms_match_net_changes(self):
+        crn = maximum_spec().known_crn
+        compiled = crn.compiled()
+        for r, rxn in enumerate(crn.reactions):
+            as_species = {compiled.species[s]: d for s, d in compiled.net_terms[r]}
+            assert as_species == rxn.net_changes()
+
+    @pytest.mark.parametrize(
+        "label,crn,_x", STRATEGY_CASES, ids=STRATEGY_IDS
+    )
+    def test_dependency_graph_matches_brute_force(self, label, crn, _x):
+        compiled = crn.compiled()
+        for j, fired in enumerate(crn.reactions):
+            changed = set(fired.net_changes())
+            expected = tuple(
+                r
+                for r, rxn in enumerate(crn.reactions)
+                if changed & set(rxn.reactants.counts)
+            )
+            assert compiled.dependency_graph[j] == expected, (label, j)
+
+    def test_catalytic_noop_has_no_dependents(self):
+        # X1 + X2 -> X1 + X2 changes nothing, so firing it can invalidate
+        # no propensity — not even its own.
+        crn = CRN([X1 + X2 >> X1 + X2, X1 >> Y], (X1, X2), Y)
+        compiled = crn.compiled()
+        assert compiled.net_terms[0] == ()
+        assert compiled.dependency_graph[0] == ()
+        # X1 -> Y changes X1 (consumed by both reactions) and Y (consumed by
+        # neither), so both propensities must be refreshed.
+        assert compiled.dependency_graph[1] == (0, 1)
+
+
+class TestGillespieEquivalence:
+    @pytest.mark.parametrize("label,crn,x", STRATEGY_CASES, ids=STRATEGY_IDS)
+    def test_seeded_runs_bit_for_bit(self, label, crn, x):
+        for seed in range(4):
+            kernel = GillespieSimulator(crn, rng=random.Random(seed)).run_on_input(
+                x, max_steps=20_000
+            )
+            reference = ReferenceGillespieSimulator(
+                crn, rng=random.Random(seed)
+            ).run_on_input(x, max_steps=20_000)
+            assert_same_gillespie(kernel, reference)
+
+    def test_max_time_clamp_matches(self):
+        crn = minimum_spec().known_crn
+        for seed in (1, 2, 3):
+            kernel = GillespieSimulator(crn, rng=random.Random(seed)).run_on_input(
+                (50, 50), max_time=0.01
+            )
+            reference = ReferenceGillespieSimulator(
+                crn, rng=random.Random(seed)
+            ).run_on_input((50, 50), max_time=0.01)
+            assert_same_gillespie(kernel, reference)
+
+    def test_stop_when_matches(self):
+        crn = double_spec().known_crn
+        predicate = lambda config: config[Y] >= 7  # noqa: E731
+        kernel = GillespieSimulator(crn, rng=random.Random(5)).run_on_input(
+            (20,), stop_when=predicate
+        )
+        reference = ReferenceGillespieSimulator(crn, rng=random.Random(5)).run_on_input(
+            (20,), stop_when=predicate
+        )
+        assert_same_gillespie(kernel, reference)
+        assert kernel.final_configuration[Y] >= 7
+
+    def test_trajectories_match(self):
+        crn = minimum_spec().known_crn
+        kernel = GillespieSimulator(crn, rng=random.Random(9)).run_on_input(
+            (10, 12), track=[Y], record_every=3
+        )
+        reference = ReferenceGillespieSimulator(crn, rng=random.Random(9)).run_on_input(
+            (10, 12), track=[Y], record_every=3
+        )
+        assert_same_trajectory(kernel.trajectory, reference.trajectory)
+
+    def test_out_of_network_species_pass_through(self):
+        crn = double_spec().known_crn
+        initial = crn.initial_configuration((3,)) + Configuration({Z: 2})
+        kernel = GillespieSimulator(crn, rng=random.Random(1)).run(initial)
+        reference = ReferenceGillespieSimulator(crn, rng=random.Random(1)).run(initial)
+        assert kernel.final_configuration[Z] == 2
+        assert_same_gillespie(kernel, reference)
+
+
+class TestFairEquivalence:
+    @pytest.mark.parametrize("label,crn,x", STRATEGY_CASES, ids=STRATEGY_IDS)
+    def test_seeded_runs_bit_for_bit(self, label, crn, x):
+        for seed in range(4):
+            kernel = FairScheduler(crn, rng=random.Random(seed)).run_on_input(
+                x, max_steps=20_000, quiescence_window=400
+            )
+            reference = ReferenceFairScheduler(
+                crn, rng=random.Random(seed)
+            ).run_on_input(x, max_steps=20_000, quiescence_window=400)
+            assert_same_fair(kernel, reference)
+
+    @pytest.mark.parametrize("bias_factory", [output_producing_bias, output_consuming_bias])
+    def test_biased_runs_bit_for_bit(self, bias_factory):
+        crn = maximum_spec().known_crn
+        for seed in range(4):
+            kernel = FairScheduler(
+                crn, rng=random.Random(seed), bias=bias_factory(crn)
+            ).run_on_input((5, 5), quiescence_window=500)
+            reference = ReferenceFairScheduler(
+                crn, rng=random.Random(seed), bias=bias_factory(crn)
+            ).run_on_input((5, 5), quiescence_window=500)
+            assert_same_fair(kernel, reference)
+
+    def test_trajectories_match(self):
+        crn = minimum_spec().known_crn
+        kernel = FairScheduler(crn, rng=random.Random(3)).run_on_input(
+            (6, 9), track=[Y], record_every=2
+        )
+        reference = ReferenceFairScheduler(crn, rng=random.Random(3)).run_on_input(
+            (6, 9), track=[Y], record_every=2
+        )
+        assert_same_trajectory(kernel.trajectory, reference.trajectory)
+
+    def test_zero_weight_bias_falls_back_to_uniform(self):
+        crn = minimum_spec().known_crn
+        zero_bias = lambda rxn: 0.0  # noqa: E731
+        for seed in (1, 4):
+            kernel = FairScheduler(
+                crn, rng=random.Random(seed), bias=zero_bias
+            ).run_on_input((4, 4))
+            reference = ReferenceFairScheduler(
+                crn, rng=random.Random(seed), bias=zero_bias
+            ).run_on_input((4, 4))
+            assert_same_fair(kernel, reference)
+
+    def test_subclass_choose_override_still_honoured(self):
+        # Pre-kernel, subclasses could redefine the per-step selection hook;
+        # the shim must detect that and route through the frozen legacy loop.
+        class FirstApplicableScheduler(FairScheduler):
+            def _choose(self, applicable):
+                return applicable[0]
+
+        crn = minimum_spec().known_crn
+        result = FirstApplicableScheduler(crn, rng=random.Random(1)).run_on_input((3, 5))
+        assert result.silent
+        assert crn.output_count(result.final_configuration) == 3
+        # The deterministic "always first" schedule consumes no randomness:
+        # two differently-seeded runs agree exactly.
+        again = FirstApplicableScheduler(crn, rng=random.Random(2)).run_on_input((3, 5))
+        assert again.final_configuration == result.final_configuration
+        assert again.steps == result.steps
+
+    def test_instance_level_choose_monkeypatch_still_honoured(self):
+        # Assigning _choose on the *instance* (a common test-double pattern)
+        # must also route through the legacy loop, not be silently ignored.
+        crn = minimum_spec().known_crn
+        scheduler = FairScheduler(crn, rng=random.Random(1))
+        calls = []
+
+        def first_applicable(applicable):
+            calls.append(len(applicable))
+            return applicable[0]
+
+        scheduler._choose = first_applicable
+        result = scheduler.run_on_input((3, 5))
+        assert result.silent
+        assert crn.output_count(result.final_configuration) == 3
+        assert len(calls) == result.steps  # the patched hook ran every step
+
+    def test_run_many_python_engine_matches_reference_loop(self):
+        # The registered "python" engine spawns one seed per trial; the frozen
+        # reference scheduler fed the same seeds must agree output for output.
+        from repro.api.config import RunConfig
+
+        crn = minimum_spec().known_crn
+        config = RunConfig(trials=5, seed=17)
+        report = run_many(crn, (3, 8), config=config)
+        window = default_quiescence_window((3, 8))
+        expected = [
+            crn.output_count(
+                ReferenceFairScheduler(crn, rng=random.Random(trial_seed))
+                .run_on_input((3, 8), quiescence_window=window)
+                .final_configuration
+            )
+            for trial_seed in config.trial_seeds()
+        ]
+        assert report.outputs == expected
+
+
+class TestIncrementalState:
+    def test_fired_recomputes_exactly_the_dependents(self):
+        crn = maximum_spec().known_crn
+        compiled = crn.compiled()
+        stepper = GillespiePolicy().bind(compiled, random.Random(0))
+        counts = list(compiled.encode(crn.initial_configuration((4, 6))))
+        stepper.start(counts)
+        for j in range(compiled.n_reactions):
+            applicable = all(counts[s] >= k for s, k in compiled.reactant_terms[j])
+            if not applicable:
+                continue
+            for s, delta in compiled.net_terms[j]:
+                counts[s] += delta
+            stepper.fired(j, counts)
+            assert stepper.last_recomputed == compiled.dependency_graph[j]
+
+    def test_incremental_propensities_equal_full_recompute(self):
+        crn = build_crn_for(minimum_spec(), strategy="general")
+        compiled = crn.compiled()
+        rng = random.Random(11)
+        core = SimulatorCore(crn, GillespiePolicy(), rng=rng)
+        result = core.run(crn.initial_configuration((4, 5)), max_steps=500)
+        # Replay the same run, checking the stepper invariant step by step.
+        rng = random.Random(11)
+        stepper = GillespiePolicy().bind(compiled, rng)
+        counts = list(compiled.encode(crn.initial_configuration((4, 5))))
+        stepper.start(counts)
+        for _ in range(min(result.steps, 200)):
+            j, _time = stepper.select(0.0, float("inf"))
+            if j < 0:
+                break
+            for s, delta in compiled.net_terms[j]:
+                counts[s] += delta
+            stepper.fired(j, counts)
+            fresh = GillespiePolicy().bind(compiled, random.Random(0))
+            fresh.start(counts)
+            assert stepper.propensities() == fresh.propensities()
+
+    def test_incremental_applicability_equals_full_recompute(self):
+        crn = build_crn_for(quilt_2d_fig3b_spec(), strategy="quilt")
+        compiled = crn.compiled()
+        rng = random.Random(7)
+        stepper = FairPolicy().bind(compiled, rng)
+        counts = list(compiled.encode(crn.initial_configuration((3, 3))))
+        stepper.start(counts)
+        for _ in range(200):
+            j, _time = stepper.select(0.0, float("inf"))
+            if j < 0:
+                break
+            for s, delta in compiled.net_terms[j]:
+                counts[s] += delta
+            stepper.fired(j, counts)
+            fresh = FairPolicy().bind(compiled, random.Random(0))
+            fresh.start(counts)
+            assert stepper.applicability() == fresh.applicability()
+
+
+class TestSimulatorCore:
+    def test_quiescence_window_converges_catalytic_network(self):
+        crn = CRN([X1 + X2 >> X1 + X2], (X1, X2), Y)
+        core = SimulatorCore(crn, FairPolicy(), rng=random.Random(8))
+        result = core.run_on_input((2, 2), quiescence_window=50, max_steps=10_000)
+        assert result.converged and not result.silent
+        assert result.steps == 50
+
+    def test_nothing_applicable_is_silent_at_step_zero(self):
+        crn = CRN([X1 >> Y], (X1,), Y)
+        core = SimulatorCore(crn, GillespiePolicy(), rng=random.Random(1))
+        result = core.run_on_input((0,))
+        assert result.silent and result.steps == 0
+        assert result.final_configuration == Configuration({})
+
+    def test_accepts_precompiled_ir(self):
+        crn = minimum_spec().known_crn
+        core = SimulatorCore(crn.compiled(), FairPolicy(), rng=random.Random(2))
+        result = core.run_on_input((3, 9))
+        assert result.silent
+        assert result.final_configuration[Y] == 3
+
+    def test_default_quiescence_window_is_single_sourced(self):
+        import repro.sim as sim
+        import repro.sim.kernel as kernel
+        import repro.sim.runner as runner
+
+        assert sim.default_quiescence_window is kernel.default_quiescence_window
+        assert runner.default_quiescence_window is kernel.default_quiescence_window
+        assert default_quiescence_window((2, 2)) == max(200, 50 * 6)

@@ -68,8 +68,9 @@ class TestEngineResolution:
         assert resolve_engine("auto", (3, 4)) == "python"
 
     def test_auto_large_population_picks_vectorized(self):
-        # beyond the python engine's max_recommended_population of 2000
-        assert resolve_engine("auto", (5_000, 5_000)) == "vectorized"
+        # beyond the python engine's max_recommended_population of 20_000
+        # (raised from 2_000 when the scalar kernel replaced the dict loops)
+        assert resolve_engine("auto", (50_000, 50_000)) == "vectorized"
 
 
 class TestCampaignExpansion:

@@ -114,3 +114,133 @@ class TestCliSmoke:
         for record in payload["results"]:
             assert record["steps"] > 0
             assert record["wall_time_s"] > 0
+
+    def test_bench_default_out_is_the_repo_root(self, tmp_path):
+        # No --out: the records must land in BENCH_results.json at the
+        # repository root found by walking up from the working directory, so
+        # the perf trajectory accumulates in one tracked file.
+        (tmp_path / "ROADMAP.md").write_text("marker\n")
+        nested = tmp_path / "deep" / "inside"
+        nested.mkdir(parents=True)
+        bench = repro_cli(
+            "bench", "--populations", "10", "--trials", "1", "--workers", "1",
+            cwd=nested,
+        )
+        assert bench.returncode == 0, bench.stderr
+        assert (tmp_path / "BENCH_results.json").exists()
+        assert not (nested / "BENCH_results.json").exists()
+
+    def test_bench_merges_into_existing_results(self, tmp_path):
+        (tmp_path / "BENCH_results.json").write_text(
+            json.dumps(
+                {
+                    "schema": "repro-bench-v1",
+                    "source": "older run",
+                    "results": [
+                        {
+                            "name": "some-other-family/alpha",
+                            "population": 5,
+                            "steps": 1,
+                            "wall_time_s": 1.0,
+                            "steps_per_sec": 1.0,
+                        }
+                    ],
+                }
+            )
+        )
+        bench = repro_cli(
+            "bench", "--populations", "10", "--trials", "1", "--workers", "1",
+            "--out", "BENCH_results.json", cwd=tmp_path,
+        )
+        assert bench.returncode == 0, bench.stderr
+        payload = json.loads((tmp_path / "BENCH_results.json").read_text())
+        names = [record["name"] for record in payload["results"]]
+        assert "some-other-family/alpha" in names  # survived the merge
+        assert any(name.startswith("campaign/") for name in names)
+
+    def test_version_flag(self, tmp_path):
+        import repro
+
+        result = repro_cli("--version", cwd=tmp_path)
+        assert result.returncode == 0
+        assert result.stdout.strip() == f"repro {repro.__version__}"
+
+
+def write_bench_file(path, **throughputs):
+    path.write_text(
+        json.dumps(
+            {
+                "schema": "repro-bench-v1",
+                "source": "test",
+                "results": [
+                    {
+                        "name": name,
+                        "population": 100,
+                        "steps": 1000,
+                        "wall_time_s": 1.0,
+                        "steps_per_sec": value,
+                    }
+                    for name, value in throughputs.items()
+                ],
+            }
+        )
+    )
+
+
+class TestBenchCompare:
+    def test_no_regression_passes(self, tmp_path):
+        write_bench_file(tmp_path / "old.json", **{"scalar/gillespie": 1000.0})
+        write_bench_file(tmp_path / "new.json", **{"scalar/gillespie": 950.0})
+        result = repro_cli("bench-compare", "old.json", "new.json", cwd=tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "scalar/gillespie" in result.stdout
+
+    def test_regression_beyond_threshold_fails(self, tmp_path):
+        write_bench_file(tmp_path / "old.json", **{"scalar/gillespie": 1000.0})
+        write_bench_file(tmp_path / "new.json", **{"scalar/gillespie": 500.0})
+        result = repro_cli("bench-compare", "old.json", "new.json", cwd=tmp_path)
+        assert result.returncode == 4
+        assert "regression" in result.stderr.lower()
+
+    def test_threshold_is_configurable(self, tmp_path):
+        write_bench_file(tmp_path / "old.json", **{"scalar/gillespie": 1000.0})
+        write_bench_file(tmp_path / "new.json", **{"scalar/gillespie": 500.0})
+        result = repro_cli(
+            "bench-compare", "old.json", "new.json", "--max-regression", "0.6",
+            cwd=tmp_path,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_filter_restricts_comparison(self, tmp_path):
+        write_bench_file(
+            tmp_path / "old.json",
+            **{"scalar/gillespie": 1000.0, "campaign/minimum": 1000.0},
+        )
+        write_bench_file(
+            tmp_path / "new.json",
+            **{"scalar/gillespie": 1000.0, "campaign/minimum": 100.0},
+        )
+        result = repro_cli(
+            "bench-compare", "old.json", "new.json", "--filter", "scalar",
+            cwd=tmp_path,
+        )
+        assert result.returncode == 0, result.stderr  # campaign drop filtered out
+        assert "campaign/minimum" not in result.stdout
+
+    def test_missing_baseline_is_not_a_failure(self, tmp_path):
+        write_bench_file(tmp_path / "new.json", **{"scalar/gillespie": 1000.0})
+        result = repro_cli("bench-compare", "absent.json", "new.json", cwd=tmp_path)
+        assert result.returncode == 0
+        assert "no baseline" in result.stdout
+
+    def test_missing_current_is_an_error(self, tmp_path):
+        write_bench_file(tmp_path / "old.json", **{"scalar/gillespie": 1000.0})
+        result = repro_cli("bench-compare", "old.json", "absent.json", cwd=tmp_path)
+        assert result.returncode == 2
+
+    def test_new_and_removed_records_are_skipped(self, tmp_path):
+        write_bench_file(tmp_path / "old.json", **{"retired/bench": 1000.0})
+        write_bench_file(tmp_path / "new.json", **{"brand-new/bench": 1.0})
+        result = repro_cli("bench-compare", "old.json", "new.json", cwd=tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "nothing to compare" in result.stdout

@@ -70,7 +70,8 @@ class TestRegistryBasics:
         python = get_engine("python")
         assert isinstance(python, EngineInfo)
         assert python.supports_gillespie and python.supports_fair
-        assert python.max_recommended_population == 2_000
+        # raised from 2_000 when the scalar kernel replaced the dict loops
+        assert python.max_recommended_population == 20_000
         vectorized = get_engine("vectorized")
         assert vectorized.max_recommended_population is None
         assert {info.name for info in registered_engines()} >= {"python", "vectorized"}
