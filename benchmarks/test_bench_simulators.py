@@ -21,6 +21,7 @@ from repro.sim._reference import ReferenceGillespieSimulator
 from repro.sim.engine import BatchFairEngine, BatchGillespieEngine
 from repro.sim.fair import FairScheduler
 from repro.sim.gillespie import GillespieSimulator
+from repro.sim.kernel import GillespiePolicy, SimulatorCore, TauLeapPolicy
 from repro.verify.stable import verify_stable_computation
 
 
@@ -239,6 +240,85 @@ def test_scalar_kernel_speedup_at_population_1e4(bench_record):
         f"kernel {kernel_result.steps / kernel_time:,.0f} ev/s -> {speedup:.1f}x"
     )
     assert speedup >= 3.0
+
+
+def test_tau_leap_step_collapse_at_population_1e5(bench_record):
+    """Acceptance gate: tau-leaping needs >= 5x fewer scheduler iterations
+    than exact SSA at population 10^5, with the exact answer intact.
+
+    This is the before/after record for the tau-leaping PR: the "before"
+    side is the exact kernel Gillespie loop (one select per event — the
+    regime where exact SSA at 10^5+ stops being practical), the "after" side
+    fires Poisson batches under the default epsilon=0.03 error knob.  The
+    recorded ``steps`` are *scheduler iterations* (events for the exact side,
+    leaps/bursts for tau), so steps/sec measures how fast each algorithm
+    advances through its own schedule; both sides fire the same 10^5 reaction
+    events and end in the same silent configuration.
+    """
+    population = 100_000
+    crn = minimum_spec().known_crn
+    crn.compiled()  # compile outside the timed region
+
+    def best_of(runs, run_once):
+        best = float("inf")
+        result = None
+        for _ in range(runs):
+            start = time.perf_counter()
+            result = run_once()
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    def run_exact():
+        core = SimulatorCore(crn, GillespiePolicy(), rng=random.Random(1))
+        return core.run_on_input((population, population), max_steps=10_000_000)
+
+    def run_tau():
+        core = SimulatorCore(crn, TauLeapPolicy(), rng=random.Random(1))
+        return core.run_on_input((population, population), max_steps=10_000_000)
+
+    SimulatorCore(crn, GillespiePolicy(), rng=random.Random(1)).run_on_input(
+        (population // 10, population // 10)
+    )  # warm-up
+    exact_time, exact_result = best_of(3, run_exact)
+    SimulatorCore(crn, TauLeapPolicy(), rng=random.Random(1)).run_on_input(
+        (population // 10, population // 10)
+    )  # warm-up
+    tau_time, tau_result = best_of(3, run_tau)
+
+    assert exact_result.silent and tau_result.silent
+    assert crn.output_count(exact_result.final_configuration) == population
+    assert crn.output_count(tau_result.final_configuration) == population
+    assert exact_result.steps == tau_result.steps == population
+
+    bench_record(
+        "tau-leap/exact-gillespie/pop200000",
+        2 * population,
+        exact_time,
+        exact_result.selections,
+    )
+    bench_record(
+        "tau-leap/tau/pop200000",
+        2 * population,
+        tau_time,
+        tau_result.selections,
+        events=tau_result.steps,
+        epsilon=0.03,
+    )
+    collapse = exact_result.selections / tau_result.selections
+    print(
+        f"\n[tau-leap] exact {exact_result.selections:,} selections "
+        f"({exact_time:.3f}s), tau {tau_result.selections:,} selections "
+        f"({tau_time:.3f}s) -> {collapse:.0f}x step-count collapse, "
+        f"{exact_time / tau_time:.1f}x wall speedup"
+    )
+    assert collapse >= 5.0
+    # The exact engine's seeded stream must be untouched by the tau machinery
+    # (the bit-for-bit lock, restated at benchmark scale).
+    replay = GillespieSimulator(crn, rng=random.Random(1)).run_on_input(
+        (population, population), max_steps=10_000_000
+    )
+    assert replay.final_configuration == exact_result.final_configuration
+    assert replay.steps == exact_result.steps
 
 
 def test_exhaustive_vs_simulation_verification(benchmark):

@@ -5,6 +5,12 @@ Registers the ``--benchmark`` flag: the throughput suites under
 stays fast, and opt in with::
 
     PYTHONPATH=src python -m pytest benchmarks --benchmark
+
+Also registers the ``statistical`` marker: the cross-engine KS equivalence
+gates in ``tests/test_statistical_equivalence.py`` run as part of the normal
+suite (they are deterministic on a fixed seed matrix) and CI additionally
+selects them alone with ``-m statistical`` for the dedicated
+statistical-equivalence job.
 """
 
 
@@ -14,4 +20,12 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="run the benchmark suites under benchmarks/ (skipped by default)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "statistical: cross-engine statistical equivalence gates "
+        "(two-sample KS on a fixed seed matrix; select alone with -m statistical)",
     )

@@ -30,6 +30,24 @@ from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 
+def validate_epsilon(value) -> float:
+    """Validate a tau-leaping error tolerance: a number strictly in (0, 1).
+
+    The single source of truth for the ``epsilon`` contract, shared by
+    :class:`RunConfig` and :class:`repro.sim.kernel.TauLeapPolicy` so the two
+    can never drift.  Returns the value as a float.
+    """
+    if (
+        not isinstance(value, (int, float))
+        or isinstance(value, bool)
+        or not 0.0 < value < 1.0
+    ):
+        raise ValueError(
+            f"epsilon must be a number in the open interval (0, 1), got {value!r}"
+        )
+    return float(value)
+
+
 @dataclass(frozen=True)
 class RunConfig:
     """Immutable configuration for repeated simulation runs.
@@ -51,6 +69,13 @@ class RunConfig:
         Name of a registered simulation engine (see
         :mod:`repro.sim.registry`).  Validated at dispatch time against the
         live registry, not here, so configs stay registry-agnostic.
+    epsilon:
+        Error-control knob for approximate engines (``engine="tau"``): the
+        relative propensity drift tolerated within one tau-leap (see
+        :class:`repro.sim.kernel.TauLeapPolicy`).  Must lie strictly between
+        0 and 1; smaller is more accurate and slower.  Exact engines ignore
+        it, but it is part of :meth:`cache_key` for every config, so cached
+        campaign cells are keyed by it.
     """
 
     trials: int = 10
@@ -58,6 +83,7 @@ class RunConfig:
     quiescence_window: Optional[int] = None
     seed: Optional[int] = None
     engine: str = "python"
+    epsilon: float = 0.03
 
     def __post_init__(self) -> None:
         if not isinstance(self.trials, int) or self.trials < 1:
@@ -73,6 +99,7 @@ class RunConfig:
             )
         if not isinstance(self.engine, str) or not self.engine:
             raise ValueError(f"engine must be a nonempty string, got {self.engine!r}")
+        validate_epsilon(self.epsilon)
 
     # -- derivation -----------------------------------------------------------
 
@@ -142,5 +169,6 @@ class RunConfig:
         window = "auto" if self.quiescence_window is None else str(self.quiescence_window)
         return (
             f"RunConfig(engine={self.engine}, trials={self.trials}, "
-            f"max_steps={self.max_steps}, quiescence_window={window}, seed={self.seed})"
+            f"max_steps={self.max_steps}, quiescence_window={window}, "
+            f"seed={self.seed}, epsilon={self.epsilon})"
         )

@@ -11,9 +11,12 @@ workflow composable too.  Instead of threading the same keyword cloud through
     mean = compiled.expected_output((30, 50))      # Gillespie estimate
 
 Every method returns the existing report types unchanged, and every per-call
-override (``trials=``, ``engine=``, …) derives a fresh
+override (``trials=``, ``engine=``, ``epsilon=``, …) derives a fresh
 :class:`~repro.api.config.RunConfig` via ``replace()`` — the workbench itself
-is never mutated.
+is never mutated.  Any registered engine is addressable per call, including
+the approximate tau-leaping backend::
+
+    compiled.simulate((100_000, 100_000), engine="tau", epsilon=0.03)
 """
 
 from __future__ import annotations

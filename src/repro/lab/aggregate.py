@@ -236,6 +236,29 @@ def write_bench_json(
         handle.write("\n")
 
 
+def _is_regression(ratio: float, max_regression: float) -> bool:
+    """Whether a current/baseline throughput ratio counts as a regression.
+
+    The one definition shared by the plain ``bench-compare`` diff (exit code)
+    and the ``--markdown`` trend table, so the two can never disagree about a
+    record's status.
+    """
+    return ratio < 1.0 - max_regression
+
+
+def _throughput_by_name(payload: Dict[str, Any]) -> Dict[str, float]:
+    """Record name -> positive ``steps_per_sec``, the comparable slice of a
+    ``BENCH_results.json`` payload (shared by the plain and markdown diffs)."""
+    out: Dict[str, float] = {}
+    for record in payload.get("results", []):
+        if not isinstance(record, dict):
+            continue
+        value = record.get("steps_per_sec")
+        if isinstance(value, (int, float)) and value > 0:
+            out[str(record.get("name", ""))] = float(value)
+    return out
+
+
 def compare_bench_results(
     previous: Dict[str, Any],
     current: Dict[str, Any],
@@ -257,18 +280,8 @@ def compare_bench_results(
             f"max_regression must be a fraction in [0, 1), got {max_regression!r}"
         )
 
-    def throughput_by_name(payload: Dict[str, Any]) -> Dict[str, float]:
-        out: Dict[str, float] = {}
-        for record in payload.get("results", []):
-            if not isinstance(record, dict):
-                continue
-            value = record.get("steps_per_sec")
-            if isinstance(value, (int, float)) and value > 0:
-                out[str(record.get("name", ""))] = float(value)
-        return out
-
-    old = throughput_by_name(previous)
-    new = throughput_by_name(current)
+    old = _throughput_by_name(previous)
+    new = _throughput_by_name(current)
     regressions: List[str] = []
     lines: List[str] = []
     for name in sorted(set(old) & set(new)):
@@ -279,7 +292,7 @@ def compare_bench_results(
             f"{name}: {old[name]:,.0f} -> {new[name]:,.0f} steps/s "
             f"({ratio:.0%} of baseline)"
         )
-        if ratio < 1.0 - max_regression:
+        if _is_regression(ratio, max_regression):
             regressions.append(
                 f"{name}: throughput fell {1.0 - ratio:.0%} "
                 f"({old[name]:,.0f} -> {new[name]:,.0f} steps/s; "
@@ -288,6 +301,56 @@ def compare_bench_results(
             line += "  << REGRESSION"
         lines.append(line)
     return regressions, lines
+
+
+def format_markdown_trend(
+    previous: Dict[str, Any],
+    current: Dict[str, Any],
+    max_regression: float = 0.30,
+    name_filter: str = "",
+) -> str:
+    """A GitHub-flavoured markdown trend table for two benchmark payloads.
+
+    One row per record name present in both payloads (same matching rules as
+    :func:`compare_bench_results`); names only in one side are listed beneath
+    the table so added or retired benchmarks stay visible in the job summary.
+    Intended for ``python -m repro bench-compare --markdown`` and the CI
+    bench-regression job's ``$GITHUB_STEP_SUMMARY``.
+    """
+
+    def keep(name: str) -> bool:
+        return not name_filter or name_filter in name
+
+    old = _throughput_by_name(previous)
+    new = _throughput_by_name(current)
+    shared = sorted(name for name in set(old) & set(new) if keep(name))
+    lines = [
+        "### Benchmark trend"
+        + (f" (filter: `{name_filter}`)" if name_filter else ""),
+        "",
+        "| benchmark | baseline steps/s | current steps/s | ratio | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for name in shared:
+        ratio = new[name] / old[name]
+        if _is_regression(ratio, max_regression):
+            status = ":x: regression"
+        elif ratio > 1.0 + max_regression:
+            status = ":rocket: faster"
+        else:
+            status = ":white_check_mark: stable"
+        lines.append(
+            f"| `{name}` | {old[name]:,.0f} | {new[name]:,.0f} | {ratio:.0%} | {status} |"
+        )
+    if not shared:
+        lines.append("| _no overlapping records_ | | | | |")
+    added = sorted(name for name in set(new) - set(old) if keep(name))
+    removed = sorted(name for name in set(old) - set(new) if keep(name))
+    if added:
+        lines += ["", "New records (no baseline): " + ", ".join(f"`{n}`" for n in added)]
+    if removed:
+        lines += ["", "Retired records: " + ", ".join(f"`{n}`" for n in removed)]
+    return "\n".join(lines)
 
 
 def format_report(summary: CampaignSummary) -> str:

@@ -33,11 +33,11 @@ from typing import Any, Dict, Optional
 from repro.core.specs import FunctionSpec
 
 #: Bump when a change to the simulators / constructions invalidates old results.
-#: "repro-lab-2": the scalar simulators were rebased onto the shared kernel
-#: (repro.sim.kernel).  Seeded runs are bit-for-bit compatible by design, but
-#: the salt guarantees no pre-kernel cell can ever be replayed as evidence for
-#: the kernel's behaviour.
-CODE_SALT = "repro-lab-2"
+#: "repro-lab-3": RunConfig grew the `epsilon` error knob and the "tau"
+#: approximate engine landed.  Exact seeded runs are unchanged bit for bit,
+#: but every RunConfig.cache_key now covers epsilon; the salt guarantees a
+#: pre-tau cell can never collide with (or be replayed as) a new-keyed one.
+CODE_SALT = "repro-lab-3"
 
 #: Side length of the grid a spec is tabulated on for fingerprinting.
 FINGERPRINT_BOUND = 5

@@ -6,7 +6,8 @@ Subcommands::
     resume         finish an interrupted campaign from its manifest
     report         re-aggregate and print a finished (or partial) campaign
     bench          run the benchmark family through the executor -> BENCH_results.json
-    bench-compare  diff two BENCH_results.json files; fail on throughput regression
+    bench-compare  diff two BENCH_results.json files; fail on throughput
+                   regression (--markdown emits a trend table for CI summaries)
     specs          list the registered function specs
     engines        list the registered simulation engines
 
@@ -31,6 +32,7 @@ from repro.api.config import RunConfig
 from repro.lab.aggregate import (
     compare_bench_results,
     default_bench_path,
+    format_markdown_trend,
     format_report,
     load_bench_json,
     make_bench_record,
@@ -146,6 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SUBSTRING",
         help="only compare records whose name contains this substring "
         '(e.g. "scalar" for the scalar-simulator family)',
+    )
+    compare.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a GitHub-flavoured markdown trend table (for CI job "
+        "summaries) instead of the plain per-record lines",
     )
 
     sub.add_parser("specs", help="list registered function specs")
@@ -300,7 +308,7 @@ def _command_bench(args) -> int:
         name="bench-minimum",
         specs=[("minimum", "known")],
         inputs=[(p, p) for p in populations],
-        engines=("python", "vectorized"),
+        engines=("python", "vectorized", "tau"),
         configs=(RunConfig(trials=args.trials, max_steps=10_000_000),),
         seed=1,
     )
@@ -350,14 +358,24 @@ def _command_bench_compare(args) -> int:
         max_regression=args.max_regression,
         name_filter=args.filter,
     )
-    for line in lines:
-        print(line)
-    if not lines:
+    if args.markdown:
         print(
-            f"no overlapping records"
-            + (f" matching {args.filter!r}" if args.filter else "")
-            + "; nothing to compare"
+            format_markdown_trend(
+                previous,
+                current,
+                max_regression=args.max_regression,
+                name_filter=args.filter,
+            )
         )
+    else:
+        for line in lines:
+            print(line)
+        if not lines:
+            print(
+                f"no overlapping records"
+                + (f" matching {args.filter!r}" if args.filter else "")
+                + "; nothing to compare"
+            )
     if regressions:
         print(
             f"\n{len(regressions)} throughput regression(s) beyond "
@@ -379,12 +397,16 @@ def _command_specs(args) -> int:
 
 def _command_engines(args) -> int:
     for info in registered_engines():
-        bound = (
-            "unbounded"
-            if info.max_recommended_population is None
-            else f"<= {info.max_recommended_population}"
-        )
-        print(f"{info.name:<12} pop {bound:<12} {info.description}")
+        if info.min_recommended_population and info.max_recommended_population:
+            bound = f"{info.min_recommended_population}..{info.max_recommended_population}"
+        elif info.min_recommended_population:
+            bound = f">= {info.min_recommended_population}"
+        elif info.max_recommended_population:
+            bound = f"<= {info.max_recommended_population}"
+        else:
+            bound = "unbounded"
+        kind = "approximate" if info.approximate else "exact"
+        print(f"{info.name:<12} {kind:<12} pop {bound:<12} {info.description}")
     return 0
 
 

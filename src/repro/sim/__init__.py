@@ -36,7 +36,9 @@ Symbol                                  Purpose
 ``output_consuming_bias``               Adversarial bias: prefer output-consuming reactions.
 ``SimulatorCore``                       The scalar step loop over the compiled IR.
 ``StepPolicy``                          Base class for pluggable scheduling strategies.
-``GillespiePolicy`` / ``FairPolicy``    The two built-in step policies.
+``GillespiePolicy`` / ``FairPolicy``    The two exact built-in step policies.
+``TauLeapPolicy``                       Approximate SSA: Poisson firing batches per leap
+                                        (``engine="tau"``, ``RunConfig.epsilon`` knob).
 ``KernelRunResult``                     Raw result of one ``SimulatorCore.run``.
 ``CompiledCRN``                         The shared IR: dense stoichiometry + sparse terms +
                                         reaction dependency graph.
@@ -46,7 +48,7 @@ Symbol                                  Purpose
 ``Trajectory`` / ``TrajectoryPoint``    Recorded species counts along a scalar run.
 ``ConvergenceReport``                   Aggregate statistics over repeated runs.
 ``run_to_convergence``                  One fair run until silence / quiescence.
-``run_many``                            Repeated fair runs (``engine="python"|"vectorized"``).
+``run_many``                            Repeated runs (``engine="python"|"vectorized"|"tau"``).
 ``estimate_expected_output``            Monte-Carlo mean output under Gillespie kinetics.
 ``sweep_inputs``                        ``run_many`` over a collection of inputs (per-input seeds).
 ``default_quiescence_window``           Population-scaled convergence-detection window.
@@ -76,6 +78,7 @@ from repro.sim.kernel import (
     KernelRunResult,
     SimulatorCore,
     StepPolicy,
+    TauLeapPolicy,
     default_quiescence_window,
 )
 from repro.sim.trajectory import Trajectory, TrajectoryPoint
@@ -120,6 +123,7 @@ __all__ = [
     "StepPolicy",
     "GillespiePolicy",
     "FairPolicy",
+    "TauLeapPolicy",
     "KernelRunResult",
     "Trajectory",
     "TrajectoryPoint",

@@ -23,10 +23,20 @@ over the shared :class:`~repro.sim.engine.CompiledCRN` IR:
   instead of the number of reactions;
 * scheduling semantics are pluggable :class:`StepPolicy` strategies —
   :class:`GillespiePolicy` (exponential clocks, propensity-proportional
-  choice) and :class:`FairPolicy` (uniform or statically biased choice among
-  applicable reactions) — while the quiescence-window convergence detector,
-  step/time bounds, trajectory recording, and ``stop_when`` predicates live
-  once in the core.
+  choice), :class:`FairPolicy` (uniform or statically biased choice among
+  applicable reactions), and :class:`TauLeapPolicy` (approximate SSA firing
+  Poisson batches of reactions per leap) — while the quiescence-window
+  convergence detector, step/time bounds, trajectory recording, and
+  ``stop_when`` predicates live once in the core.
+
+Exact policies hand the core one reaction index per ``select`` call; a policy
+that declares ``fires_many = True`` (tau-leaping) instead exposes an
+``advance`` method that applies a whole batch of firings to the counts and
+reports how many events it fired, so the core's bookkeeping (step counter,
+output tracking, quiescence window) advances in batches.  The
+:class:`KernelRunResult` distinguishes ``steps`` (reaction events fired) from
+``selections`` (scheduler iterations); for exact policies the two are equal,
+while a tau-leap run collapses thousands of events into a handful of leaps.
 
 Seeding / reproducibility policy
 --------------------------------
@@ -88,8 +98,16 @@ class KernelRunResult:
     final_time: float
     """Simulated time (Gillespie clocks); 0.0 under time-free policies."""
     max_output_seen: int
-    """The maximum output count observed at any point during the run."""
+    """The maximum output count observed at any point during the run.
+
+    Under a batch-firing policy (tau-leaping) the output is only observed at
+    leap boundaries, so an intra-leap peak can be missed; exact policies
+    observe every step.
+    """
     trajectory: Optional[Trajectory] = None
+    selections: int = 0
+    """Scheduler iterations: equal to ``steps`` for exact policies, the number
+    of leaps / fallback bursts for a batch-firing policy."""
 
 
 class StepPolicy:
@@ -103,6 +121,12 @@ class StepPolicy:
 
     #: Whether the policy advances simulated time (enables ``max_time``).
     uses_time: bool = False
+
+    #: Whether the policy fires batches of reactions per scheduler iteration.
+    #: When True the bound stepper exposes ``advance(counts, time_now,
+    #: max_time) -> (events, new_time)`` (mutating ``counts`` in place)
+    #: instead of ``select`` / ``fired``.
+    fires_many: bool = False
 
     def bind(self, compiled: CompiledCRN, rng: random.Random):
         """Return a bound per-run stepper exposing ``start`` / ``select`` / ``fired``."""
@@ -291,6 +315,276 @@ class _FairStepper:
         return tuple(self.app)
 
 
+class TauLeapPolicy(StepPolicy):
+    """Approximate SSA via tau-leaping (Cao–Gillespie–Petzold 2006 selection).
+
+    When propensities are quasi-constant over an interval ``tau``, the number
+    of times each reaction fires in that interval is approximately Poisson
+    with mean ``a_j * tau``, so a whole batch of firings can be sampled per
+    scheduler iteration instead of one.  ``tau`` is chosen so that no
+    propensity is expected to drift by more than a fraction ``epsilon`` of the
+    total rate (the largest-relative-change bound of Cao, Gillespie & Petzold,
+    *J. Chem. Phys.* 124, 044109 (2006), computed species-wise from the IR's
+    sparse ``reactant_terms`` / ``net_terms``).
+
+    Safety rails, in the order they engage:
+
+    * **exact fallback** — when the selected leap would contain fewer than
+      ``n_critical`` expected firings, leaping buys nothing and risks bias, so
+      the stepper runs a burst of ``exact_burst`` exact Gillespie steps
+      instead (via the same incremental-propensity machinery as
+      :class:`GillespiePolicy`).  Small populations therefore degrade
+      gracefully to exact SSA.
+    * **negative-population rejection** — a sampled leap that would drive any
+      species count negative is discarded and retried with ``tau`` halved;
+      after ``max_rejections`` halvings (or once the halved leap drops under
+      ``n_critical`` expected firings) the stepper falls back to an exact
+      burst, so the rejection loop always terminates and counts never go
+      negative.
+
+    ``epsilon`` is the single error knob: smaller values mean smaller leaps
+    and a closer match to the exact CTMC, at proportionally more scheduler
+    iterations.  Runs are *statistically* (not bit-for-bit) equivalent to
+    exact SSA — ``tests/test_statistical_equivalence.py`` gates this with
+    two-sample Kolmogorov–Smirnov tests against the exact engines.
+    """
+
+    uses_time = True
+    fires_many = True
+
+    def __init__(
+        self,
+        epsilon: float = 0.03,
+        n_critical: float = 10.0,
+        exact_burst: int = 100,
+        max_rejections: int = 30,
+    ) -> None:
+        from repro.api.config import validate_epsilon
+
+        epsilon = validate_epsilon(epsilon)
+        if n_critical <= 0:
+            raise ValueError(f"n_critical must be positive, got {n_critical!r}")
+        if exact_burst < 1:
+            raise ValueError(f"exact_burst must be >= 1, got {exact_burst!r}")
+        if max_rejections < 1:
+            raise ValueError(f"max_rejections must be >= 1, got {max_rejections!r}")
+        self.epsilon = float(epsilon)
+        self.n_critical = float(n_critical)
+        self.exact_burst = int(exact_burst)
+        self.max_rejections = int(max_rejections)
+
+    def bind(self, compiled: CompiledCRN, rng: random.Random) -> "_TauLeapStepper":
+        return _TauLeapStepper(compiled, rng, self)
+
+
+class _TauLeapStepper:
+    """Single-run tau-leap state: an exact stepper for propensities/fallback,
+    plus the precomputed per-species highest-order-reaction data for tau
+    selection."""
+
+    __slots__ = (
+        "compiled",
+        "rng",
+        "policy",
+        "exact",
+        "g_candidates",
+        "leaps",
+        "exact_events",
+        "rejections",
+    )
+
+    def __init__(
+        self, compiled: CompiledCRN, rng: random.Random, policy: TauLeapPolicy
+    ) -> None:
+        self.compiled = compiled
+        self.rng = rng
+        self.policy = policy
+        # The exact stepper is both the propensity store (full recompute after
+        # a leap, incremental dependency-graph updates inside exact bursts)
+        # and the fallback engine.
+        self.exact = _GillespieStepper(compiled, rng)
+        # Per reactant species: the distinct (reaction order, own coefficient)
+        # pairs over reactions consuming it, for the g_i factor of the tau
+        # bound.  g_i = order for coefficient 1; higher self-coefficients get
+        # the Cao et al. small-count correction (order + (k-1)/(x-1)).
+        candidates: Dict[int, set] = {}
+        for terms in compiled.reactant_terms:
+            order = sum(k for _, k in terms)
+            for s, k in terms:
+                candidates.setdefault(s, set()).add((order, k))
+        self.g_candidates: Dict[int, Tuple[Tuple[int, int], ...]] = {
+            s: tuple(sorted(pairs)) for s, pairs in candidates.items()
+        }
+        #: Diagnostics (test hooks): leap / exact-burst / rejection counters.
+        self.leaps = 0
+        self.exact_events = 0
+        self.rejections = 0
+
+    # -- tau selection ---------------------------------------------------------
+
+    def _g(self, s: int, x: int) -> float:
+        """The highest-order-reaction factor g_i of Cao et al. (2006)."""
+        g = 1.0
+        for order, k in self.g_candidates.get(s, ((1, 1),)):
+            if k <= 1:
+                g = max(g, float(order))
+            else:
+                g = max(g, order + (k - 1) / float(max(x - 1, 1)))
+        return g
+
+    def select_tau(self, counts: List[int]) -> float:
+        """The largest leap over which no propensity should drift by more than
+        ``epsilon`` relatively (species-wise mean/variance bound)."""
+        epsilon = self.policy.epsilon
+        net_terms = self.compiled.net_terms
+        props = self.exact.props
+        mean_drift: Dict[int, float] = {}
+        var_drift: Dict[int, float] = {}
+        for j, a in enumerate(props):
+            if a <= 0.0:
+                continue
+            for s, delta in net_terms[j]:
+                mean_drift[s] = mean_drift.get(s, 0.0) + delta * a
+                var_drift[s] = var_drift.get(s, 0.0) + delta * delta * a
+        tau = math.inf
+        for s, pairs in self.g_candidates.items():
+            mu = abs(mean_drift.get(s, 0.0))
+            sigma2 = var_drift.get(s, 0.0)
+            if mu == 0.0 and sigma2 == 0.0:
+                continue
+            bound = max(epsilon * counts[s] / self._g(s, counts[s]), 1.0)
+            if mu > 0.0:
+                tau = min(tau, bound / mu)
+            if sigma2 > 0.0:
+                tau = min(tau, bound * bound / sigma2)
+        return tau
+
+    # -- Poisson sampling ------------------------------------------------------
+
+    def _poisson(self, lam: float) -> int:
+        """A Poisson(lam) draw from the run's ``random.Random`` stream.
+
+        Knuth's multiplication method below lam = 10; Hörmann's transformed
+        rejection (PTRS, 1993) above it, which needs O(1) draws at any lam
+        (the multiplication method needs O(lam) draws and underflows its
+        ``exp(-lam)`` threshold past lam ~ 745).
+        """
+        rng = self.rng
+        if lam <= 0.0:
+            return 0
+        if lam < 10.0:
+            threshold = math.exp(-lam)
+            k = 0
+            product = rng.random()
+            while product > threshold:
+                k += 1
+                product *= rng.random()
+            return k
+        log_lam = math.log(lam)
+        b = 0.931 + 2.53 * math.sqrt(lam)
+        a = -0.059 + 0.02483 * b
+        inv_alpha = 1.1239 + 1.1328 / (b - 3.4)
+        v_r = 0.9277 - 3.6224 / (b - 2.0)
+        while True:
+            u = rng.random() - 0.5
+            v = rng.random()
+            us = 0.5 - abs(u)
+            k = math.floor((2.0 * a / us + b) * u + lam + 0.43)
+            if us >= 0.07 and v <= v_r:
+                return int(k)
+            if k < 0 or (us < 0.013 and v > us):
+                continue
+            if math.log(v) + math.log(inv_alpha) - math.log(a / (us * us) + b) <= (
+                k * log_lam - lam - math.lgamma(k + 1.0)
+            ):
+                return int(k)
+
+    # -- the stepper protocol --------------------------------------------------
+
+    def start(self, counts: List[int]) -> None:
+        self.exact.start(counts)
+
+    def advance(
+        self, counts: List[int], time_now: float, max_time: float
+    ) -> Tuple[int, float]:
+        """Fire one leap (or one exact burst); returns ``(events, new_time)``.
+
+        ``counts`` is mutated in place.  ``events`` is ``_SILENT`` when no
+        reaction can fire and ``_TIMED_OUT`` when the clock crosses
+        ``max_time`` before anything fires; a zero-event leap (possible when
+        the clamped leap is short) advances only the clock.
+        """
+        policy = self.policy
+        props = self.exact.props
+        total = sum(props)
+        if total <= 0.0:
+            return _SILENT, time_now
+        tau = self.select_tau(counts)
+        if math.isinf(tau):
+            # No reactant species ever changes (purely catalytic kinetics):
+            # propensities are constant, so any leap is exact w.r.t. the
+            # rates.  Bound the batch so step budgets stay meaningful.
+            tau = 1000.0 / total
+        if tau * total < policy.n_critical:
+            return self._exact_burst(counts, time_now, max_time)
+        if time_now + tau > max_time:
+            tau = max_time - time_now
+            if tau <= 0.0:
+                return _TIMED_OUT, max_time
+        net_terms = self.compiled.net_terms
+        for _ in range(policy.max_rejections):
+            events = 0
+            deltas: Dict[int, int] = {}
+            for j, a in enumerate(props):
+                if a <= 0.0:
+                    continue
+                k = self._poisson(a * tau)
+                if k:
+                    events += k
+                    for s, delta in net_terms[j]:
+                        deltas[s] = deltas.get(s, 0) + delta * k
+            if all(counts[s] + delta >= 0 for s, delta in deltas.items()):
+                time_now += tau
+                if events:
+                    for s, delta in deltas.items():
+                        counts[s] += delta
+                    # A leap can change many species at once; recompute the
+                    # whole propensity vector (amortized over `events` firings).
+                    self.exact.start(counts)
+                    self.leaps += 1
+                return events, time_now
+            self.rejections += 1
+            tau /= 2.0
+            if tau * total < policy.n_critical:
+                break
+        return self._exact_burst(counts, time_now, max_time)
+
+    def _exact_burst(
+        self, counts: List[int], time_now: float, max_time: float
+    ) -> Tuple[int, float]:
+        """Up to ``exact_burst`` exact SSA steps through the embedded stepper."""
+        exact = self.exact
+        net_terms = self.compiled.net_terms
+        events = 0
+        for _ in range(self.policy.exact_burst):
+            j, time_now = exact.select(time_now, max_time)
+            if j < 0:
+                # Report the events already fired; the *next* advance call
+                # re-detects silence / timeout and returns the sentinel.
+                break
+            for s, delta in net_terms[j]:
+                counts[s] += delta
+            exact.fired(j, counts)
+            events += 1
+        self.exact_events += events
+        # events == 0 only when the first select hit a sentinel, so j is set.
+        return (events, time_now) if events else (j, time_now)
+
+    def propensities(self) -> Tuple[float, ...]:
+        """A snapshot of the current propensity vector (test hook)."""
+        return tuple(self.exact.props)
+
+
 class SimulatorCore:
     """The one scalar step loop, parameterized by a :class:`StepPolicy`.
 
@@ -381,44 +675,64 @@ class SimulatorCore:
         counts, extras = self._encode(initial)
         stepper = self.policy.bind(compiled, self.rng)
         stepper.start(counts)
-        select = stepper.select
-        fired = stepper.fired
+        leaping = self.policy.fires_many
+        if leaping:
+            advance = stepper.advance
+        else:
+            select = stepper.select
+            fired = stepper.fired
         net_terms = compiled.net_terms
         output_index = compiled.output_index
         uses_time = self.policy.uses_time
 
         time_now = 0.0
         steps = 0
+        selections = 0
         silent = False
         converged = False
         max_output = counts[output_index]
         last_output = max_output
         unchanged_for = 0
         trajectory = Trajectory(track) if track else None
+        last_recorded = 0
         if trajectory is not None:
             trajectory.record(0.0, 0, self._decode(counts, extras))
 
         while steps < max_steps and time_now < max_time:
             if stop_when is not None and stop_when(self._decode(counts, extras)):
                 break
-            j, time_now = select(time_now, max_time)
-            if j < 0:
-                if j == _SILENT:
-                    silent = True
-                break
-            for s, delta in net_terms[j]:
-                counts[s] += delta
-            steps += 1
-            fired(j, counts)
+            if leaping:
+                # A batch-firing stepper applies the whole leap to `counts`
+                # itself and reports how many events it fired; the run may
+                # overshoot max_steps by at most one leap.
+                events, time_now = advance(counts, time_now, max_time)
+                if events < 0:
+                    if events == _SILENT:
+                        silent = True
+                    break
+                steps += events
+            else:
+                j, time_now = select(time_now, max_time)
+                if j < 0:
+                    if j == _SILENT:
+                        silent = True
+                    break
+                for s, delta in net_terms[j]:
+                    counts[s] += delta
+                events = 1
+                steps += 1
+                fired(j, counts)
+            selections += 1
             current = counts[output_index]
             if current > max_output:
                 max_output = current
             if current == last_output:
-                unchanged_for += 1
+                unchanged_for += events
             else:
                 unchanged_for = 0
                 last_output = current
-            if trajectory is not None and steps % record_every == 0:
+            if trajectory is not None and steps - last_recorded >= record_every:
+                last_recorded = steps
                 trajectory.record(
                     time_now if uses_time else float(steps),
                     steps,
@@ -444,6 +758,7 @@ class SimulatorCore:
             final_time=time_now,
             max_output_seen=max_output,
             trajectory=trajectory,
+            selections=selections,
         )
 
     def run_on_input(self, x: Sequence[int], **kwargs) -> KernelRunResult:

@@ -50,12 +50,24 @@ class EngineInfo:
         The object whose ``run_many`` / ``estimate_expected_output`` methods
         perform the work.
     supports_gillespie / supports_fair:
-        Which scheduling semantics the backend implements.  Dispatch does not
-        enforce these (an engine may raise its own errors); they exist so
-        tooling and users can pick a backend programmatically.
+        Which scheduling semantics the backend implements.  Plain ``run_many``
+        dispatch does not enforce these (an engine may raise its own errors),
+        but contract-sensitive callers consult them:
+        :func:`repro.verify.stable.verify_stable_computation` rejects
+        ``supports_fair=False`` engines for its randomized path, and campaign
+        ``"auto"`` resolution only considers fair-capable engines.
     max_recommended_population:
         Soft guidance on the population size beyond which the engine becomes
         impractical (``None`` = no practical limit).
+    min_recommended_population:
+        Soft guidance on the population size *below* which the engine buys
+        nothing over the exact reference (``None`` = useful at any size).
+        Approximate engines such as ``"tau"`` publish a floor: under it they
+        degrade to exact stepping and a caller may as well use ``"python"``.
+    approximate:
+        True when the engine samples the kinetics approximately rather than
+        exactly (results are statistically, not bit-for-bit, equivalent to
+        the exact engines; see ``tests/test_statistical_equivalence.py``).
     description:
         One-line human-readable summary.
     """
@@ -65,6 +77,8 @@ class EngineInfo:
     supports_gillespie: bool = True
     supports_fair: bool = True
     max_recommended_population: Optional[int] = None
+    min_recommended_population: Optional[int] = None
+    approximate: bool = False
     description: str = ""
 
     def run_many(self, crn, x, config):
@@ -85,8 +99,8 @@ def _ensure_builtin_engines() -> None:
     # Importing the runner registers the built-ins; re-register any that a
     # caller (e.g. a test) unregistered, so the defaults are always
     # restorable.  Only the missing names are touched — a deliberate
-    # replace=True override of the other built-in must survive.
-    missing = {"python", "vectorized"} - set(_REGISTRY)
+    # replace=True override of the other built-ins must survive.
+    missing = {"python", "vectorized", "tau"} - set(_REGISTRY)
     if missing:
         runner.register_builtin_engines(missing)
 
@@ -97,6 +111,8 @@ def register_engine(
     supports_gillespie: bool = True,
     supports_fair: bool = True,
     max_recommended_population: Optional[int] = None,
+    min_recommended_population: Optional[int] = None,
+    approximate: bool = False,
     description: str = "",
     replace: bool = False,
 ):
@@ -129,6 +145,8 @@ def register_engine(
             supports_gillespie=supports_gillespie,
             supports_fair=supports_fair,
             max_recommended_population=max_recommended_population,
+            min_recommended_population=min_recommended_population,
+            approximate=approximate,
             description=description,
         )
         return cls

@@ -16,6 +16,15 @@ Engines are resolved through the pluggable registry of
   advance all trials simultaneously and remain the best option for very large
   populations or trial counts.  Seeded runs are reproducible, but draw from a
   numpy random stream distinct from the python engine's (see DESIGN.md).
+* ``"tau"`` — approximate SSA via tau-leaping
+  (:class:`repro.sim.kernel.TauLeapPolicy`): many reactions fire per
+  scheduler iteration when propensities are quasi-constant, controlled by the
+  ``epsilon`` error knob on :class:`~repro.api.config.RunConfig`.  Scheduling
+  is *kinetic* (Gillespie rates, not the fair scheduler), and results are
+  statistically — not bit-for-bit — equivalent to the exact engines
+  (``tests/test_statistical_equivalence.py`` gates this).  Intended for
+  populations around 10^4 and above; under its recommended floor it degrades
+  gracefully to exact stepping.
 
 Third-party backends plug in via
 :func:`repro.sim.registry.register_engine` and become addressable as
@@ -33,7 +42,11 @@ from repro.api.config import RunConfig
 from repro.crn.network import CRN
 from repro.sim.fair import FairRunResult, FairScheduler
 from repro.sim.gillespie import GillespieSimulator
-from repro.sim.kernel import default_quiescence_window
+from repro.sim.kernel import (
+    SimulatorCore,
+    TauLeapPolicy,
+    default_quiescence_window,
+)
 from repro.sim.registry import check_engine, engine_names, get_engine, register_engine
 
 __all__ = [
@@ -46,6 +59,7 @@ __all__ = [
     "register_builtin_engines",
     "PythonEngine",
     "VectorizedEngine",
+    "TauLeapEngine",
 ]
 
 
@@ -127,6 +141,33 @@ def run_to_convergence(
 # ---------------------------------------------------------------------------
 
 
+def _aggregate_scalar_trials(crn: CRN, x: Sequence[int], config: RunConfig, run_one) -> ConvergenceReport:
+    """Fold one scalar run per trial seed into a :class:`ConvergenceReport`.
+
+    ``run_one(trial_seed)`` returns any result exposing
+    ``final_configuration`` / ``max_output_seen`` / ``steps`` / ``silent`` /
+    ``converged`` — the shared aggregation of the per-trajectory engines.
+    """
+    outputs: List[int] = []
+    max_outputs: List[int] = []
+    steps: List[int] = []
+    all_done = True
+    for trial_seed in config.trial_seeds():
+        result = run_one(trial_seed)
+        outputs.append(crn.output_count(result.final_configuration))
+        max_outputs.append(result.max_output_seen)
+        steps.append(result.steps)
+        if not (result.silent or result.converged):
+            all_done = False
+    return ConvergenceReport(
+        input_value=tuple(x),
+        outputs=outputs,
+        max_outputs=max_outputs,
+        steps=steps,
+        all_silent_or_converged=all_done,
+    )
+
+
 class PythonEngine:
     """The scalar reference engine: one trajectory at a time, ``random.Random``.
 
@@ -137,29 +178,17 @@ class PythonEngine:
     """
 
     def run_many(self, crn: CRN, x: Sequence[int], config: RunConfig) -> ConvergenceReport:
-        outputs: List[int] = []
-        max_outputs: List[int] = []
-        steps: List[int] = []
-        all_done = True
-        for trial_seed in config.trial_seeds():
-            result = run_to_convergence(
+        return _aggregate_scalar_trials(
+            crn,
+            x,
+            config,
+            lambda trial_seed: run_to_convergence(
                 crn,
                 x,
                 max_steps=config.max_steps,
                 quiescence_window=config.quiescence_window,
                 rng=random.Random(trial_seed),
-            )
-            outputs.append(crn.output_count(result.final_configuration))
-            max_outputs.append(result.max_output_seen)
-            steps.append(result.steps)
-            if not (result.silent or result.converged):
-                all_done = False
-        return ConvergenceReport(
-            input_value=tuple(x),
-            outputs=outputs,
-            max_outputs=max_outputs,
-            steps=steps,
-            all_silent_or_converged=all_done,
+            ),
         )
 
     def estimate_expected_output(
@@ -209,14 +238,57 @@ class VectorizedEngine:
         return float(result.output_counts().mean())
 
 
+class TauLeapEngine:
+    """Approximate kinetic engine: tau-leaping over the scalar kernel.
+
+    One :class:`~repro.sim.kernel.SimulatorCore` trajectory per trial under
+    :class:`~repro.sim.kernel.TauLeapPolicy`, with ``config.epsilon`` as the
+    error knob.  Unlike the ``"python"`` / ``"vectorized"`` fair-scheduler
+    paths, ``run_many`` here samples the *kinetic* process (quiescence is
+    still detected through the shared window mechanism, at leap granularity);
+    both entry points are statistically equivalent to exact Gillespie
+    sampling, which the KS suite in ``tests/test_statistical_equivalence.py``
+    enforces.
+    """
+
+    def run_many(self, crn: CRN, x: Sequence[int], config: RunConfig) -> ConvergenceReport:
+        quiescence_window = config.quiescence_window
+        if quiescence_window is None:
+            quiescence_window = default_quiescence_window(x)
+        policy = TauLeapPolicy(epsilon=config.epsilon)
+        return _aggregate_scalar_trials(
+            crn,
+            x,
+            config,
+            lambda trial_seed: SimulatorCore(
+                crn, policy, rng=random.Random(trial_seed)
+            ).run_on_input(
+                x,
+                max_steps=config.max_steps,
+                quiescence_window=quiescence_window,
+            ),
+        )
+
+    def estimate_expected_output(
+        self, crn: CRN, x: Sequence[int], config: RunConfig
+    ) -> float:
+        policy = TauLeapPolicy(epsilon=config.epsilon)
+        total = 0.0
+        for trial_seed in config.trial_seeds():
+            core = SimulatorCore(crn, policy, rng=random.Random(trial_seed))
+            result = core.run_on_input(x, max_steps=config.max_steps)
+            total += crn.output_count(result.final_configuration)
+        return total / config.trials
+
+
 def register_builtin_engines(names: Optional[Iterable[str]] = None) -> None:
     """(Re-)register the built-in engines (all of them, or just ``names``).
 
     Idempotent (``replace=True``), so module re-execution under
     ``importlib.reload`` / IPython autoreload is safe, and the registry can
-    restore a built-in that a test unregistered without touching the other.
+    restore a built-in that a test unregistered without touching the others.
     """
-    names = {"python", "vectorized"} if names is None else set(names)
+    names = {"python", "vectorized", "tau"} if names is None else set(names)
     if "python" in names:
         register_engine(
             "python",
@@ -241,6 +313,21 @@ def register_builtin_engines(names: Optional[Iterable[str]] = None) -> None:
             ),
             replace=True,
         )(VectorizedEngine)
+    if "tau" in names:
+        register_engine(
+            "tau",
+            supports_gillespie=True,
+            supports_fair=False,
+            max_recommended_population=None,
+            min_recommended_population=10_000,
+            approximate=True,
+            description=(
+                "tau-leaping approximate SSA (Cao-Gillespie tau selection, "
+                "Poisson firing batches, exact fallback); error knob "
+                "RunConfig.epsilon, statistically equivalent to exact engines"
+            ),
+            replace=True,
+        )(TauLeapEngine)
 
 
 register_builtin_engines()

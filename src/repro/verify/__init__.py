@@ -33,6 +33,10 @@ Symbol                          Purpose
 ``measure_overshoot``           Peak-minus-final output statistics over biased runs.
 ``verify_composition``          End-to-end check of composed (concatenated) CRNs.
 ``CompositionReport``           Result of the composition check.
+``sample_kinetic_distribution``  Seeded per-trajectory step/output samples per engine.
+``ks_two_sample`` / ``KSResult``  Two-sample Kolmogorov–Smirnov test (pure python).
+``assert_distributions_match``  Cross-engine statistical equivalence gate (KS, alpha).
+``DistributionSample``          The sampled step/output distributions for one engine.
 ==============================  ==========================================================
 """
 
@@ -40,6 +44,13 @@ from repro.verify.oblivious import ObliviousnessReport, audit_output_oblivious
 from repro.verify.stable import InputVerification, VerificationReport, verify_stable_computation
 from repro.verify.overproduction import OverproductionWitness, find_overproduction, measure_overshoot
 from repro.verify.composition import CompositionReport, verify_composition
+from repro.verify.statistical import (
+    DistributionSample,
+    KSResult,
+    assert_distributions_match,
+    ks_two_sample,
+    sample_kinetic_distribution,
+)
 
 __all__ = [
     "ObliviousnessReport",
@@ -52,4 +63,9 @@ __all__ = [
     "measure_overshoot",
     "CompositionReport",
     "verify_composition",
+    "DistributionSample",
+    "KSResult",
+    "assert_distributions_match",
+    "ks_two_sample",
+    "sample_kinetic_distribution",
 ]

@@ -18,7 +18,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 from repro.api.config import RunConfig
 from repro.crn.network import CRN
 from repro.crn.reachability import check_stable_computation_at
-from repro.sim.registry import check_engine
+from repro.sim.registry import check_engine, get_engine
 from repro.sim.runner import run_many
 
 
@@ -121,6 +121,19 @@ def verify_stable_computation(
     if config is None:
         config = RunConfig(trials=trials, max_steps=max_steps, seed=seed, engine=engine)
     check_engine(config.engine)
+    if method != "exhaustive" and not get_engine(config.engine).supports_fair:
+        # The randomized path's evidence rests on fair-scheduler semantics
+        # (footnote 2 of the paper); a kinetic-only / approximate backend
+        # such as "tau" samples a different (and approximated) process, so
+        # letting it stand in silently would weaken the verification
+        # contract.  The registry metadata exists exactly for this check.
+        # method="exhaustive" never simulates, so any engine is acceptable.
+        raise ValueError(
+            f"engine {config.engine!r} does not implement fair-scheduler "
+            f"semantics (supports_fair=False); stable-computation "
+            f"verification needs a fair-capable engine such as 'python' or "
+            f"'vectorized'"
+        )
     if inputs is None:
         inputs = default_input_grid(crn.dimension)
 

@@ -39,6 +39,29 @@ class TestRunConfig:
         assert config.quiescence_window is None
         assert config.seed is None
         assert config.engine == "python"
+        assert config.epsilon == 0.03
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.2, 1.5, "0.1", None, True])
+    def test_epsilon_validated_in_open_unit_interval(self, bad):
+        with pytest.raises(ValueError, match="epsilon"):
+            RunConfig(epsilon=bad)
+
+    @pytest.mark.parametrize("good", [0.001, 0.03, 0.5, 0.999])
+    def test_epsilon_accepts_open_unit_interval(self, good):
+        assert RunConfig(epsilon=good).epsilon == good
+
+    def test_epsilon_round_trips_and_keys_the_cache(self):
+        config = RunConfig(epsilon=0.12, seed=4)
+        assert RunConfig.from_dict(config.to_dict()) == config
+        assert config.to_dict()["epsilon"] == 0.12
+        # A different error tolerance is a different cached result.
+        assert config.cache_key() != config.replace(epsilon=0.03).cache_key()
+
+    def test_from_dict_without_epsilon_defaults(self):
+        # Rows written before the epsilon field still load (campaign
+        # manifests, cached cells).
+        legacy = {"trials": 3, "seed": 9, "engine": "python"}
+        assert RunConfig.from_dict(legacy).epsilon == 0.03
 
     @pytest.mark.parametrize("bad", [0, -1, 2.5, "3"])
     def test_trials_validated(self, bad):
@@ -224,7 +247,7 @@ class TestWorkbenchCompile:
 
 
 class TestWorkbenchRoundTrip:
-    @pytest.mark.parametrize("engine", ["python", "vectorized"])
+    @pytest.mark.parametrize("engine", ["python", "vectorized", "tau"])
     @pytest.mark.parametrize(
         "factory", [minimum_spec, double_spec, maximum_spec], ids=["min", "2x", "max"]
     )
@@ -235,7 +258,16 @@ class TestWorkbenchRoundTrip:
         x = (3,) * spec.dimension
         report = compiled.simulate(x)
         assert report.output_mode == spec(x)
-        verification = compiled.verify(inputs=[(1,) * spec.dimension, x])
+        if engine == "tau":
+            # Approximate kinetic engines are excluded from the
+            # stable-computation verification contract (supports_fair=False);
+            # verify through a fair-capable engine instead.
+            with pytest.raises(ValueError, match="supports_fair"):
+                compiled.verify(inputs=[x])
+            verification = compiled.verify(inputs=[(1,) * spec.dimension, x],
+                                           engine="python")
+        else:
+            verification = compiled.verify(inputs=[(1,) * spec.dimension, x])
         assert verification.passed
         estimate = compiled.expected_output(x, trials=12)
         assert estimate == pytest.approx(spec(x), abs=1.5)
@@ -271,7 +303,14 @@ class TestWorkbenchRoundTrip:
         wb = Workbench()
         verdict = wb.characterize(minimum_spec())
         assert verdict.obliviously_computable is True
-        assert {info.name for info in wb.engines()} >= {"python", "vectorized"}
+        assert {info.name for info in wb.engines()} >= {"python", "vectorized", "tau"}
+
+    def test_epsilon_override_flows_through_the_facade(self):
+        wb = Workbench(RunConfig(trials=3, seed=2))
+        compiled = wb.compile(minimum_spec())
+        report = compiled.simulate((2_000, 3_000), engine="tau", epsilon=0.1)
+        assert report.output_mode == 2_000
+        assert compiled.config.epsilon == 0.03  # per-call override, not mutation
 
     def test_compiled_function_evaluates_the_spec(self):
         compiled = Workbench().compile(minimum_spec())

@@ -38,6 +38,7 @@ from repro.sim.kernel import (
     FairPolicy,
     GillespiePolicy,
     SimulatorCore,
+    TauLeapPolicy,
     default_quiescence_window,
 )
 from repro.sim.runner import run_many
@@ -344,6 +345,162 @@ class TestIncrementalState:
             assert stepper.applicability() == fresh.applicability()
 
 
+class TestTauLeapPolicy:
+    """Unit behaviour of the batch-firing policy (distributional correctness
+    lives in ``tests/test_statistical_equivalence.py``)."""
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2, True, "0.1"])
+    def test_epsilon_validated(self, bad):
+        with pytest.raises(ValueError, match="epsilon"):
+            TauLeapPolicy(epsilon=bad)
+
+    def test_small_population_falls_back_to_exact_bursts(self):
+        crn = minimum_spec().known_crn
+        core = SimulatorCore(crn, TauLeapPolicy(), rng=random.Random(2))
+        result = core.run_on_input((8, 13))
+        assert result.silent
+        assert crn.output_count(result.final_configuration) == 8
+        assert result.steps == 8  # every event consumes one X1: exact count
+
+    def test_large_population_collapses_selections(self):
+        crn = minimum_spec().known_crn
+        core = SimulatorCore(crn, TauLeapPolicy(), rng=random.Random(2))
+        result = core.run_on_input((20_000, 20_000), max_steps=10_000_000)
+        assert result.silent
+        assert crn.output_count(result.final_configuration) == 20_000
+        assert result.steps == 20_000
+        assert result.selections < result.steps / 5  # the step-count collapse
+
+    def test_counts_never_go_negative_and_time_advances(self):
+        # Drive the stepper directly: the decoded Configuration drops
+        # nonpositive entries, so only the raw dense counts can witness a
+        # negative-population bug.
+        import math
+
+        crn = maximum_spec().known_crn
+        compiled = crn.compiled()
+        stepper = TauLeapPolicy().bind(compiled, random.Random(6))
+        counts = list(compiled.encode(crn.initial_configuration((5_000, 3_000))))
+        stepper.start(counts)
+        time_now = 0.0
+        while True:
+            events, time_now = stepper.advance(counts, time_now, math.inf)
+            if events < 0:
+                break
+            assert all(count >= 0 for count in counts), counts
+        assert time_now > 0.0
+        # The max CRN keeps its intermediates scarce, so the Cao bound
+        # (rightly) routes the whole run through exact bursts.
+        assert stepper.exact_events > 0
+
+    def test_leaps_keep_raw_counts_nonnegative_when_actually_leaping(self):
+        import math
+
+        crn = minimum_spec().known_crn
+        compiled = crn.compiled()
+        stepper = TauLeapPolicy().bind(compiled, random.Random(6))
+        counts = list(compiled.encode(crn.initial_configuration((30_000, 20_000))))
+        stepper.start(counts)
+        time_now = 0.0
+        while True:
+            events, time_now = stepper.advance(counts, time_now, math.inf)
+            if events < 0:
+                break
+            assert all(count >= 0 for count in counts), counts
+        assert stepper.leaps > 0  # abundant species: genuine leaping territory
+
+    def test_max_time_clamps_the_clock(self):
+        crn = minimum_spec().known_crn
+        core = SimulatorCore(crn, TauLeapPolicy(), rng=random.Random(4))
+        result = core.run_on_input((50_000, 50_000), max_time=1e-9)
+        assert result.final_time <= 1e-9 + 1e-18
+        assert not result.silent
+
+    def test_tau_respects_registry_metadata(self):
+        from repro.sim.registry import get_engine
+
+        info = get_engine("tau")
+        assert info.approximate
+        assert not info.supports_fair
+        assert info.supports_gillespie
+        assert info.min_recommended_population == 10_000
+
+
+class TestSeedStreamLock:
+    """The exact engines are bit-for-bit unchanged by the tau-leaping PR.
+
+    ``RunConfig`` grew an ``epsilon`` field (consumed only by approximate
+    engines); these locks re-run the kernel-vs-reference parity with epsilon
+    present-but-unused and assert the seeded streams did not move.
+    """
+
+    def test_gillespie_parity_with_epsilon_present(self):
+        from repro.api.config import RunConfig
+
+        crn = minimum_spec().known_crn
+        config = RunConfig(trials=1, seed=23, epsilon=0.5)  # non-default epsilon
+        (trial_seed,) = config.trial_seeds()
+        kernel = GillespieSimulator(crn, rng=random.Random(trial_seed)).run_on_input(
+            (6, 11)
+        )
+        reference = ReferenceGillespieSimulator(
+            crn, rng=random.Random(trial_seed)
+        ).run_on_input((6, 11))
+        assert_same_gillespie(kernel, reference)
+
+    def test_run_many_python_stream_independent_of_epsilon(self):
+        from repro.api.config import RunConfig
+        from repro.sim.runner import estimate_expected_output
+
+        crn = maximum_spec().known_crn
+        default_eps = run_many(crn, (4, 9), config=RunConfig(trials=6, seed=31))
+        custom_eps = run_many(
+            crn, (4, 9), config=RunConfig(trials=6, seed=31, epsilon=0.7)
+        )
+        assert default_eps.outputs == custom_eps.outputs
+        assert default_eps.steps == custom_eps.steps
+        assert estimate_expected_output(
+            crn, (4, 9), config=RunConfig(trials=4, seed=31)
+        ) == estimate_expected_output(
+            crn, (4, 9), config=RunConfig(trials=4, seed=31, epsilon=0.7)
+        )
+
+    def test_run_many_reference_parity_with_epsilon_present(self):
+        # The full kernel-vs-reference run_many lock, re-run with epsilon in
+        # the config: the registered python engine must still reproduce the
+        # frozen reference scheduler output for output.
+        from repro.api.config import RunConfig
+
+        crn = minimum_spec().known_crn
+        config = RunConfig(trials=5, seed=17, epsilon=0.42)
+        report = run_many(crn, (3, 8), config=config)
+        window = default_quiescence_window((3, 8))
+        expected = [
+            crn.output_count(
+                ReferenceFairScheduler(crn, rng=random.Random(trial_seed))
+                .run_on_input((3, 8), quiescence_window=window)
+                .final_configuration
+            )
+            for trial_seed in config.trial_seeds()
+        ]
+        assert report.outputs == expected
+
+    def test_vectorized_stream_independent_of_epsilon(self):
+        from repro.api.config import RunConfig
+
+        crn = minimum_spec().known_crn
+        default_eps = run_many(
+            crn, (30, 40), config=RunConfig(trials=8, seed=5, engine="vectorized")
+        )
+        custom_eps = run_many(
+            crn,
+            (30, 40),
+            config=RunConfig(trials=8, seed=5, engine="vectorized", epsilon=0.9),
+        )
+        assert default_eps.outputs == custom_eps.outputs
+        assert default_eps.steps == custom_eps.steps
+
+
 class TestSimulatorCore:
     def test_quiescence_window_converges_catalytic_network(self):
         crn = CRN([X1 + X2 >> X1 + X2], (X1, X2), Y)
@@ -365,6 +522,13 @@ class TestSimulatorCore:
         result = core.run_on_input((3, 9))
         assert result.silent
         assert result.final_configuration[Y] == 3
+
+    def test_exact_policies_report_selections_equal_to_steps(self):
+        crn = minimum_spec().known_crn
+        result = SimulatorCore(crn, GillespiePolicy(), rng=random.Random(3)).run_on_input(
+            (20, 30)
+        )
+        assert result.selections == result.steps == 20
 
     def test_default_quiescence_window_is_single_sourced(self):
         import repro.sim as sim

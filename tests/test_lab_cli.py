@@ -92,6 +92,9 @@ class TestCliSmoke:
         engines = repro_cli("engines", cwd=tmp_path)
         assert engines.returncode == 0
         assert "python" in engines.stdout and "vectorized" in engines.stdout
+        assert "tau" in engines.stdout
+        assert "approximate" in engines.stdout  # capability surfaced
+        assert ">= 10000" in engines.stdout  # tau's population floor
 
     def test_unknown_spec_is_a_clean_error(self, tmp_path):
         run = repro_cli(
@@ -244,3 +247,30 @@ class TestBenchCompare:
         result = repro_cli("bench-compare", "old.json", "new.json", cwd=tmp_path)
         assert result.returncode == 0, result.stderr
         assert "nothing to compare" in result.stdout
+
+    def test_markdown_emits_trend_table(self, tmp_path):
+        write_bench_file(
+            tmp_path / "old.json",
+            **{"scalar/gillespie": 1000.0, "retired/bench": 50.0},
+        )
+        write_bench_file(
+            tmp_path / "new.json",
+            **{"scalar/gillespie": 950.0, "tau-leap/kernel": 9000.0},
+        )
+        result = repro_cli("bench-compare", "old.json", "new.json", "--markdown",
+                           cwd=tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "| benchmark | baseline steps/s |" in result.stdout
+        assert "| `scalar/gillespie` | 1,000 | 950 | 95% |" in result.stdout
+        assert "stable" in result.stdout
+        assert "`tau-leap/kernel`" in result.stdout  # new record listed
+        assert "`retired/bench`" in result.stdout  # retired record listed
+
+    def test_markdown_still_fails_on_regression(self, tmp_path):
+        write_bench_file(tmp_path / "old.json", **{"scalar/gillespie": 1000.0})
+        write_bench_file(tmp_path / "new.json", **{"scalar/gillespie": 500.0})
+        result = repro_cli("bench-compare", "old.json", "new.json", "--markdown",
+                           cwd=tmp_path)
+        assert result.returncode == 4
+        assert ":x: regression" in result.stdout
+        assert "regression" in result.stderr.lower()

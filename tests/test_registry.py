@@ -143,6 +143,19 @@ class TestRegistryDispatch:
         with pytest.raises(ValueError, match="registered engines"):
             run_many(crn, (1, 1), engine="gone")
 
+    def test_verification_rejects_kinetic_only_engines(self):
+        # supports_fair=False metadata is consulted by the verification
+        # harness: the randomized path's evidence assumes fair scheduling,
+        # which the approximate tau engine does not implement.
+        from repro.verify import verify_stable_computation
+
+        crn = minimum_spec().known_crn
+        with pytest.raises(ValueError, match="supports_fair"):
+            verify_stable_computation(
+                crn, lambda x: min(x), inputs=[(2, 2)], method="simulation",
+                engine="tau",
+            )
+
 
 class TestBackCompat:
     def test_runner_module_still_exposes_engines_and_check_engine(self):

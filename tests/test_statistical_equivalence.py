@@ -1,0 +1,354 @@
+"""Cross-engine statistical equivalence gates (two-sample KS, fixed seeds).
+
+The exact engines are locked bit-for-bit elsewhere (``tests/test_kernel.py``,
+``tests/test_engine.py``).  This suite guards the property those locks cannot
+express: every kinetic sampler — the exact scalar kernel (``python``), the
+exact numpy batch engine (``vectorized``), and the approximate tau-leaping
+policy (``tau``) — samples the *same* continuous-time Markov chain, so their
+per-trajectory completion-step and final-output distributions must agree up
+to sampling noise.  Each gate is a two-sample Kolmogorov–Smirnov test
+(:mod:`repro.verify.statistical`) at ``ALPHA``, run on a fixed seed matrix so
+the verdicts are deterministic in CI.
+
+Coverage:
+
+* the five construction strategy families (known / 1d / leaderless / quilt /
+  general), python-vs-vectorized-vs-tau;
+* a branching CRN whose output is genuinely stochastic
+  (``X -> Y`` at rate 1 vs ``X -> Z`` at rate 3, output ~ Binomial(n, 1/4)),
+  so the gates compare non-degenerate distributions;
+* *power*: a deliberately rate-biased Gillespie policy must be **rejected**
+  by the same gates — a subtly biased backend (present or future numba/C)
+  cannot pass by being merely plausible.
+
+Methodology knobs (documented in DESIGN.md section 6): ``ALPHA = 1e-3`` per
+gate, ``N_SEEDS = 60`` trajectories per engine per case.  Ties make the
+asymptotic KS test conservative on integer data, which errs toward stability;
+the biased-policy tests demonstrate the power retained.
+
+Run alone with ``-m statistical`` (the dedicated CI job does); the suite also
+runs in the normal tier-1 sweep because it is deterministic and fast.  Set
+``REPRO_KS_OUT=<path>`` to archive every gate's KS numbers as JSON (CI
+uploads this next to the benchmark artifact).
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.core.characterization import build_crn_for
+from repro.crn.network import CRN
+from repro.crn.species import species
+from repro.functions.catalog import (
+    double_spec,
+    minimum_spec,
+    quilt_2d_fig3b_spec,
+    threshold_capped_spec,
+)
+from repro.sim.kernel import GillespiePolicy, TauLeapPolicy, _GillespieStepper
+from repro.verify.statistical import (
+    DistributionSample,
+    assert_distributions_match,
+    kolmogorov_pvalue,
+    ks_statistic,
+    ks_two_sample,
+    sample_kinetic_distribution,
+)
+
+pytestmark = pytest.mark.statistical
+
+#: Per-gate false-alarm level.  With ~40 deterministic gates per run, 1e-3
+#: keeps the fixed-seed matrix stable while the biased-policy tests show the
+#: gates retain overwhelming power against real bias.
+ALPHA = 1e-3
+
+#: Trajectories per engine per case (the fixed seed matrix is
+#: ``BASE_SEED + i`` for the scalar samplers, one ``N_SEEDS``-row batch for
+#: the vectorized engine).
+N_SEEDS = 60
+BASE_SEED = 20_260_730
+
+X, Y, Z = species("X Y Z")
+
+
+def _branching_crn() -> CRN:
+    """Output ~ Binomial(n, 1/4): competing X -> Y (rate 1) / X -> Z (rate 3)."""
+    return CRN([(X >> Y), (X >> Z).with_rate(3.0)], (X,), Y, name="branching")
+
+
+def build_family_cases():
+    """(label, CRN, input) for every construction strategy plus the branching CRN.
+
+    Inputs are sized so every family falls silent under Gillespie kinetics
+    within the step budget (verified by the gates' ``all_completed`` check)
+    and the known/min case is large enough for tau-leaping to actually leap
+    rather than just fall back to exact stepping.
+    """
+    return [
+        ("known/min", minimum_spec().known_crn, (400, 700)),
+        ("1d/threshold", build_crn_for(threshold_capped_spec(), strategy="1d"), (60,)),
+        ("leaderless/double", build_crn_for(double_spec(), strategy="leaderless"), (50,)),
+        ("quilt/fig3b", build_crn_for(quilt_2d_fig3b_spec(), strategy="quilt"), (12, 9)),
+        ("general/min", build_crn_for(minimum_spec(), strategy="general"), (20, 30)),
+        ("branching/binomial", _branching_crn(), (400,)),
+    ]
+
+
+FAMILY_CASES = build_family_cases()
+FAMILY_IDS = [label for label, _, _ in FAMILY_CASES]
+
+#: Gate outcomes archived to $REPRO_KS_OUT (CI artifact); see _write_records.
+_GATE_RECORDS = []
+
+#: Per-(family, engine) sample cache so each distribution is simulated once
+#: even though several gates consume it.
+_SAMPLES = {}
+
+
+@pytest.fixture
+def sample_distribution():
+    """``sample_distribution(label, crn, x, engine)`` with per-session caching.
+
+    The reusable sampling fixture of the statistical suite: one call per
+    (family, engine) pair simulates ``N_SEEDS`` seeded trajectories through
+    :func:`repro.verify.statistical.sample_kinetic_distribution`; repeated
+    calls replay the cached :class:`DistributionSample`.
+    """
+
+    def sampler(label, crn, x, engine) -> DistributionSample:
+        key = (label, engine)
+        if key not in _SAMPLES:
+            _SAMPLES[key] = sample_kinetic_distribution(
+                crn, x, engine=engine, n_seeds=N_SEEDS, base_seed=BASE_SEED
+            )
+        return _SAMPLES[key]
+
+    return sampler
+
+
+def _gate(label, reference, candidate):
+    """Run the KS gates and archive their numbers for the CI artifact."""
+    results = assert_distributions_match(
+        reference, candidate, metrics=("steps", "outputs"), alpha=ALPHA
+    )
+    for metric, ks in results:
+        _GATE_RECORDS.append(
+            {
+                "family": label,
+                "reference": reference.engine,
+                "candidate": candidate.engine,
+                "metric": metric,
+                "statistic": round(ks.statistic, 6),
+                "pvalue": round(ks.pvalue, 6),
+                "n": ks.n,
+                "m": ks.m,
+                "alpha": ALPHA,
+            }
+        )
+    return results
+
+
+def _write_records():
+    out = os.environ.get("REPRO_KS_OUT")
+    if not out or not _GATE_RECORDS:
+        return
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "schema": "repro-ks-v1",
+                "alpha": ALPHA,
+                "n_seeds": N_SEEDS,
+                "base_seed": BASE_SEED,
+                "gates": _GATE_RECORDS,
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _archive_gate_records():
+    yield
+    _write_records()
+
+
+class TestKSMachinery:
+    """The KS toolkit itself, against known answers."""
+
+    def test_identical_samples_never_reject(self):
+        sample = [random.Random(1).randint(0, 9) for _ in range(80)]
+        result = ks_two_sample(sample, list(sample))
+        assert result.statistic == 0.0
+        assert result.pvalue == 1.0
+
+    def test_disjoint_samples_maximally_reject(self):
+        result = ks_two_sample([0] * 40, [1] * 40)
+        assert result.statistic == 1.0
+        assert result.pvalue < 1e-6
+
+    def test_statistic_handles_ties_exactly(self):
+        # F_a and F_b evaluated after consuming all equal values:
+        # a = {0,0,1}, b = {0,1,1} -> sup gap at x=0 is |2/3 - 1/3| = 1/3.
+        assert ks_statistic([0, 0, 1], [0, 1, 1]) == pytest.approx(1 / 3)
+
+    def test_statistic_is_symmetric(self):
+        rng = random.Random(7)
+        a = [rng.randint(0, 30) for _ in range(50)]
+        b = [rng.randint(0, 25) for _ in range(70)]
+        assert ks_statistic(a, b) == ks_statistic(b, a)
+
+    def test_pvalue_decreases_with_statistic_and_size(self):
+        assert kolmogorov_pvalue(0.5, 40, 40) < kolmogorov_pvalue(0.2, 40, 40)
+        assert kolmogorov_pvalue(0.3, 200, 200) < kolmogorov_pvalue(0.3, 20, 20)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic([], [1, 2])
+
+
+class TestCrossEngineGates:
+    """python vs vectorized vs tau across every family, steps + outputs."""
+
+    @pytest.mark.parametrize("label,crn,x", FAMILY_CASES, ids=FAMILY_IDS)
+    def test_vectorized_matches_python(self, sample_distribution, label, crn, x):
+        reference = sample_distribution(label, crn, x, "python")
+        candidate = sample_distribution(label, crn, x, "vectorized")
+        assert reference.all_completed and candidate.all_completed
+        _gate(label, reference, candidate)
+
+    @pytest.mark.parametrize("label,crn,x", FAMILY_CASES, ids=FAMILY_IDS)
+    def test_tau_matches_python(self, sample_distribution, label, crn, x):
+        reference = sample_distribution(label, crn, x, "python")
+        candidate = sample_distribution(label, crn, x, "tau")
+        assert reference.all_completed and candidate.all_completed
+        _gate(label, reference, candidate)
+
+    @pytest.mark.parametrize("label,crn,x", FAMILY_CASES, ids=FAMILY_IDS)
+    def test_tau_matches_vectorized(self, sample_distribution, label, crn, x):
+        reference = sample_distribution(label, crn, x, "vectorized")
+        candidate = sample_distribution(label, crn, x, "tau")
+        _gate(label, reference, candidate)
+
+    def test_stable_outputs_equal_across_engines(self, sample_distribution):
+        # Beyond distributional agreement: on a stable computation every
+        # engine must converge to the same (deterministic) output.
+        for label, crn, x in FAMILY_CASES:
+            if label == "branching/binomial":
+                continue  # genuinely stochastic output by construction
+            expected = sample_distribution(label, crn, x, "python").outputs[0]
+            for engine in ("python", "vectorized", "tau"):
+                sample = sample_distribution(label, crn, x, engine)
+                assert set(sample.outputs) == {expected}, (label, engine)
+
+
+class _RateBiasedGillespiePolicy(GillespiePolicy):
+    """A deliberately broken backend: inflates output-producing propensities.
+
+    Models the failure mode the gates exist to catch — a backend whose
+    per-reaction rates are subtly wrong (mis-ported rate constants, a wrong
+    binomial term, a biased sampler) while everything else looks healthy.
+    """
+
+    def __init__(self, factor: float = 3.0) -> None:
+        self.factor = factor
+
+    def bind(self, compiled, rng):
+        factor = self.factor
+        output_index = compiled.output_index
+
+        class _BiasedStepper(_GillespieStepper):
+            def _propensity(self, r, counts):
+                base = _GillespieStepper._propensity(self, r, counts)
+                produces_output = any(
+                    s == output_index and delta > 0
+                    for s, delta in self.compiled.net_terms[r]
+                )
+                return base * factor if produces_output else base
+
+        return _BiasedStepper(compiled, rng)
+
+
+class TestGatePower:
+    """A rate-biased policy must fail the same gates the honest engines pass."""
+
+    def test_biased_policy_rejected_on_outputs(self, sample_distribution):
+        label, crn, x = "branching/binomial", _branching_crn(), (400,)
+        reference = sample_distribution(label, crn, x, "python")
+        biased = sample_kinetic_distribution(
+            crn,
+            x,
+            engine=_RateBiasedGillespiePolicy(factor=3.0),
+            n_seeds=N_SEEDS,
+            base_seed=BASE_SEED + 10_000,
+        )
+        # The bias triples the output pathway: Binomial(n, 1/4) becomes
+        # Binomial(n, 1/2), a distribution shift the gate must flag.
+        with pytest.raises(AssertionError, match="outputs distribution"):
+            assert_distributions_match(
+                reference, biased, metrics=("outputs",), alpha=ALPHA
+            )
+
+    def test_biased_policy_rejected_on_steps(self):
+        # A CRN whose completion step count is rate-sensitive: the direct
+        # pathway X -> Y finishes in one event, the detour X -> A -> Z takes
+        # two, so steps-to-silence is n + Binomial(n, p_detour) and biasing
+        # the output-producing pathway shifts p_detour from 1/2 to 1/5.
+        (A,) = species("A")
+        crn = CRN([(X >> Y), (X >> A), (A >> Z)], (X,), Y)
+        x = (300,)
+        reference = sample_kinetic_distribution(
+            crn, x, engine="python", n_seeds=N_SEEDS, base_seed=BASE_SEED
+        )
+        biased = sample_kinetic_distribution(
+            crn,
+            x,
+            engine=_RateBiasedGillespiePolicy(factor=4.0),
+            n_seeds=N_SEEDS,
+            base_seed=BASE_SEED,
+        )
+        with pytest.raises(AssertionError, match="steps distribution"):
+            assert_distributions_match(
+                reference, biased, metrics=("steps",), alpha=ALPHA
+            )
+
+    def test_honest_policies_pass_where_biased_fails(self, sample_distribution):
+        # Control for the two rejection tests: on the very same CRN/input the
+        # honest tau sampler passes, so the gate discriminates bias from
+        # approximation.
+        label, crn, x = "branching/binomial", _branching_crn(), (400,)
+        reference = sample_distribution(label, crn, x, "python")
+        tau = sample_distribution(label, crn, x, "tau")
+        assert_distributions_match(reference, tau, metrics=("outputs",), alpha=ALPHA)
+
+
+class TestTauErrorKnob:
+    def test_tighter_epsilon_takes_more_selections(self):
+        from repro.sim.kernel import SimulatorCore
+
+        crn = minimum_spec().known_crn
+        loose = SimulatorCore(
+            crn, TauLeapPolicy(epsilon=0.2), rng=random.Random(1)
+        ).run_on_input((5_000, 5_000))
+        tight = SimulatorCore(
+            crn, TauLeapPolicy(epsilon=0.01), rng=random.Random(1)
+        ).run_on_input((5_000, 5_000))
+        assert loose.silent and tight.silent
+        assert loose.steps == tight.steps == 5_000  # same CTMC endpoint
+        assert tight.selections > loose.selections  # smaller leaps
+
+    def test_epsilon_flows_from_runconfig(self):
+        from repro.api.config import RunConfig
+        from repro.sim.runner import run_many
+
+        crn = minimum_spec().known_crn
+        report = run_many(
+            crn,
+            (2_000, 3_000),
+            config=RunConfig(trials=3, seed=11, engine="tau", epsilon=0.05),
+        )
+        assert report.outputs == [2_000, 2_000, 2_000]
+        assert report.all_silent_or_converged
