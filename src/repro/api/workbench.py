@@ -32,7 +32,7 @@ from repro.core.characterization import (
 )
 from repro.core.specs import FunctionSpec
 from repro.crn.network import CRN
-from repro.sim.registry import EngineInfo, registered_engines
+from repro.sim.registry import EngineInfo, registered_engines, validate_engine_request
 from repro.sim.runner import (
     ConvergenceReport,
     estimate_expected_output,
@@ -70,13 +70,24 @@ class CompiledFunction:
     # -- configuration ---------------------------------------------------------
 
     def _resolved(self, config: Optional[RunConfig], overrides: dict) -> RunConfig:
+        # Explicit per-call requests are checked against the resolved engine's
+        # capability metadata: ``fair=True`` (an assertion of fair-scheduler
+        # semantics, not a RunConfig field) rejects kinetic-only engines such
+        # as "nrm"/"tau", and an explicit ``epsilon=`` override rejects exact
+        # engines, which would silently ignore the error knob.
+        fair = bool(overrides.pop("fair", False))
+        explicit_epsilon = overrides.get("epsilon")
         if config is not None:
-            if overrides:
-                return config.replace(**overrides)
-            return config
-        if overrides:
-            return self.config.replace(**overrides)
-        return self.config
+            resolved = config.replace(**overrides) if overrides else config
+        elif overrides:
+            resolved = self.config.replace(**overrides)
+        else:
+            resolved = self.config
+        if fair or explicit_epsilon is not None:
+            validate_engine_request(
+                resolved.engine, fair=fair, epsilon=explicit_epsilon
+            )
+        return resolved
 
     def with_config(self, config: Optional[RunConfig] = None, **overrides) -> "CompiledFunction":
         """A copy of this compiled function carrying a derived run configuration."""

@@ -33,11 +33,11 @@ from typing import Any, Dict, Optional
 from repro.core.specs import FunctionSpec
 
 #: Bump when a change to the simulators / constructions invalidates old results.
-#: "repro-lab-3": RunConfig grew the `epsilon` error knob and the "tau"
-#: approximate engine landed.  Exact seeded runs are unchanged bit for bit,
-#: but every RunConfig.cache_key now covers epsilon; the salt guarantees a
-#: pre-tau cell can never collide with (or be replayed as) a new-keyed one.
-CODE_SALT = "repro-lab-3"
+#: "repro-lab-4": the "nrm" next-reaction engine landed.  Existing engines'
+#: seeded streams are locked bit for bit (tests/test_kernel.py), but the
+#: engine axis gained a value; the salt keeps any pre-NRM cache from ever
+#: answering for (or colliding with) a run that could now resolve to "nrm".
+CODE_SALT = "repro-lab-4"
 
 #: Side length of the grid a spec is tabulated on for fingerprinting.
 FINGERPRINT_BOUND = 5

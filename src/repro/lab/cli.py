@@ -308,7 +308,7 @@ def _command_bench(args) -> int:
         name="bench-minimum",
         specs=[("minimum", "known")],
         inputs=[(p, p) for p in populations],
-        engines=("python", "vectorized", "tau"),
+        engines=("python", "vectorized", "nrm", "tau"),
         configs=(RunConfig(trials=args.trials, max_steps=10_000_000),),
         seed=1,
     )

@@ -100,7 +100,7 @@ def _ensure_builtin_engines() -> None:
     # caller (e.g. a test) unregistered, so the defaults are always
     # restorable.  Only the missing names are touched — a deliberate
     # replace=True override of the other built-ins must survive.
-    missing = {"python", "vectorized", "tau"} - set(_REGISTRY)
+    missing = {"python", "vectorized", "nrm", "tau"} - set(_REGISTRY)
     if missing:
         runner.register_builtin_engines(missing)
 
@@ -186,3 +186,43 @@ def get_engine(name: str) -> EngineInfo:
 def check_engine(engine: str) -> None:
     """Raise ``ValueError`` unless ``engine`` names a registered engine."""
     get_engine(engine)
+
+
+def validate_engine_request(
+    engine: str,
+    *,
+    fair: bool = False,
+    epsilon: Optional[float] = None,
+) -> EngineInfo:
+    """Check an explicit per-call request against the engine's capabilities.
+
+    Raises ``ValueError`` with an actionable message when the caller asks for
+    something the engine cannot honour:
+
+    * ``epsilon=`` on an exact engine — the error knob only tunes approximate
+      samplers, so an exact engine would silently ignore it;
+    * ``fair=True`` on a kinetic-only engine (``supports_fair=False``) —
+      e.g. ``"nrm"`` and ``"tau"`` implement Gillespie scheduling only.
+
+    Returns the :class:`EngineInfo` on success.  This guards *explicit*
+    requests (e.g. per-call Workbench overrides); a plain
+    :class:`~repro.api.config.RunConfig` may carry its default ``epsilon``
+    alongside an exact engine without tripping it.
+    """
+    info = get_engine(engine)
+    if epsilon is not None and not info.approximate:
+        approximate = [e.name for e in registered_engines() if e.approximate]
+        raise ValueError(
+            f"epsilon={epsilon!r} tunes the error of an approximate sampler, "
+            f"but engine {engine!r} is exact and would ignore it; drop "
+            f"epsilon= or pick an approximate engine "
+            f"({', '.join(repr(n) for n in approximate) or 'none registered'})"
+        )
+    if fair and not info.supports_fair:
+        fair_capable = [e.name for e in registered_engines() if e.supports_fair]
+        raise ValueError(
+            f"engine {engine!r} implements kinetic (Gillespie) scheduling "
+            f"only (supports_fair=False); for fair-scheduler semantics pick "
+            f"one of {', '.join(repr(n) for n in fair_capable) or '(none)'}"
+        )
+    return info

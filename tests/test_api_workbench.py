@@ -247,7 +247,7 @@ class TestWorkbenchCompile:
 
 
 class TestWorkbenchRoundTrip:
-    @pytest.mark.parametrize("engine", ["python", "vectorized", "tau"])
+    @pytest.mark.parametrize("engine", ["python", "vectorized", "nrm", "tau"])
     @pytest.mark.parametrize(
         "factory", [minimum_spec, double_spec, maximum_spec], ids=["min", "2x", "max"]
     )
@@ -258,10 +258,12 @@ class TestWorkbenchRoundTrip:
         x = (3,) * spec.dimension
         report = compiled.simulate(x)
         assert report.output_mode == spec(x)
-        if engine == "tau":
-            # Approximate kinetic engines are excluded from the
-            # stable-computation verification contract (supports_fair=False);
-            # verify through a fair-capable engine instead.
+        if engine in ("nrm", "tau"):
+            # Kinetic-only engines are excluded from the stable-computation
+            # verification contract (supports_fair=False) — NRM because it
+            # schedules by Gillespie rates even though it is exact, tau
+            # additionally because it is approximate; verify through a
+            # fair-capable engine instead.
             with pytest.raises(ValueError, match="supports_fair"):
                 compiled.verify(inputs=[x])
             verification = compiled.verify(inputs=[(1,) * spec.dimension, x],
@@ -315,6 +317,44 @@ class TestWorkbenchRoundTrip:
     def test_compiled_function_evaluates_the_spec(self):
         compiled = Workbench().compile(minimum_spec())
         assert compiled((4, 9)) == 4
+
+
+class TestWorkbenchEngineCapabilityGuards:
+    """Explicit per-call requests the resolved engine cannot honour fail fast."""
+
+    def test_epsilon_override_on_exact_engine_rejected(self):
+        compiled = Workbench(RunConfig(trials=2, seed=1)).compile(minimum_spec())
+        for engine in ("python", "vectorized", "nrm"):
+            with pytest.raises(ValueError, match="exact"):
+                compiled.simulate((2, 2), engine=engine, epsilon=0.1)
+
+    def test_fair_request_on_kinetic_only_engine_rejected(self):
+        compiled = Workbench(RunConfig(trials=2, seed=1)).compile(minimum_spec())
+        for engine in ("nrm", "tau"):
+            with pytest.raises(ValueError, match="supports_fair"):
+                compiled.simulate((2, 2), engine=engine, fair=True)
+
+    def test_fair_assertion_passes_on_fair_capable_engines(self):
+        compiled = Workbench(RunConfig(trials=2, seed=1)).compile(minimum_spec())
+        report = compiled.simulate((3, 5), fair=True)  # default engine: python
+        assert report.output_mode == 3
+
+    def test_nrm_simulate_and_expected_output_flow_through(self):
+        wb = Workbench(RunConfig(trials=5, seed=11, engine="nrm"))
+        compiled = wb.compile(minimum_spec())
+        report = compiled.simulate((6, 10))
+        assert report.output_mode == 6
+        estimate = compiled.expected_output((6, 10), trials=10)
+        assert estimate == pytest.approx(6, abs=1.0)
+
+    def test_config_default_epsilon_is_not_an_explicit_request(self):
+        # RunConfig always carries epsilon (a carrier field with a default);
+        # only an explicit per-call epsilon= override is validated, so exact
+        # engines keep working under any stored config.
+        wb = Workbench(RunConfig(trials=2, seed=1, epsilon=0.2))
+        compiled = wb.compile(minimum_spec())
+        assert compiled.simulate((2, 2)).output_mode == 2
+        assert compiled.simulate((2, 2), engine="nrm").output_mode == 2
 
 
 class TestPublicSurface:

@@ -37,6 +37,7 @@ from repro.sim.gillespie import GillespieSimulator
 from repro.sim.kernel import (
     FairPolicy,
     GillespiePolicy,
+    NextReactionPolicy,
     SimulatorCore,
     TauLeapPolicy,
     default_quiescence_window,
@@ -499,6 +500,257 @@ class TestSeedStreamLock:
         )
         assert default_eps.outputs == custom_eps.outputs
         assert default_eps.steps == custom_eps.steps
+
+
+def branching_crn():
+    """X -> Y (rate 1) vs X -> Z (rate 3): outputs are rate-sensitive, so a
+    kinetic run's result genuinely depends on every draw of its stream."""
+    X = species("X")[0]
+    return CRN([(X >> Y), (X >> Z).with_rate(3.0)], (X,), Y, name="branching")
+
+
+class TestNextReactionPolicy:
+    """Unit behaviour of the Gibson–Bruck policy (the distributional gates
+    against the other engines live in ``tests/test_statistical_equivalence.py``)."""
+
+    @pytest.mark.parametrize("label,crn,x", STRATEGY_CASES, ids=STRATEGY_IDS)
+    def test_stable_computations_reach_the_stable_output(self, label, crn, x):
+        # Stable computation means a unique achievable final output; the
+        # kinetic scheduler reaches it with probability 1, so NRM and the
+        # direct method must land on the same value.
+        window = default_quiescence_window(x)
+        nrm = SimulatorCore(crn, NextReactionPolicy(), rng=random.Random(3)).run_on_input(
+            x, max_steps=200_000, quiescence_window=window
+        )
+        direct = SimulatorCore(crn, GillespiePolicy(), rng=random.Random(3)).run_on_input(
+            x, max_steps=200_000, quiescence_window=window
+        )
+        assert nrm.silent or nrm.converged, label
+        assert crn.output_count(nrm.final_configuration) == crn.output_count(
+            direct.final_configuration
+        ), label
+
+    def test_selections_equal_steps(self):
+        crn = minimum_spec().known_crn
+        result = SimulatorCore(
+            crn, NextReactionPolicy(), rng=random.Random(3)
+        ).run_on_input((20, 30))
+        assert result.selections == result.steps == 20
+
+    def test_silent_at_step_zero(self):
+        crn = CRN([X1 >> Y], (X1,), Y)
+        result = SimulatorCore(
+            crn, NextReactionPolicy(), rng=random.Random(1)
+        ).run_on_input((0,))
+        assert result.silent and result.steps == 0
+        assert result.final_time == 0.0
+
+    def test_max_time_clamps_the_clock(self):
+        crn = branching_crn()
+        result = SimulatorCore(
+            crn, NextReactionPolicy(), rng=random.Random(3)
+        ).run_on_input((40,), max_time=0.01)
+        assert result.final_time <= 0.01
+        assert not result.silent
+
+    def test_seeded_runs_are_deterministic(self):
+        crn = branching_crn()
+        first = SimulatorCore(
+            crn, NextReactionPolicy(), rng=random.Random(7)
+        ).run_on_input((40,))
+        second = SimulatorCore(
+            crn, NextReactionPolicy(), rng=random.Random(7)
+        ).run_on_input((40,))
+        assert first.final_configuration == second.final_configuration
+        assert first.final_time == second.final_time
+        assert first.steps == second.steps
+
+    def test_putative_time_finite_iff_propensity_positive(self):
+        # The max CRN's intermediates toggle between zero and nonzero, so
+        # reactions are repeatedly disabled (parked at inf) and re-enabled
+        # (fresh exponential) along a run — the invariant must hold throughout.
+        import math
+
+        crn = maximum_spec().known_crn
+        compiled = crn.compiled()
+        stepper = NextReactionPolicy().bind(compiled, random.Random(6))
+        counts = list(compiled.encode(crn.initial_configuration((5, 4))))
+        stepper.start(counts)
+        time_now = 0.0
+        for _ in range(500):
+            for a, t in zip(stepper.propensities(), stepper.putative_times()):
+                assert (a > 0.0) == (t != math.inf)
+                if t != math.inf:
+                    assert t >= time_now
+            j, time_now = stepper.select(time_now, math.inf)
+            if j < 0:
+                break
+            for s, delta in compiled.net_terms[j]:
+                counts[s] += delta
+            stepper.fired(j, counts)
+        assert stepper.propensity_ops > 0
+
+    def test_incremental_propensities_equal_full_recompute(self):
+        import math
+
+        crn = build_crn_for(minimum_spec(), strategy="general")
+        compiled = crn.compiled()
+        stepper = NextReactionPolicy().bind(compiled, random.Random(11))
+        counts = list(compiled.encode(crn.initial_configuration((4, 5))))
+        stepper.start(counts)
+        time_now = 0.0
+        for _ in range(200):
+            j, time_now = stepper.select(time_now, math.inf)
+            if j < 0:
+                break
+            for s, delta in compiled.net_terms[j]:
+                counts[s] += delta
+            stepper.fired(j, counts)
+            assert stepper.last_recomputed == compiled.dependency_graph[j]
+            fresh = GillespiePolicy().bind(compiled, random.Random(0))
+            fresh.start(counts)
+            assert stepper.propensities() == fresh.propensities()
+
+    def test_distribution_matches_direct_method(self):
+        # A coarse in-suite distributional check on the rate-sensitive
+        # branching CRN: 200 seeded trajectories per policy, KS on the final
+        # output counts.  (The full cross-engine matrix runs under -m
+        # statistical.)
+        from repro.verify.statistical import ks_two_sample
+
+        crn = branching_crn()
+        nrm_outputs = []
+        direct_outputs = []
+        for seed in range(200):
+            nrm = SimulatorCore(
+                crn, NextReactionPolicy(), rng=random.Random(seed)
+            ).run_on_input((40,))
+            direct = SimulatorCore(
+                crn, GillespiePolicy(), rng=random.Random(10_000 + seed)
+            ).run_on_input((40,))
+            assert nrm.silent and nrm.steps == 40
+            nrm_outputs.append(crn.output_count(nrm.final_configuration))
+            direct_outputs.append(crn.output_count(direct.final_configuration))
+        ks = ks_two_sample(nrm_outputs, direct_outputs)
+        assert not ks.rejects(1e-3), ks.describe()
+
+    def test_fewer_propensity_ops_than_direct_method(self):
+        # The point of the engine: the direct method reads the whole vector
+        # every select, NRM touches only the fired reaction's dependents.
+        # (The >= 2x CI gate on an R >= 30 network lives in benchmarks/.)
+        import math
+
+        crn = build_crn_for(minimum_spec(), strategy="general")
+        compiled = crn.compiled()
+
+        def drive(policy, seed):
+            stepper = policy.bind(compiled, random.Random(seed))
+            counts = list(compiled.encode(crn.initial_configuration((6, 9))))
+            stepper.start(counts)
+            time_now = 0.0
+            steps = 0
+            while steps < 2_000:
+                j, time_now = stepper.select(time_now, math.inf)
+                if j < 0:
+                    break
+                for s, delta in compiled.net_terms[j]:
+                    counts[s] += delta
+                stepper.fired(j, counts)
+                steps += 1
+            return stepper.propensity_ops, steps
+
+        nrm_ops, nrm_steps = drive(NextReactionPolicy(), 5)
+        direct_ops, direct_steps = drive(GillespiePolicy(), 5)
+        assert nrm_steps > 0 and direct_steps > 0
+        assert nrm_ops / nrm_steps < direct_ops / direct_steps
+
+    def test_nrm_registry_metadata(self):
+        from repro.sim.registry import get_engine
+
+        info = get_engine("nrm")
+        assert not info.approximate  # exact sampler
+        assert info.supports_gillespie
+        assert not info.supports_fair  # kinetic scheduling only
+
+
+class TestSeedStreamLockNRM:
+    """The pre-existing engines are bit-for-bit unchanged by the NRM PR.
+
+    NRM consumes the ``random.Random`` stream differently (one exponential
+    per reaction up front, ~one draw per step) — these replay fixtures were
+    captured *before* the engine landed and pin every existing engine's
+    seeded stream, so NRM's different consumption cannot silently leak into
+    them through shared code paths.
+    """
+
+    def test_python_run_many_replays_pre_nrm_fixture(self):
+        from repro.api.config import RunConfig
+
+        report = run_many(
+            branching_crn(), (40,), config=RunConfig(trials=6, seed=424242)
+        )
+        assert report.outputs == [22, 27, 25, 24, 18, 18]
+
+    def test_vectorized_run_many_replays_pre_nrm_fixture(self):
+        from repro.api.config import RunConfig
+
+        report = run_many(
+            branching_crn(),
+            (40,),
+            config=RunConfig(trials=6, seed=424242, engine="vectorized"),
+        )
+        assert report.outputs == [18, 18, 18, 21, 16, 23]
+
+    def test_tau_run_many_replays_pre_nrm_fixture(self):
+        from repro.api.config import RunConfig
+
+        report = run_many(
+            branching_crn(),
+            (40,),
+            config=RunConfig(trials=6, seed=424242, engine="tau"),
+        )
+        assert report.outputs == [7, 10, 10, 8, 11, 9]
+
+    @pytest.mark.parametrize("engine", ["python", "vectorized", "tau"])
+    def test_general_construction_replays_pre_nrm_fixture(self, engine):
+        from repro.api.config import RunConfig
+
+        crn = build_crn_for(minimum_spec(), strategy="general")
+        report = run_many(
+            crn,
+            (4, 6),
+            config=RunConfig(trials=4, seed=777, engine=engine, max_steps=50_000),
+        )
+        assert report.outputs == [4, 4, 4, 4], engine
+        assert report.steps == [41, 41, 41, 41], engine
+
+    @pytest.mark.parametrize(
+        "engine,expected", [("python", 10.2), ("vectorized", 10.0), ("tau", 10.2)]
+    )
+    def test_estimates_replay_pre_nrm_fixture(self, engine, expected):
+        from repro.api.config import RunConfig
+        from repro.sim.runner import estimate_expected_output
+
+        estimate = estimate_expected_output(
+            branching_crn(), (40,), config=RunConfig(trials=5, seed=99, engine=engine)
+        )
+        assert estimate == pytest.approx(expected, abs=1e-12)
+
+    @pytest.mark.parametrize(
+        "seed,final_time,output,steps",
+        [(5, 0.7678122926074016, 12, 40), (6, 2.0320946168568637, 7, 40)],
+    )
+    def test_gillespie_clock_replays_pre_nrm_fixture(
+        self, seed, final_time, output, steps
+    ):
+        # Exact float equality on the simulated clock: the strongest
+        # detector of any extra/missing draw in the scalar kinetic stream.
+        result = GillespieSimulator(
+            branching_crn(), rng=random.Random(seed)
+        ).run_on_input((40,))
+        assert result.final_time == final_time
+        assert result.final_configuration[Y] == output
+        assert result.steps == steps
 
 
 class TestSimulatorCore:

@@ -156,37 +156,44 @@ class TestSimulationAgreement:
         assert crn.output_count(result.final_configuration) == (3 * value) // 2
 
 
+@st.composite
+def random_crns(draw, allow_noops=False):
+    """A random CRN over the species pool: 1-5 mass-action reactions with
+    random (<= bimolecular) reactant/product sides and rates.
+
+    ``allow_noops=True`` keeps catalytic no-op reactions (lhs == rhs) instead
+    of skipping them — the dependency-graph properties need the zero-net-change
+    edge case, while the tau-leaping invariants skip no-ops because they only
+    stall the clock.
+    """
+    n_reactions = draw(st.integers(min_value=1, max_value=5))
+    reactions = []
+    for _ in range(n_reactions):
+        reactant_pool = draw(
+            st.lists(st.sampled_from(SPECIES_POOL), min_size=1, max_size=2)
+        )
+        product_pool = draw(
+            st.lists(st.sampled_from(SPECIES_POOL), min_size=0, max_size=2)
+        )
+        lhs = {}
+        for sp in reactant_pool:
+            lhs[sp] = lhs.get(sp, 0) + 1
+        rhs = {}
+        for sp in product_pool:
+            rhs[sp] = rhs.get(sp, 0) + 1
+        if lhs == rhs and not allow_noops:
+            continue  # skip pure no-ops; they only stall the clock
+        rate = draw(st.floats(min_value=0.25, max_value=4.0))
+        reactions.append(Reaction(lhs, rhs, rate=rate))
+    if not reactions:
+        return None
+    inputs = tuple(SPECIES_POOL[:2])
+    return CRN(reactions, inputs, SPECIES_POOL[2])
+
+
 class TestTauLeapKernelInvariants:
     """Tau-leaping over random small CRNs: the kernel's safety rails hold for
     arbitrary reaction structure, not just the curated construction families."""
-
-    @st.composite
-    def random_crns(draw):
-        """A random CRN over the species pool: 1-5 mass-action reactions with
-        random (<= bimolecular) reactant/product sides and rates."""
-        n_reactions = draw(st.integers(min_value=1, max_value=5))
-        reactions = []
-        for _ in range(n_reactions):
-            reactant_pool = draw(
-                st.lists(st.sampled_from(SPECIES_POOL), min_size=1, max_size=2)
-            )
-            product_pool = draw(
-                st.lists(st.sampled_from(SPECIES_POOL), min_size=0, max_size=2)
-            )
-            lhs = {}
-            for sp in reactant_pool:
-                lhs[sp] = lhs.get(sp, 0) + 1
-            rhs = {}
-            for sp in product_pool:
-                rhs[sp] = rhs.get(sp, 0) + 1
-            if lhs == rhs:
-                continue  # skip pure no-ops; they only stall the clock
-            rate = draw(st.floats(min_value=0.25, max_value=4.0))
-            reactions.append(Reaction(lhs, rhs, rate=rate))
-        if not reactions:
-            return None
-        inputs = tuple(SPECIES_POOL[:2])
-        return CRN(reactions, inputs, SPECIES_POOL[2])
 
     @given(
         random_crns(),
@@ -257,6 +264,116 @@ class TestTauLeapKernelInvariants:
         assert result.silent or result.converged or result.steps >= 2_000
         if result.steps:
             assert result.selections >= 1
+
+
+class TestDependencyGraphProperties:
+    """``CompiledCRN.dependency_graph`` vs brute force on random CRNs.
+
+    The graph is the load-bearing structure of every incremental stepper
+    (Gillespie, fair, NRM): if an edge is missing, a stale propensity can
+    survive a firing and silently bias the sampled kinetics.  The semantic
+    property below is the actual soundness requirement — any reaction whose
+    propensity *can* change when ``j`` fires must be among ``j``'s dependents
+    — and the structural property pins the (slightly stronger) definition the
+    IR promises: reactant set intersects ``j``'s net-change support.
+    """
+
+    @given(random_crns(allow_noops=True))
+    @settings(max_examples=60, deadline=None)
+    def test_structural_brute_force(self, crn):
+        if crn is None:
+            return
+        compiled = crn.compiled()
+        for j, fired in enumerate(crn.reactions):
+            changed = set(fired.net_changes())
+            expected = tuple(
+                r
+                for r, rxn in enumerate(crn.reactions)
+                if changed & set(rxn.reactants.counts)
+            )
+            assert compiled.dependency_graph[j] == expected, (crn.reactions, j)
+
+    @given(
+        random_crns(allow_noops=True),
+        st.lists(st.integers(min_value=0, max_value=6), min_size=4, max_size=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_semantic_completeness(self, crn, raw_counts):
+        # Soundness of incremental updates: fire j from a random
+        # configuration; every reaction whose propensity moved must be a
+        # registered dependent of j.
+        if crn is None:
+            return
+        before = Configuration(dict(zip(SPECIES_POOL, raw_counts)))
+        for j, fired in enumerate(crn.reactions):
+            if not fired.applicable(before):
+                continue
+            after = fired.apply(before)
+            deps = set(crn.compiled().dependency_graph[j])
+            for r, rxn in enumerate(crn.reactions):
+                if rxn.propensity(before) != rxn.propensity(after):
+                    assert r in deps, (
+                        f"propensity of reaction {r} ({rxn}) changed when "
+                        f"{j} ({fired}) fired, but {r} is not a dependent"
+                    )
+
+    def test_zero_net_change_reactions_have_no_dependents(self):
+        # A catalytic no-op changes nothing, so it can invalidate no
+        # propensity — not even its own (Gibson-Bruck's "no self edge unless
+        # the reaction changes its own reactants").
+        A, B, C, D = SPECIES_POOL
+        crn = CRN([A + B >> A + B, A >> C], (A, B), C)
+        compiled = crn.compiled()
+        assert compiled.net_terms[0] == ()
+        assert compiled.dependency_graph[0] == ()
+
+    def test_self_dependency_when_own_reactants_change(self):
+        # 2A -> A consumes its own reactant, so it must depend on itself;
+        # A -> A + C leaves A untouched, so it must not.
+        A, B, C, D = SPECIES_POOL
+        crn = CRN([A + A >> A, A >> A + C], (A, B), C)
+        compiled = crn.compiled()
+        assert 0 in compiled.dependency_graph[0]
+        assert 1 not in compiled.dependency_graph[1]
+        # ...but 2A -> A changes A, which reaction 1 consumes: edge 0 -> 1.
+        assert 1 in compiled.dependency_graph[0]
+
+    @given(
+        random_crns(allow_noops=True),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nrm_incremental_propensities_stay_exact(self, crn, a, b, seed):
+        # The dependency graph in action: along an NRM run over an arbitrary
+        # random network, the incrementally-repaired propensity vector always
+        # equals a from-scratch recomputation, and putative times are finite
+        # exactly for enabled reactions.
+        if crn is None:
+            return
+        import math
+
+        from repro.sim.kernel import GillespiePolicy, NextReactionPolicy
+
+        compiled = crn.compiled()
+        stepper = NextReactionPolicy().bind(compiled, random.Random(seed))
+        counts = list(compiled.encode(crn.initial_configuration((a, b))))
+        stepper.start(counts)
+        time_now = 0.0
+        for _ in range(60):
+            j, time_now = stepper.select(time_now, math.inf)
+            if j < 0:
+                break
+            for s, delta in compiled.net_terms[j]:
+                counts[s] += delta
+            stepper.fired(j, counts)
+            assert all(count >= 0 for count in counts), counts
+            fresh = GillespiePolicy().bind(compiled, random.Random(0))
+            fresh.start(counts)
+            assert stepper.propensities() == fresh.propensities()
+            for prop, t in zip(stepper.propensities(), stepper.putative_times()):
+                assert (prop > 0.0) == (t != math.inf)
 
 
 class TestWitnessSearchSoundness:

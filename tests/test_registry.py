@@ -13,6 +13,7 @@ from repro.sim.registry import (
     register_engine,
     registered_engines,
     unregister_engine,
+    validate_engine_request,
 )
 from repro.sim.runner import ConvergenceReport, estimate_expected_output, run_many
 
@@ -75,6 +76,13 @@ class TestRegistryBasics:
         vectorized = get_engine("vectorized")
         assert vectorized.max_recommended_population is None
         assert {info.name for info in registered_engines()} >= {"python", "vectorized"}
+
+    def test_nrm_capability_metadata(self):
+        nrm = get_engine("nrm")
+        assert nrm.supports_gillespie
+        assert not nrm.supports_fair  # kinetic scheduling only
+        assert not nrm.approximate  # exact sampler, unlike tau
+        assert "nrm" in engine_names()
 
     def test_unknown_engine_error_lists_registered_names(self):
         with pytest.raises(ValueError) as excinfo:
@@ -155,6 +163,49 @@ class TestRegistryDispatch:
                 crn, lambda x: min(x), inputs=[(2, 2)], method="simulation",
                 engine="tau",
             )
+
+    def test_verification_rejects_nrm(self):
+        # Regression for the new exact kinetic-only engine: exactness is not
+        # the question — NRM samples Gillespie kinetics, not the fair
+        # scheduler the verification evidence assumes — so it must be routed
+        # away from the randomized path with the same clear error as tau.
+        from repro.verify import verify_stable_computation
+
+        crn = minimum_spec().known_crn
+        with pytest.raises(ValueError, match="supports_fair"):
+            verify_stable_computation(
+                crn, lambda x: min(x), inputs=[(2, 2)], method="simulation",
+                engine="nrm",
+            )
+
+
+class TestValidateEngineRequest:
+    """Explicit per-call requests are checked against capability metadata."""
+
+    def test_epsilon_on_exact_engines_rejected(self):
+        for engine in ("python", "vectorized", "nrm"):
+            with pytest.raises(ValueError) as excinfo:
+                validate_engine_request(engine, epsilon=0.05)
+            message = str(excinfo.value)
+            assert "exact" in message and "epsilon" in message
+            assert "'tau'" in message  # the actionable part: what to use instead
+
+    def test_fair_on_kinetic_only_engines_rejected(self):
+        for engine in ("nrm", "tau"):
+            with pytest.raises(ValueError) as excinfo:
+                validate_engine_request(engine, fair=True)
+            message = str(excinfo.value)
+            assert "supports_fair" in message
+            assert "'python'" in message and "'vectorized'" in message
+
+    def test_valid_requests_return_the_engine_info(self):
+        assert validate_engine_request("tau", epsilon=0.1).name == "tau"
+        assert validate_engine_request("python", fair=True).name == "python"
+        assert validate_engine_request("nrm").name == "nrm"
+
+    def test_unknown_engine_still_reported_first(self):
+        with pytest.raises(ValueError, match="registered engines"):
+            validate_engine_request("cuda", epsilon=0.1)
 
 
 class TestBackCompat:

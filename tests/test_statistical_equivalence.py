@@ -3,23 +3,25 @@
 The exact engines are locked bit-for-bit elsewhere (``tests/test_kernel.py``,
 ``tests/test_engine.py``).  This suite guards the property those locks cannot
 express: every kinetic sampler — the exact scalar kernel (``python``), the
-exact numpy batch engine (``vectorized``), and the approximate tau-leaping
-policy (``tau``) — samples the *same* continuous-time Markov chain, so their
-per-trajectory completion-step and final-output distributions must agree up
-to sampling noise.  Each gate is a two-sample Kolmogorov–Smirnov test
+exact numpy batch engine (``vectorized``), the exact Gibson–Bruck
+next-reaction engine (``nrm``, exact but on a differently-consumed stream,
+so bit-for-bit locks are impossible by construction), and the approximate
+tau-leaping policy (``tau``) — samples the *same* continuous-time Markov
+chain, so their per-trajectory completion-step and final-output
+distributions must agree up to sampling noise.  Each gate is a two-sample Kolmogorov–Smirnov test
 (:mod:`repro.verify.statistical`) at ``ALPHA``, run on a fixed seed matrix so
 the verdicts are deterministic in CI.
 
 Coverage:
 
 * the five construction strategy families (known / 1d / leaderless / quilt /
-  general), python-vs-vectorized-vs-tau;
+  general), python-vs-vectorized-vs-nrm-vs-tau;
 * a branching CRN whose output is genuinely stochastic
   (``X -> Y`` at rate 1 vs ``X -> Z`` at rate 3, output ~ Binomial(n, 1/4)),
   so the gates compare non-degenerate distributions;
-* *power*: a deliberately rate-biased Gillespie policy must be **rejected**
-  by the same gates — a subtly biased backend (present or future numba/C)
-  cannot pass by being merely plausible.
+* *power*: deliberately rate-biased Gillespie *and* next-reaction policies
+  must be **rejected** by the same gates — a subtly biased backend (present
+  or future numba/C) cannot pass by being merely plausible.
 
 Methodology knobs (documented in DESIGN.md section 6): ``ALPHA = 1e-3`` per
 gate, ``N_SEEDS = 60`` trajectories per engine per case.  Ties make the
@@ -47,7 +49,13 @@ from repro.functions.catalog import (
     quilt_2d_fig3b_spec,
     threshold_capped_spec,
 )
-from repro.sim.kernel import GillespiePolicy, TauLeapPolicy, _GillespieStepper
+from repro.sim.kernel import (
+    GillespiePolicy,
+    NextReactionPolicy,
+    TauLeapPolicy,
+    _GillespieStepper,
+    _NRMStepper,
+)
 from repro.verify.statistical import (
     DistributionSample,
     assert_distributions_match,
@@ -211,7 +219,7 @@ class TestKSMachinery:
 
 
 class TestCrossEngineGates:
-    """python vs vectorized vs tau across every family, steps + outputs."""
+    """python vs vectorized vs nrm vs tau across every family, steps + outputs."""
 
     @pytest.mark.parametrize("label,crn,x", FAMILY_CASES, ids=FAMILY_IDS)
     def test_vectorized_matches_python(self, sample_distribution, label, crn, x):
@@ -233,6 +241,27 @@ class TestCrossEngineGates:
         candidate = sample_distribution(label, crn, x, "tau")
         _gate(label, reference, candidate)
 
+    @pytest.mark.parametrize("label,crn,x", FAMILY_CASES, ids=FAMILY_IDS)
+    def test_nrm_matches_python(self, sample_distribution, label, crn, x):
+        # The admission gate for the exact-but-stream-divergent NRM engine:
+        # same CTMC as the direct method, checked distributionally.
+        reference = sample_distribution(label, crn, x, "python")
+        candidate = sample_distribution(label, crn, x, "nrm")
+        assert reference.all_completed and candidate.all_completed
+        _gate(label, reference, candidate)
+
+    @pytest.mark.parametrize("label,crn,x", FAMILY_CASES, ids=FAMILY_IDS)
+    def test_nrm_matches_vectorized(self, sample_distribution, label, crn, x):
+        reference = sample_distribution(label, crn, x, "vectorized")
+        candidate = sample_distribution(label, crn, x, "nrm")
+        _gate(label, reference, candidate)
+
+    @pytest.mark.parametrize("label,crn,x", FAMILY_CASES, ids=FAMILY_IDS)
+    def test_nrm_matches_tau(self, sample_distribution, label, crn, x):
+        reference = sample_distribution(label, crn, x, "nrm")
+        candidate = sample_distribution(label, crn, x, "tau")
+        _gate(label, reference, candidate)
+
     def test_stable_outputs_equal_across_engines(self, sample_distribution):
         # Beyond distributional agreement: on a stable computation every
         # engine must converge to the same (deterministic) output.
@@ -240,7 +269,7 @@ class TestCrossEngineGates:
             if label == "branching/binomial":
                 continue  # genuinely stochastic output by construction
             expected = sample_distribution(label, crn, x, "python").outputs[0]
-            for engine in ("python", "vectorized", "tau"):
+            for engine in ("python", "vectorized", "nrm", "tau"):
                 sample = sample_distribution(label, crn, x, engine)
                 assert set(sample.outputs) == {expected}, (label, engine)
 
@@ -270,6 +299,33 @@ class _RateBiasedGillespiePolicy(GillespiePolicy):
                 return base * factor if produces_output else base
 
         return _BiasedStepper(compiled, rng)
+
+
+class _RateBiasedNRMPolicy(NextReactionPolicy):
+    """The same injected bias, through the next-reaction machinery.
+
+    Every propensity evaluation — the initial putative-time draws and every
+    Gibson–Bruck clock repair — sees the inflated output pathway, so a port
+    of the NRM engine with mis-scaled rates is modeled faithfully.
+    """
+
+    def __init__(self, factor: float = 3.0) -> None:
+        self.factor = factor
+
+    def bind(self, compiled, rng):
+        factor = self.factor
+        output_index = compiled.output_index
+
+        class _BiasedNRMStepper(_NRMStepper):
+            def _propensity(self, r, counts):
+                base = _NRMStepper._propensity(self, r, counts)
+                produces_output = any(
+                    s == output_index and delta > 0
+                    for s, delta in self.compiled.net_terms[r]
+                )
+                return base * factor if produces_output else base
+
+        return _BiasedNRMStepper(compiled, rng)
 
 
 class TestGatePower:
@@ -313,6 +369,24 @@ class TestGatePower:
         with pytest.raises(AssertionError, match="steps distribution"):
             assert_distributions_match(
                 reference, biased, metrics=("steps",), alpha=ALPHA
+            )
+
+    def test_biased_nrm_policy_rejected_on_outputs(self, sample_distribution):
+        # The next-reaction machinery earns no exemption: the same injected
+        # rate bias routed through putative-time draws and clock rescaling
+        # must be flagged by the same gate the honest NRM sampler passes.
+        label, crn, x = "branching/binomial", _branching_crn(), (400,)
+        reference = sample_distribution(label, crn, x, "python")
+        biased = sample_kinetic_distribution(
+            crn,
+            x,
+            engine=_RateBiasedNRMPolicy(factor=3.0),
+            n_seeds=N_SEEDS,
+            base_seed=BASE_SEED + 20_000,
+        )
+        with pytest.raises(AssertionError, match="outputs distribution"):
+            assert_distributions_match(
+                reference, biased, metrics=("outputs",), alpha=ALPHA
             )
 
     def test_honest_policies_pass_where_biased_fails(self, sample_distribution):
