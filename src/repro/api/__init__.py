@@ -20,7 +20,24 @@ module without cycles.
 
 from repro.api.config import RunConfig
 
-__all__ = ["RunConfig", "Workbench", "CompiledFunction"]
+__all__ = [
+    "RunConfig",
+    "Workbench",
+    "CompiledFunction",
+    "registered_name_for",
+    "spec_to_json_dict",
+    "spec_from_json_dict",
+    "run_config_to_json_dict",
+    "run_config_from_json_dict",
+]
+
+_SERIALIZATION_NAMES = (
+    "registered_name_for",
+    "spec_to_json_dict",
+    "spec_from_json_dict",
+    "run_config_to_json_dict",
+    "run_config_from_json_dict",
+)
 
 
 def __getattr__(name: str):
@@ -31,4 +48,8 @@ def __getattr__(name: str):
         from repro.api import workbench
 
         return getattr(workbench, name)
+    if name in _SERIALIZATION_NAMES:
+        from repro.api import serialization
+
+        return getattr(serialization, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

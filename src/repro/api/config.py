@@ -141,6 +141,58 @@ class RunConfig:
         """All fields as a JSON-serializable dict (round-trips via :meth:`from_dict`)."""
         return dataclasses.asdict(self)
 
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The wire form: all fields, JSON-serializable, stable key set.
+
+        Identical to :meth:`to_dict` today; the separate name documents the
+        contract the serve protocol and the lab store rely on — this is the
+        payload :meth:`from_json_dict` round-trips exactly.
+        """
+        return self.to_dict()
+
+    @classmethod
+    def from_json_dict(
+        cls, data: Mapping[str, Any], default: Optional["RunConfig"] = None
+    ) -> "RunConfig":
+        """Rebuild a config from untrusted JSON, naming the bad field on error.
+
+        The strict counterpart of :meth:`from_dict` for wire payloads (the
+        serve protocol, campaign manifests fed back by clients): unknown keys
+        are **rejected** (a typo'd ``"trails"`` must not silently become the
+        default), and ``seed`` — the one field ``__post_init__`` cannot
+        validate because any hashable seeds a ``random.Random`` — is checked
+        here.  Every :exc:`ValueError` names the offending field.
+
+        ``default`` (when given) supplies the base values that the payload's
+        fields override — the serve endpoints merge request configs over the
+        server's default this way.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"config must be a JSON object, got {type(data).__name__}"
+            )
+        known = [field.name for field in dataclasses.fields(cls)]
+        unknown = sorted(set(data) - set(known))
+        if unknown:
+            raise ValueError(
+                f"config has unknown field(s) "
+                f"{', '.join(repr(name) for name in unknown)}; "
+                f"known fields: {', '.join(repr(name) for name in known)}"
+            )
+        seed = data.get("seed")
+        if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
+            raise ValueError(
+                f"config field 'seed' must be null or an integer, got {seed!r}"
+            )
+        try:
+            if default is not None:
+                return default.replace(**dict(data))
+            return cls(**dict(data))
+        except ValueError as exc:
+            # __post_init__ messages already lead with the field name
+            # ("trials must be ..."); add the config prefix for context.
+            raise ValueError(f"config field invalid: {exc}") from None
+
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunConfig":
         """Rebuild a config from :meth:`to_dict` output.

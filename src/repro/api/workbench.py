@@ -201,6 +201,34 @@ class Workbench:
         self._cache[key] = compiled
         return compiled
 
+    def compile_json(self, payload) -> CompiledFunction:
+        """Compile from a wire-form request: the serve protocol's seam.
+
+        ``payload`` is a JSON-shaped dict — ``{"spec": <name or
+        spec_to_json_dict payload>, "strategy": ..., "config": ...}`` — the
+        same shape ``POST /v1/compile`` and ``POST /v1/simulate`` accept.
+        The spec resolves by registered name
+        (:func:`repro.api.serialization.spec_from_json_dict`), the config
+        merges over this workbench's default
+        (:meth:`repro.api.config.RunConfig.from_json_dict`), and validation
+        errors name the offending field.
+        """
+        from repro.api.serialization import spec_from_json_dict
+
+        if not isinstance(payload, dict):
+            raise ValueError(f"payload must be a dict, got {type(payload).__name__}")
+        raw_spec = payload.get("spec")
+        if isinstance(raw_spec, str):
+            raw_spec = {"name": raw_spec}
+        spec = spec_from_json_dict(raw_spec if raw_spec is not None else {})
+        strategy = payload.get("strategy", "auto")
+        compiled = self.compile(spec, strategy=strategy)
+        if payload.get("config") is not None:
+            compiled = compiled.with_config(
+                RunConfig.from_json_dict(payload["config"], default=self.config)
+            )
+        return compiled
+
     def characterize(self, spec: FunctionSpec, **kwargs) -> CharacterizationVerdict:
         """Run the Theorem 5.2 / 5.4 decision procedure on ``spec``."""
         return check_obliviously_computable(spec, **kwargs)

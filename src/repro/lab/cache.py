@@ -105,7 +105,16 @@ class ResultCache:
         return data if isinstance(data, dict) else None
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
-        """Atomically publish ``payload`` under ``key`` (last writer wins)."""
+        """Atomically and durably publish ``payload`` under ``key``.
+
+        Write-to-temp + ``fsync`` + ``os.replace``: a reader (including a
+        *second server process* sharing this root as its memo) can only ever
+        observe the old entry, the complete new entry, or a miss — never a
+        torn write — and a crash between the fsync and the rename leaves the
+        published entry intact.  Last writer wins, which is sound because
+        entries are content-addressed: two writers racing on one key are
+        writing the same payload.
+        """
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         handle = tempfile.NamedTemporaryFile(
@@ -118,6 +127,8 @@ class ResultCache:
         try:
             with handle:
                 json.dump(payload, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(handle.name, path)
         except BaseException:
             try:

@@ -9,7 +9,9 @@ Subcommands::
     bench-compare  diff two BENCH_results.json files; fail on throughput
                    regression (--markdown emits a trend table for CI summaries)
     specs          list the registered function specs
-    engines        list the registered simulation engines
+    engines        list the registered simulation engines (--json for the
+                   EngineInfo serialization shared with GET /v1/engines)
+    serve          HTTP simulation-as-a-service front end (repro.serve)
 
 ``python -m repro --version`` prints the package version (kept in sync with
 ``setup.py``; a tier-1 test enforces it).
@@ -157,7 +159,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("specs", help="list registered function specs")
-    sub.add_parser("engines", help="list registered simulation engines")
+
+    engines = sub.add_parser("engines", help="list registered simulation engines")
+    engines.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (the same EngineInfo serialization as "
+        "the serve API's GET /v1/engines)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP simulation service over the workbench (repro.serve)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8421, help="bind port (0 picks a free port)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="simulation worker processes (0 = in-process thread fallback)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="shared ResultCache root (the server-side memo)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true", help="disable the result-cache memo"
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=10_000,
+        help="max unfinished job cells before POST /v1/jobs answers 429",
+    )
+    serve.add_argument("--trials", type=int, default=10, help="default config: trials")
+    serve.add_argument(
+        "--max-steps", type=int, default=1_000_000, help="default config: max_steps"
+    )
+    serve.add_argument(
+        "--engine", default="python", help="default config: engine (default: python)"
+    )
     return parser
 
 
@@ -396,6 +441,15 @@ def _command_specs(args) -> int:
 
 
 def _command_engines(args) -> int:
+    if args.json:
+        print(
+            json.dumps(
+                {"engines": [info.to_dict() for info in registered_engines()]},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     for info in registered_engines():
         if info.min_recommended_population and info.max_recommended_population:
             bound = f"{info.min_recommended_population}..{info.max_recommended_population}"
@@ -410,6 +464,24 @@ def _command_engines(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    # Imported lazily: the serve subsystem is optional at runtime and must
+    # not tax `python -m repro specs` et al. with its asyncio machinery.
+    from repro.serve.server import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        config=RunConfig(
+            trials=args.trials, max_steps=args.max_steps, engine=args.engine
+        ),
+        queue_limit=args.queue_limit,
+    )
+    return server.run()
+
+
 _COMMANDS = {
     "run": _command_run,
     "resume": _command_resume,
@@ -418,6 +490,7 @@ _COMMANDS = {
     "bench-compare": _command_bench_compare,
     "specs": _command_specs,
     "engines": _command_engines,
+    "serve": _command_serve,
 }
 
 

@@ -1,0 +1,134 @@
+"""A minimal blocking client for :mod:`repro.serve` (stdlib ``http.client``).
+
+Used by the test suite and the CI smoke job, and handy from notebooks; it
+deliberately mirrors the wire protocol one-to-one so a ``curl`` transcript
+and a :class:`ServeClient` session are interchangeable.  Every method returns
+the parsed JSON payload; non-2xx responses raise :class:`ServeError` carrying
+the status and the server's error body.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.serve.protocol import canonical_json
+
+
+class ServeError(Exception):
+    """A non-2xx response: ``status`` plus the decoded error payload."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else str(payload)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Blocking JSON client for one server address."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8421, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, payload: Any = None
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One HTTP exchange; returns ``(status, headers, raw body bytes)``.
+
+        The raw-bytes return is deliberate: the cache-memo contract is
+        *byte*-identity of repeated simulate bodies, and tests assert it here.
+        """
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = canonical_json(payload) if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body is not None else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            return response.status, {k.lower(): v for k, v in response.getheaders()}, raw
+        finally:
+            connection.close()
+
+    def _json(self, method: str, path: str, payload: Any = None) -> Any:
+        status, _headers, raw = self.request(method, path, payload)
+        decoded = json.loads(raw.decode("utf-8")) if raw else None
+        if status >= 300:
+            raise ServeError(status, decoded)
+        return decoded
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._json("GET", "/v1/health")
+
+    def engines(self) -> Any:
+        return self._json("GET", "/v1/engines")["engines"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self._json("GET", "/v1/stats")
+
+    def compile(self, spec: str, strategy: str = "auto") -> Dict[str, Any]:
+        return self._json("POST", "/v1/compile", {"spec": spec, "strategy": strategy})
+
+    def simulate(
+        self,
+        spec: str,
+        x: Sequence[int],
+        strategy: str = "auto",
+        config: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"spec": spec, "strategy": strategy, "input": list(x)}
+        if config is not None:
+            payload["config"] = config
+        return self._json("POST", "/v1/simulate", payload)
+
+    def expected_output(
+        self,
+        spec: str,
+        x: Sequence[int],
+        strategy: str = "auto",
+        config: Optional[Dict[str, Any]] = None,
+    ) -> float:
+        payload: Dict[str, Any] = {"spec": spec, "strategy": strategy, "input": list(x)}
+        if config is not None:
+            payload["config"] = config
+        return self._json("POST", "/v1/expected_output", payload)["expected_output"]
+
+    def verify(self, spec: str, strategy: str = "auto", **fields: Any) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"spec": spec, "strategy": strategy}
+        payload.update(fields)
+        return self._json("POST", "/v1/verify", payload)
+
+    # -- jobs --------------------------------------------------------------------
+
+    def submit_job(self, **fields: Any) -> Dict[str, Any]:
+        return self._json("POST", "/v1/jobs", fields)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def cancel_job(self, job_id: str) -> Dict[str, Any]:
+        return self._json("DELETE", f"/v1/jobs/{job_id}")
+
+    def wait_for_job(
+        self, job_id: str, timeout: float = 120.0, poll_interval: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state (or raise TimeoutError)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            if payload["state"] in ("done", "cancelled", "failed"):
+                return payload
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {payload['state']!r} after {timeout}s "
+                    f"({payload['progress']})"
+                )
+            time.sleep(poll_interval)

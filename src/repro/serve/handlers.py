@@ -1,0 +1,473 @@
+"""Endpoint handlers: the JSON API surface over the Workbench/lab stack.
+
+Pure routing + translation: every handler parses a request with the
+:mod:`repro.serve.protocol` schema helpers, delegates the actual work to the
+existing layers (``repro.lab`` cells on the worker pool, the engine registry,
+the verify harness), and renders a deterministic JSON payload.  No simulation
+logic lives here.
+
+The simulate endpoint is where the **cache memo contract** is visible: a
+request denotes one campaign cell (:func:`repro.serve.jobs.single_cell`), the
+cell routes through :meth:`~repro.serve.jobs.JobManager.execute_cell`, and
+the response body is the canonical rendering of the cell's *deterministic*
+row — so a cache hit and the miss that populated it are byte-identical, with
+the provenance carried in the ``X-Repro-Cache`` header instead of the body.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.config import RunConfig
+from repro.lab.cache import CODE_SALT, ResultCache, cell_cache_key, spec_fingerprint
+from repro.lab.campaign import Campaign, SweepGrid, spec_factory_names
+from repro.serve.jobs import JobManager, QueueFullError, single_cell
+from repro.serve.metrics import ServerMetrics
+from repro.serve.protocol import (
+    ApiError,
+    HttpRequest,
+    Response,
+    parse_config,
+    parse_input,
+    parse_spec_ref,
+)
+from repro.sim.registry import check_engine, registered_engines
+
+#: Cache-key salt namespace for expected-output memo entries: same content
+#: address inputs as simulate cells, different payload shape, so the two can
+#: never answer for each other.
+EXPECTED_OUTPUT_SALT = CODE_SALT + "/expected-output"
+
+
+class ServerState:
+    """Everything the handlers share: config, cache, pool, metrics, jobs."""
+
+    def __init__(
+        self,
+        config: RunConfig,
+        cache: Optional[ResultCache],
+        pool,
+        metrics: ServerMetrics,
+        jobs: JobManager,
+        version: str,
+        workers: int,
+    ) -> None:
+        self.config = config
+        self.cache = cache
+        self.pool = pool
+        self.metrics = metrics
+        self.jobs = jobs
+        self.version = version
+        self.workers = workers
+
+
+# ---------------------------------------------------------------------------
+# Worker-pool task functions (module-level: they must ride a pickle)
+# ---------------------------------------------------------------------------
+
+
+def expected_output_task(
+    spec_name: str, strategy: str, x: Sequence[int], config_dict: Dict[str, Any]
+) -> float:
+    from repro.lab.executor import _built_crn
+    from repro.sim.runner import estimate_expected_output
+
+    config = RunConfig.from_dict(config_dict)
+    crn = _built_crn(spec_name, strategy)
+    return float(estimate_expected_output(crn, tuple(x), config=config))
+
+
+def verify_task(
+    spec_name: str,
+    strategy: str,
+    inputs: Optional[List[Tuple[int, ...]]],
+    method: str,
+    exhaustive_limit: int,
+    config_dict: Dict[str, Any],
+) -> Dict[str, Any]:
+    from repro.lab.campaign import resolve_spec
+    from repro.lab.executor import _built_crn
+    from repro.verify.stable import verify_stable_computation
+
+    spec = resolve_spec(spec_name)
+    config = RunConfig.from_dict(config_dict)
+    crn = _built_crn(spec_name, strategy)
+    report = verify_stable_computation(
+        crn,
+        spec,
+        inputs=inputs,
+        method=method,
+        exhaustive_limit=exhaustive_limit,
+        function_name=spec.name,
+        config=config,
+    )
+    return {
+        "crn_name": report.crn_name,
+        "function_name": report.function_name,
+        "passed": report.passed,
+        "results": [
+            {
+                "input": list(result.input_value),
+                "expected": result.expected,
+                "method": result.method,
+                "passed": result.passed,
+                "observed_outputs": list(result.observed_outputs),
+                "detail": result.detail,
+            }
+            for result in report.results
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Handlers
+# ---------------------------------------------------------------------------
+
+
+async def handle_health(state: ServerState, request: HttpRequest) -> Response:
+    return Response(payload={"status": "ok", "version": state.version})
+
+
+async def handle_engines(state: ServerState, request: HttpRequest) -> Response:
+    return Response(
+        payload={"engines": [info.to_dict() for info in registered_engines()]}
+    )
+
+
+async def handle_stats(state: ServerState, request: HttpRequest) -> Response:
+    payload = state.metrics.snapshot()
+    payload["server"] = {
+        "version": state.version,
+        "workers": state.workers,
+        "queue_limit": state.jobs.queue_limit,
+        "pending_cells": state.jobs.pending_cells,
+        "jobs_tracked": len(state.jobs.jobs),
+    }
+    payload["cache"]["enabled"] = state.cache is not None
+    payload["cache"]["root"] = state.cache.root if state.cache is not None else None
+    return Response(payload=payload)
+
+
+async def handle_compile(state: ServerState, request: HttpRequest) -> Response:
+    data = request.json()
+    spec_name, spec, strategy = parse_spec_ref(data)
+    from repro.lab.executor import _built_crn  # per-process CRN memo
+
+    loop = asyncio.get_running_loop()
+    try:
+        crn = await loop.run_in_executor(None, _built_crn, spec_name, strategy)
+    except (ValueError, NotImplementedError) as exc:
+        raise ApiError(422, f"cannot build a CRN for spec {spec_name!r}: {exc}") from None
+    fingerprint = await loop.run_in_executor(None, spec_fingerprint, spec)
+    return Response(
+        payload={
+            "spec": spec_name,
+            "strategy": strategy,
+            "dimension": spec.dimension,
+            "fingerprint": fingerprint,
+            "crn_name": crn.name,
+            "reactions": len(crn.reactions),
+            "species": len(crn.species()),
+        }
+    )
+
+
+async def handle_simulate(state: ServerState, request: HttpRequest) -> Response:
+    data = request.json()
+    spec_name, spec, strategy = parse_spec_ref(data)
+    config = parse_config(data, state.config)
+    x = parse_input(data, spec.dimension)
+    if config.engine != "auto":
+        _check_engine_400(config.engine)
+    cell = single_cell(spec_name, strategy, x, config)
+    row, hit = await state.jobs.execute_cell(cell)
+    if not row.ok:
+        raise ApiError(500, f"simulation failed: {row.error}")
+    return Response(
+        payload=row.deterministic_dict(),
+        headers={"X-Repro-Cache": "hit" if hit else "miss"},
+    )
+
+
+async def handle_expected_output(state: ServerState, request: HttpRequest) -> Response:
+    data = request.json()
+    spec_name, spec, strategy = parse_spec_ref(data)
+    config = parse_config(data, state.config)
+    x = parse_input(data, spec.dimension)
+    if config.engine != "auto":
+        _check_engine_400(config.engine)
+
+    loop = asyncio.get_running_loop()
+    fingerprint = await loop.run_in_executor(None, spec_fingerprint, spec)
+    key = cell_cache_key(
+        fingerprint, strategy, x, config.engine, config.cache_key(),
+        salt=EXPECTED_OUTPUT_SALT,
+    )
+    cacheable = state.cache is not None and config.seed is not None
+    state.metrics.record_engine_request(config.engine)
+    if cacheable:
+        cached = state.cache.get(key)
+        if isinstance(cached, dict) and "expected_output" in cached:
+            state.metrics.record_cache(True)
+            return Response(payload=cached, headers={"X-Repro-Cache": "hit"})
+        state.metrics.record_cache(False)
+
+    try:
+        value = await loop.run_in_executor(
+            state.pool, expected_output_task, spec_name, strategy, x, config.to_dict()
+        )
+    except Exception as exc:  # noqa: BLE001 — pool task failures become 500s
+        raise ApiError(500, f"expected_output failed: {type(exc).__name__}: {exc}") from None
+    state.metrics.record_engine_executed(config.engine)
+    payload = {
+        "spec": spec_name,
+        "strategy": strategy,
+        "input": list(x),
+        "engine": config.engine,
+        "expected_output": value,
+    }
+    if cacheable:
+        state.cache.put(key, payload)
+    return Response(payload=payload, headers={"X-Repro-Cache": "miss"})
+
+
+async def handle_verify(state: ServerState, request: HttpRequest) -> Response:
+    data = request.json()
+    spec_name, spec, strategy = parse_spec_ref(data)
+    config = parse_config(data, state.config)
+    method = data.get("method", "auto")
+    if method not in ("auto", "exhaustive", "randomized"):
+        raise ApiError(
+            400,
+            f"field 'method' must be 'auto', 'exhaustive', or 'randomized', got {method!r}",
+        )
+    exhaustive_limit = data.get("exhaustive_limit", 20_000)
+    if isinstance(exhaustive_limit, bool) or not isinstance(exhaustive_limit, int) or exhaustive_limit < 1:
+        raise ApiError(
+            400, f"field 'exhaustive_limit' must be an integer >= 1, got {exhaustive_limit!r}"
+        )
+    inputs = None
+    if data.get("inputs") is not None:
+        raw_inputs = data["inputs"]
+        if not isinstance(raw_inputs, list) or not raw_inputs:
+            raise ApiError(400, f"field 'inputs' must be a nonempty list of input tuples")
+        inputs = [
+            parse_input({"inputs": entry}, spec.dimension, field_name="inputs")
+            for entry in raw_inputs
+        ]
+
+    loop = asyncio.get_running_loop()
+    try:
+        payload = await loop.run_in_executor(
+            state.pool,
+            verify_task,
+            spec_name,
+            strategy,
+            inputs,
+            method,
+            exhaustive_limit,
+            config.to_dict(),
+        )
+    except Exception as exc:  # noqa: BLE001
+        raise ApiError(500, f"verify failed: {type(exc).__name__}: {exc}") from None
+    return Response(payload=payload)
+
+
+async def handle_submit_job(state: ServerState, request: HttpRequest) -> Response:
+    data = request.json()
+    campaign, cells = _parse_job_campaign(data, state.config)
+    try:
+        job = state.jobs.submit(campaign, cells)
+    except QueueFullError as exc:
+        raise ApiError(429, str(exc), retry_after=exc.retry_after) from None
+    return Response(
+        status=202,
+        payload={"id": job.id, "name": job.name, "state": job.state, "total": job.total},
+    )
+
+
+async def handle_get_job(state: ServerState, request: HttpRequest, job_id: str) -> Response:
+    job = state.jobs.get(job_id)
+    if job is None:
+        raise ApiError(404, f"no job {job_id!r}")
+    include_results = request.headers.get("x-repro-results", "1") != "0"
+    return Response(payload=job.to_dict(include_results=include_results))
+
+
+async def handle_cancel_job(state: ServerState, request: HttpRequest, job_id: str) -> Response:
+    job = state.jobs.cancel(job_id)
+    if job is None:
+        raise ApiError(404, f"no job {job_id!r}")
+    return Response(
+        payload={"id": job.id, "state": job.state, "cancel_requested": True}
+    )
+
+
+def _check_engine_400(engine: str) -> None:
+    try:
+        check_engine(engine)
+    except ValueError as exc:
+        raise ApiError(400, f"field 'config.engine' invalid: {exc}") from None
+
+
+def _parse_job_campaign(data: Any, default_config: RunConfig) -> Tuple[Campaign, List]:
+    """Translate a job request body into a Campaign + expanded cells.
+
+    Shape::
+
+        {"name": "sweep-1",
+         "specs": ["minimum", ["add", "general"]],
+         "inputs": [[1, 2], [3, 4]]  |  "grid": "0:5",
+         "engines": ["python"],
+         "config": {...} | "configs": [{...}, ...],
+         "seed": 11, "strategy": "auto"}
+    """
+    if not isinstance(data, dict):
+        raise ApiError(400, f"request body must be a JSON object, got {type(data).__name__}")
+    name = data.get("name", "job")
+    if not isinstance(name, str) or not name:
+        raise ApiError(400, f"field 'name' must be a nonempty string, got {name!r}")
+
+    raw_specs = data.get("specs")
+    if isinstance(raw_specs, str):
+        raw_specs = [raw_specs]
+    if not isinstance(raw_specs, list) or not raw_specs:
+        raise ApiError(
+            400,
+            f"field 'specs' must be a nonempty list of registered spec names; "
+            f"registered: {', '.join(spec_factory_names())}",
+        )
+    specs: List[Tuple[str, str]] = []
+    default_strategy = data.get("strategy", "auto")
+    if not isinstance(default_strategy, str) or not default_strategy:
+        raise ApiError(400, f"field 'strategy' must be a nonempty string, got {default_strategy!r}")
+    for position, entry in enumerate(raw_specs):
+        if isinstance(entry, str):
+            specs.append((entry, default_strategy))
+        elif isinstance(entry, list) and len(entry) == 2 and all(isinstance(v, str) for v in entry):
+            specs.append((entry[0], entry[1]))
+        else:
+            raise ApiError(
+                400,
+                f"field 'specs'[{position}] must be a spec name or a "
+                f"[name, strategy] pair, got {entry!r}",
+            )
+
+    if (data.get("inputs") is None) == (data.get("grid") is None):
+        raise ApiError(400, "exactly one of 'inputs' (list of tuples) or 'grid' (axis syntax) is required")
+    if data.get("grid") is not None:
+        grid_text = data["grid"]
+        if not isinstance(grid_text, str) or not grid_text:
+            raise ApiError(400, f"field 'grid' must be an axis string like '0:5', got {grid_text!r}")
+        # dimension for single-axis replication comes from the first spec
+        from repro.lab.campaign import resolve_spec
+
+        try:
+            dimension = resolve_spec(specs[0][0]).dimension
+            inputs: Any = SweepGrid.parse(grid_text, dimension=dimension)
+        except ValueError as exc:
+            raise ApiError(400, f"field 'grid' invalid: {exc}") from None
+    else:
+        raw_inputs = data["inputs"]
+        if not isinstance(raw_inputs, list) or not raw_inputs:
+            raise ApiError(400, "field 'inputs' must be a nonempty list of input tuples")
+        inputs = []
+        for position, entry in enumerate(raw_inputs):
+            if not isinstance(entry, (list, tuple)):
+                raise ApiError(400, f"field 'inputs'[{position}] must be a list of integers, got {entry!r}")
+            for value in entry:
+                if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+                    raise ApiError(
+                        400,
+                        f"field 'inputs'[{position}] must hold nonnegative integers, got {value!r}",
+                    )
+            inputs.append(tuple(entry))
+
+    engines = data.get("engines", [default_config.engine])
+    if isinstance(engines, str):
+        engines = [engines]
+    if not isinstance(engines, list) or not engines or not all(isinstance(e, str) and e for e in engines):
+        raise ApiError(400, f"field 'engines' must be a nonempty list of engine names, got {engines!r}")
+    for engine in engines:
+        if engine != "auto":
+            _check_engine_400(engine)
+
+    if data.get("config") is not None and data.get("configs") is not None:
+        raise ApiError(400, "pass either 'config' (one object) or 'configs' (a list), not both")
+    if data.get("configs") is not None:
+        raw_configs = data["configs"]
+        if not isinstance(raw_configs, list) or not raw_configs:
+            raise ApiError(400, "field 'configs' must be a nonempty list of config objects")
+        configs = tuple(parse_config({"config": entry}, default_config) for entry in raw_configs)
+    else:
+        configs = (parse_config(data, default_config),)
+
+    seed = data.get("seed")
+    if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
+        raise ApiError(400, f"field 'seed' must be null or an integer, got {seed!r}")
+
+    try:
+        campaign = Campaign(
+            name=name,
+            specs=specs,
+            inputs=inputs,
+            engines=tuple(engines),
+            configs=configs,
+            seed=seed,
+            default_strategy=default_strategy,
+        )
+        cells = campaign.expand()
+    except ValueError as exc:
+        raise ApiError(400, str(exc)) from None
+    return campaign, cells
+
+
+# ---------------------------------------------------------------------------
+# Routing
+# ---------------------------------------------------------------------------
+
+_FIXED_ROUTES = {
+    ("GET", "/v1/health"): (handle_health, "GET /v1/health"),
+    ("GET", "/v1/engines"): (handle_engines, "GET /v1/engines"),
+    ("GET", "/v1/stats"): (handle_stats, "GET /v1/stats"),
+    ("POST", "/v1/compile"): (handle_compile, "POST /v1/compile"),
+    ("POST", "/v1/simulate"): (handle_simulate, "POST /v1/simulate"),
+    ("POST", "/v1/expected_output"): (handle_expected_output, "POST /v1/expected_output"),
+    ("POST", "/v1/verify"): (handle_verify, "POST /v1/verify"),
+    ("POST", "/v1/jobs"): (handle_submit_job, "POST /v1/jobs"),
+}
+
+_KNOWN_PATHS = {path for _method, path in _FIXED_ROUTES}
+
+
+async def dispatch(state: ServerState, request: HttpRequest) -> Response:
+    """Route one request; every failure mode is an :class:`ApiError`."""
+    route = _FIXED_ROUTES.get((request.method, request.path))
+    if route is not None:
+        handler, endpoint = route
+        response = await handler(state, request)
+        response.endpoint = endpoint
+        return response
+
+    if request.path.startswith("/v1/jobs/"):
+        tail = request.path[len("/v1/jobs/"):]
+        if request.method == "GET" and tail and "/" not in tail:
+            response = await handle_get_job(state, request, tail)
+            response.endpoint = "GET /v1/jobs/{id}"
+            return response
+        if request.method == "DELETE" and tail and "/" not in tail:
+            response = await handle_cancel_job(state, request, tail)
+            response.endpoint = "DELETE /v1/jobs/{id}"
+            return response
+        if request.method == "POST" and tail.endswith("/cancel"):
+            job_id = tail[: -len("/cancel")]
+            if job_id and "/" not in job_id:
+                response = await handle_cancel_job(state, request, job_id)
+                response.endpoint = "POST /v1/jobs/{id}/cancel"
+                return response
+        raise ApiError(405 if tail else 404, f"unsupported {request.method} on {request.path}")
+
+    if request.path in _KNOWN_PATHS:
+        raise ApiError(405, f"method {request.method} not allowed on {request.path}")
+    raise ApiError(404, f"no route for {request.method} {request.path}")

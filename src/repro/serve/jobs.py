@@ -1,0 +1,302 @@
+"""The async job layer: campaign grids on a worker pool, memoized by the cache.
+
+A job is a :class:`repro.lab.campaign.Campaign` submitted over HTTP.  The
+manager expands it into the same deterministic, content-addressed cells an
+in-process ``Workbench.campaign`` run would produce — **the whole point**: a
+job cell and a local campaign cell with the same descriptor share a cache
+key, per-cell derived seed, and cell id, so their results are interchangeable
+and mutually memoizing.
+
+Lifecycle per job (one asyncio task, cells fanned out to the pool):
+
+1. cells whose seeded cache key hits the shared
+   :class:`~repro.lab.cache.ResultCache` are resolved without touching the
+   pool;
+2. the misses are all submitted to the ``ProcessPoolExecutor`` at once (the
+   pool provides the parallelism; the task just awaits completions);
+3. completions are folded in as they land; successful seeded rows are
+   published back to the cache;
+4. cancellation sets an event the task races against: pending pool futures
+   are cancelled, in-flight cells are abandoned (their results discarded),
+   and the job settles as ``"cancelled"`` with its partial results intact.
+
+**Backpressure** is cell-granular: the manager tracks the number of cells not
+yet finished across all live jobs, and a submission that would push the total
+past ``queue_limit`` is rejected with :class:`QueueFullError` — the HTTP
+layer renders that as ``429 Too Many Requests`` with a ``Retry-After`` hint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import uuid
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.config import RunConfig
+from repro.lab.cache import ResultCache
+from repro.lab.campaign import Campaign, Cell
+from repro.lab.executor import run_cell
+from repro.lab.store import CellResult
+from repro.serve.metrics import ServerMetrics
+
+#: Terminal job states.
+DONE_STATES = ("done", "cancelled", "failed")
+
+
+class QueueFullError(Exception):
+    """The job queue is at capacity; retry later (HTTP 429)."""
+
+    def __init__(self, message: str, retry_after: int = 1) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+def single_cell(spec_name: str, strategy: str, x: Sequence[int], config: RunConfig) -> Cell:
+    """The one campaign cell a simulate request denotes.
+
+    Built through a one-cell :class:`~repro.lab.campaign.Campaign` expansion
+    rather than by hand, so the cell id, cache key, and ``"auto"`` engine
+    resolution are *definitionally* identical to what a campaign over the
+    same descriptor produces — the serve memo and the lab memo are one memo.
+    """
+    campaign = Campaign(
+        name="serve",
+        specs=[(spec_name, strategy)],
+        inputs=[tuple(int(v) for v in x)],
+        engines=(config.engine,),
+        configs=(config,),
+        seed=None,  # the request config's own seed is the cell seed
+    )
+    return campaign.expand()[0]
+
+
+class Job:
+    """One submitted campaign: cells, progress counters, partial results."""
+
+    def __init__(self, job_id: str, name: str, cells: List[Cell]) -> None:
+        self.id = job_id
+        self.name = name
+        self.cells = cells
+        self.state = "queued"
+        self.error: Optional[str] = None
+        self.created = time.time()
+        self.finished: Optional[float] = None
+        self.from_cache = 0
+        self.executed = 0
+        self.errors = 0
+        self.cancel_event = asyncio.Event()
+        self._rows: Dict[str, CellResult] = {}
+
+    # -- progress ---------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return len(self.cells)
+
+    @property
+    def done_cells(self) -> int:
+        return self.from_cache + self.executed
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done_cells
+
+    @property
+    def active(self) -> bool:
+        return self.state not in DONE_STATES
+
+    def record(self, cell: Cell, row: CellResult, from_cache: bool) -> None:
+        self._rows[cell.cell_id] = row
+        if from_cache:
+            self.from_cache += 1
+        else:
+            self.executed += 1
+        if not row.ok:
+            self.errors += 1
+
+    def results(self) -> List[CellResult]:
+        """Rows so far, in deterministic cell order (not completion order)."""
+        return [
+            self._rows[cell.cell_id] for cell in self.cells if cell.cell_id in self._rows
+        ]
+
+    def to_dict(self, include_results: bool = True) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "name": self.name,
+            "state": self.state,
+            "error": self.error,
+            "progress": {
+                "total": self.total,
+                "done": self.done_cells,
+                "from_cache": self.from_cache,
+                "executed": self.executed,
+                "errors": self.errors,
+            },
+        }
+        if include_results:
+            payload["results"] = [row.to_dict() for row in self.results()]
+        return payload
+
+
+class JobManager:
+    """Owns the job table, the worker pool handle, and the queue bound."""
+
+    def __init__(
+        self,
+        pool,  # ProcessPoolExecutor, or None for the loop's thread executor
+        cache: Optional[ResultCache],
+        metrics: ServerMetrics,
+        queue_limit: int = 10_000,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.pool = pool
+        self.cache = cache
+        self.metrics = metrics
+        self.queue_limit = queue_limit
+        self.jobs: Dict[str, Job] = {}
+        self._tasks: Dict[str, asyncio.Task] = {}
+
+    # -- queue accounting ---------------------------------------------------------
+
+    @property
+    def pending_cells(self) -> int:
+        return sum(job.remaining for job in self.jobs.values() if job.active)
+
+    # -- the cache memo, shared with the simulate endpoint -------------------------
+
+    def cache_lookup(self, cell: Cell) -> Optional[CellResult]:
+        """The cached row for a cell, or ``None``; records hit/miss metrics."""
+        if self.cache is None or not cell.cacheable:
+            return None
+        payload = self.cache.get(cell.cache_key())
+        if payload is None or payload.get("cell_id") != cell.cell_id:
+            self.metrics.record_cache(False)
+            return None
+        self.metrics.record_cache(True)
+        row = CellResult.from_dict(payload)
+        row.cached = True
+        row.wall_time = 0.0
+        return row
+
+    def cache_publish(self, cell: Cell, row: CellResult) -> None:
+        if self.cache is not None and cell.cacheable and row.ok:
+            self.cache.put(cell.cache_key(), row.deterministic_dict())
+
+    async def execute_cell(self, cell: Cell) -> Tuple[CellResult, bool]:
+        """Run one cell through the memo: ``(row, was_cache_hit)``.
+
+        The simulate endpoint calls this directly; job tasks use the same
+        lookup/publish pair around their fan-out.
+        """
+        self.metrics.record_engine_request(cell.engine)
+        row = self.cache_lookup(cell)
+        if row is not None:
+            return row, True
+        loop = asyncio.get_running_loop()
+        row = await loop.run_in_executor(self.pool, run_cell, cell)
+        self.metrics.record_engine_executed(cell.engine)
+        self.cache_publish(cell, row)
+        return row, False
+
+    # -- job lifecycle --------------------------------------------------------------
+
+    def submit(self, campaign: Campaign, cells: Optional[List[Cell]] = None) -> Job:
+        """Admit a campaign as a job, or raise :class:`QueueFullError`."""
+        if cells is None:
+            cells = campaign.expand()
+        backlog = self.pending_cells
+        if backlog + len(cells) > self.queue_limit:
+            self.metrics.record_job_event("rejected")
+            raise QueueFullError(
+                f"job queue is full: {backlog} cells pending, job adds "
+                f"{len(cells)}, limit is {self.queue_limit}",
+                retry_after=max(1, backlog // 100),
+            )
+        job = Job(uuid.uuid4().hex[:12], campaign.name, cells)
+        self.jobs[job.id] = job
+        self.metrics.record_job_event("submitted")
+        self._tasks[job.id] = asyncio.get_running_loop().create_task(self._run(job))
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Request cancellation; settled jobs keep their terminal state."""
+        job = self.jobs.get(job_id)
+        if job is not None and job.active:
+            job.cancel_event.set()
+        return job
+
+    async def _run(self, job: Job) -> None:
+        try:
+            job.state = "running"
+            loop = asyncio.get_running_loop()
+
+            to_run: List[Cell] = []
+            for cell in job.cells:
+                if job.cancel_event.is_set():
+                    break
+                self.metrics.record_engine_request(cell.engine)
+                row = self.cache_lookup(cell)
+                if row is not None:
+                    job.record(cell, row, from_cache=True)
+                    self.metrics.record_job_event("cells_from_cache")
+                else:
+                    to_run.append(cell)
+
+            by_future: Dict[asyncio.Future, Cell] = {}
+            if not job.cancel_event.is_set():
+                for cell in to_run:
+                    by_future[loop.run_in_executor(self.pool, run_cell, cell)] = cell
+
+            pending = set(by_future)
+            waiter = asyncio.ensure_future(job.cancel_event.wait())
+            try:
+                while pending:
+                    done, still_pending = await asyncio.wait(
+                        pending | {waiter}, return_when=asyncio.FIRST_COMPLETED
+                    )
+                    pending = still_pending - {waiter}
+                    for future in done - {waiter}:
+                        if future.cancelled():
+                            continue
+                        cell = by_future[future]
+                        row = future.result()  # run_cell never raises
+                        job.record(cell, row, from_cache=False)
+                        self.metrics.record_engine_executed(cell.engine)
+                        self.metrics.record_job_event("cells_executed")
+                        self.cache_publish(cell, row)
+                    if job.cancel_event.is_set():
+                        for future in pending:
+                            future.cancel()
+                        if pending:
+                            await asyncio.gather(*pending, return_exceptions=True)
+                        pending = set()
+            finally:
+                waiter.cancel()
+
+            if job.cancel_event.is_set():
+                job.state = "cancelled"
+                self.metrics.record_job_event("cancelled")
+            else:
+                job.state = "done"
+                self.metrics.record_job_event("completed")
+        except Exception as exc:  # noqa: BLE001 — a job failure is a recorded state
+            job.state = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+            self.metrics.record_job_event("failed")
+        finally:
+            job.finished = time.time()
+
+    async def shutdown(self) -> None:
+        """Cancel every live job and wait for their tasks to settle."""
+        for job in self.jobs.values():
+            if job.active:
+                job.cancel_event.set()
+        tasks = [task for task in self._tasks.values() if not task.done()]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)

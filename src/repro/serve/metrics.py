@@ -1,0 +1,137 @@
+"""Server-side observability for :mod:`repro.serve`.
+
+One :class:`ServerMetrics` instance lives on the server state and is mutated
+only from the event-loop thread, so no locks are needed.  It tracks exactly
+what the ``GET /v1/stats`` contract promises:
+
+* **cache memo effectiveness** — hits vs. misses across simulate /
+  expected-output requests and job cells, plus the derived hit rate (this is
+  the number that tells an operator the memo is actually absorbing repeat
+  traffic);
+* **per-engine demand** — how many requests *named* each engine vs. how many
+  actually *executed* on it (requests minus executed = requests the cache
+  absorbed);
+* **latency percentiles** — p50/p90/p99 and mean per endpoint over a bounded
+  sliding window (:class:`LatencyWindow`), so a hot cache path and a cold
+  simulate path are visible as separate distributions;
+* **job lifecycle counters** — submitted / completed / cancelled / failed /
+  rejected (backpressure 429s), and cell-level executed vs. from-cache.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+
+def percentile(sorted_values, fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted nonempty sequence."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sequence is undefined")
+    rank = max(0, min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1))))
+    return float(sorted_values[rank])
+
+
+class LatencyWindow:
+    """A bounded sliding window of request durations (seconds)."""
+
+    def __init__(self, size: int = 512) -> None:
+        self._samples: Deque[float] = deque(maxlen=size)
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(float(seconds))
+        self.count += 1
+        self.total += float(seconds)
+
+    def snapshot_ms(self) -> Dict[str, float]:
+        """Percentiles (in milliseconds) over the current window."""
+        window = sorted(self._samples)
+        if not window:
+            return {}
+        return {
+            "p50_ms": round(percentile(window, 0.50) * 1000, 3),
+            "p90_ms": round(percentile(window, 0.90) * 1000, 3),
+            "p99_ms": round(percentile(window, 0.99) * 1000, 3),
+            "mean_ms": round(sum(window) / len(window) * 1000, 3),
+            "window": len(window),
+        }
+
+
+class ServerMetrics:
+    """All counters behind ``GET /v1/stats``; event-loop-thread only."""
+
+    def __init__(self, latency_window: int = 512) -> None:
+        self.started_at = time.time()
+        self._latency_window = latency_window
+        self.requests: Dict[str, Dict[str, Any]] = {}
+        self.latencies: Dict[str, LatencyWindow] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.engines: Dict[str, Dict[str, int]] = {}
+        self.jobs = {
+            "submitted": 0,
+            "completed": 0,
+            "cancelled": 0,
+            "failed": 0,
+            "rejected": 0,
+            "cells_executed": 0,
+            "cells_from_cache": 0,
+        }
+
+    # -- recording --------------------------------------------------------------
+
+    def record_request(self, endpoint: str, status: int, seconds: float) -> None:
+        entry = self.requests.setdefault(endpoint, {"count": 0, "by_status": {}})
+        entry["count"] += 1
+        key = str(int(status))
+        entry["by_status"][key] = entry["by_status"].get(key, 0) + 1
+        self.latencies.setdefault(
+            endpoint, LatencyWindow(self._latency_window)
+        ).record(seconds)
+
+    def record_cache(self, hit: bool) -> None:
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    def record_engine_request(self, engine: str) -> None:
+        self._engine_entry(engine)["requests"] += 1
+
+    def record_engine_executed(self, engine: str) -> None:
+        self._engine_entry(engine)["executed"] += 1
+
+    def record_job_event(self, event: str, count: int = 1) -> None:
+        self.jobs[event] = self.jobs.get(event, 0) + count
+
+    def _engine_entry(self, engine: str) -> Dict[str, int]:
+        return self.engines.setdefault(str(engine), {"requests": 0, "executed": 0})
+
+    # -- reporting --------------------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        total = self.cache_hits + self.cache_misses
+        return (self.cache_hits / total) if total else None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``/v1/stats`` payload body (JSON-serializable, stable keys)."""
+        requests = {}
+        for endpoint, entry in self.requests.items():
+            requests[endpoint] = dict(entry)
+            requests[endpoint]["latency"] = self.latencies[endpoint].snapshot_ms()
+        hit_rate = self.cache_hit_rate
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": round(hit_rate, 6) if hit_rate is not None else None,
+            },
+            "engines": {name: dict(entry) for name, entry in self.engines.items()},
+            "requests": requests,
+            "jobs": dict(self.jobs),
+        }

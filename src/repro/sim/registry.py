@@ -81,6 +81,23 @@ class EngineInfo:
     approximate: bool = False
     description: str = ""
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Capability metadata as a JSON-serializable dict (no implementation).
+
+        The single serialization shared by ``python -m repro engines --json``
+        and the serve API's ``GET /v1/engines``, so the two surfaces can
+        never drift.
+        """
+        return {
+            "name": self.name,
+            "supports_gillespie": self.supports_gillespie,
+            "supports_fair": self.supports_fair,
+            "max_recommended_population": self.max_recommended_population,
+            "min_recommended_population": self.min_recommended_population,
+            "approximate": self.approximate,
+            "description": self.description,
+        }
+
     def run_many(self, crn, x, config):
         """Dispatch ``run_many`` to the implementation."""
         return self.implementation.run_many(crn, x, config)

@@ -95,6 +95,116 @@ class TestResultCache:
         assert cache.get("b" * 64) is None
 
 
+class TestResultCacheCrashSafety:
+    """put() is temp-file + os.replace: a crash can never publish a torn entry."""
+
+    def test_interrupted_write_leaves_the_old_entry_intact(self, tmp_path, monkeypatch):
+        """A writer killed mid-write (before the rename) must change nothing."""
+        import json as json_module
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        key = "c" * 64
+        cache.put(key, {"cell_id": "old", "status": "ok"})
+
+        original_dump = json_module.dump
+        written = {"bytes": 0}
+
+        def partial_dump(payload, handle, **kwargs):
+            # simulate the process dying after half the payload is on disk
+            text = json_module.dumps(payload, **kwargs)
+            handle.write(text[: len(text) // 2])
+            written["bytes"] = len(text) // 2
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(json_module, "dump", partial_dump)
+        with pytest.raises(OSError, match="simulated crash"):
+            cache.put(key, {"cell_id": "new", "status": "ok"})
+        monkeypatch.setattr(json_module, "dump", original_dump)
+
+        assert written["bytes"] > 0  # the injection really wrote a partial payload
+        # the published entry is the complete old payload, not the torn new one
+        assert cache.get(key) == {"cell_id": "old", "status": "ok"}
+        # and the aborted temp file was cleaned up
+        shard = tmp_path / "cache" / key[:2]
+        assert [p.name for p in shard.iterdir()] == [key + ".json"]
+
+    def test_interrupted_first_write_reads_as_miss(self, tmp_path, monkeypatch):
+        import json as json_module
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        key = "d" * 64
+
+        def exploding_dump(payload, handle, **kwargs):
+            handle.write('{"cell_id": "tor')  # a torn prefix
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(json_module, "dump", exploding_dump)
+        with pytest.raises(OSError):
+            cache.put(key, {"cell_id": "x", "status": "ok"})
+        monkeypatch.setattr(json_module, "dump", json_module.dump)
+
+        assert cache.get(key) is None
+        assert key not in cache
+
+
+class TestResultCacheConcurrency:
+    """Two processes sharing one cache root: interleaved get/put must never
+    raise or surface a corrupt payload (the serve server and a local campaign
+    share the memo exactly this way)."""
+
+    WORKER = r"""
+import json, os, sys
+sys.path.insert(0, {src!r})
+from repro.lab.cache import ResultCache
+
+root, worker_id, rounds = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+cache = ResultCache(root)
+keys = [format(k, "x").rjust(64, "0") for k in range(8)]
+payloads = {{key: {{"cell_id": key[:8], "status": "ok", "outputs": list(range(50))}}
+            for key in keys}}
+errors = 0
+for round_no in range(rounds):
+    for key in keys:
+        cache.put(key, payloads[key])
+        value = cache.get(key)
+        if value is not None and value != payloads[key]:
+            errors += 1  # a torn or foreign payload — the failure we test for
+print(json.dumps({{"worker": worker_id, "errors": errors}}))
+"""
+
+    def test_two_processes_interleave_without_corruption(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        script = textwrap.dedent(self.WORKER).format(src=src)
+        root = str(tmp_path / "cache")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, root, str(worker_id), "40"],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for worker_id in range(2)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            report = json.loads(out)
+            assert report["errors"] == 0
+        cache = ResultCache(root)
+        assert len(cache) == 8
+        for k in range(8):
+            key = format(k, "x").rjust(64, "0")
+            value = cache.get(key)
+            assert value is not None and value["cell_id"] == key[:8]
+
+
 class TestResultStore:
     def row(self, cell_id="c1", **overrides):
         kwargs = dict(

@@ -96,6 +96,22 @@ class TestCliSmoke:
         assert "approximate" in engines.stdout  # capability surfaced
         assert ">= 10000" in engines.stdout  # tau's population floor
 
+    def test_engines_json_matches_the_registry(self, tmp_path):
+        result = repro_cli("engines", "--json", cwd=tmp_path)
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(result.stdout)
+
+        # the machine-readable form is EngineInfo.to_dict, the same
+        # serialization GET /v1/engines responds with
+        from repro.sim.registry import registered_engines
+
+        assert payload == {"engines": [info.to_dict() for info in registered_engines()]}
+        by_name = {entry["name"]: entry for entry in payload["engines"]}
+        assert set(by_name) == {"python", "vectorized", "nrm", "tau"}
+        assert by_name["tau"]["approximate"] is True
+        assert by_name["tau"]["min_recommended_population"] == 10000
+        assert by_name["python"]["supports_fair"] is True
+
     def test_unknown_spec_is_a_clean_error(self, tmp_path):
         run = repro_cli(
             "run", "--spec", "definitely-not-a-spec", "--out", "x", cwd=tmp_path

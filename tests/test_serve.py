@@ -1,0 +1,489 @@
+"""End-to-end tests for :mod:`repro.serve` — the HTTP simulation service.
+
+Everything here drives a real server over real sockets: the in-process tests
+use :class:`~repro.serve.server.ServerThread` (a live asyncio server on a
+daemon thread, port 0), and the lifecycle test boots ``python -m repro serve``
+as a subprocess and SIGTERMs it.
+
+The two contracts the suite pins down:
+
+* **the cache memo** — two identical ``POST /v1/simulate`` requests return
+  byte-identical bodies, the second without invoking any engine (the hit is
+  visible in ``/v1/stats`` and the ``X-Repro-Cache`` header);
+* **serve/lab equivalence** — a job submitted over HTTP produces rows
+  deterministically identical to an in-process ``Workbench.campaign`` run of
+  the same grid (same cell ids, same derived per-cell seeds, same outputs).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.api.config import RunConfig
+from repro.api.workbench import Workbench
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.metrics import LatencyWindow, ServerMetrics, percentile
+from repro.serve.protocol import canonical_json
+from repro.serve.server import ReproServer, ServerThread
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+#: A cheap, deterministic request config used throughout.
+FAST_CONFIG = {"trials": 3, "seed": 11, "engine": "python", "max_steps": 200_000}
+
+
+@pytest.fixture()
+def server(tmp_path):
+    with ServerThread(port=0, workers=1, cache_dir=str(tmp_path / "cache")) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    return ServeClient("127.0.0.1", server.port)
+
+
+class TestBasicEndpoints:
+    def test_health_reports_version(self, client):
+        from repro import __version__
+
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert payload["version"] == __version__
+
+    def test_engines_matches_registry(self, client):
+        from repro.sim.registry import registered_engines
+
+        over_http = client.engines()
+        in_process = [info.to_dict() for info in registered_engines()]
+        assert over_http == in_process
+
+    def test_compile_reports_crn_shape(self, client):
+        payload = client.compile("minimum")
+        assert payload["spec"] == "minimum"
+        assert payload["dimension"] == 2
+        assert payload["reactions"] >= 1
+        assert payload["species"] >= 2
+        assert len(payload["fingerprint"]) == 64
+
+    def test_compile_unbuildable_spec_is_422(self, client):
+        status, _, body = client.request(
+            "POST", "/v1/compile", {"spec": "eq2_counterexample"}
+        )
+        assert status == 422
+        assert "eq2_counterexample" in json.loads(body)["error"]
+
+    def test_simulate_returns_a_correct_deterministic_row(self, client):
+        row = client.simulate("minimum", [8, 5], config=FAST_CONFIG)
+        assert row["expected"] == 5
+        assert row["output_mode"] == 5
+        assert row["correct"] is True
+        assert row["status"] == "ok"
+        # deterministic view: no provenance fields in the body
+        assert "wall_time" not in row
+        assert "cached" not in row
+
+    def test_expected_output_close_to_spec_value(self, client):
+        value = client.expected_output("minimum", [6, 9], config=FAST_CONFIG)
+        assert value == pytest.approx(6.0, abs=1.5)
+
+    def test_verify_exhaustive_passes(self, client):
+        report = client.verify("double", method="exhaustive", config={"seed": 3})
+        assert report["passed"] is True
+        assert all(r["passed"] for r in report["results"])
+        assert all(r["method"] == "exhaustive" for r in report["results"])
+
+
+class TestCacheMemo:
+    """The headline contract: repeats short-circuit before touching an engine."""
+
+    def test_repeat_simulate_is_byte_identical_and_engine_free(self, client):
+        request = {"spec": "minimum", "input": [8, 5], "config": FAST_CONFIG}
+        status1, headers1, body1 = client.request("POST", "/v1/simulate", request)
+        stats_between = client.stats()
+        status2, headers2, body2 = client.request("POST", "/v1/simulate", request)
+        stats_after = client.stats()
+
+        assert status1 == status2 == 200
+        assert headers1["x-repro-cache"] == "miss"
+        assert headers2["x-repro-cache"] == "hit"
+        assert body1 == body2  # byte identity, not just JSON equality
+
+        # the second request never invoked an engine …
+        executed = lambda stats: stats["engines"]["python"]["executed"]  # noqa: E731
+        assert executed(stats_after) == executed(stats_between) == 1
+        # … and the hit is counted in /v1/stats
+        assert stats_after["cache"]["hits"] == stats_between["cache"]["hits"] + 1
+        assert stats_after["cache"]["hit_rate"] == pytest.approx(0.5)
+
+    def test_unseeded_requests_never_cache(self, client):
+        config = {k: v for k, v in FAST_CONFIG.items() if k != "seed"}
+        request = {"spec": "minimum", "input": [4, 6], "config": config}
+        _, headers1, _ = client.request("POST", "/v1/simulate", request)
+        _, headers2, _ = client.request("POST", "/v1/simulate", request)
+        assert headers1["x-repro-cache"] == headers2["x-repro-cache"] == "miss"
+
+    def test_different_inputs_do_not_collide(self, client):
+        row1 = client.simulate("minimum", [8, 5], config=FAST_CONFIG)
+        row2 = client.simulate("minimum", [2, 9], config=FAST_CONFIG)
+        assert row1["expected"] == 5 and row2["expected"] == 2
+
+    def test_simulate_memo_is_shared_with_campaign_cells(self, server, client, tmp_path):
+        """A serve hit can be produced by an in-process campaign and vice versa."""
+        from repro.lab.campaign import Campaign, run_campaign
+
+        config = RunConfig(
+            trials=FAST_CONFIG["trials"],
+            seed=FAST_CONFIG["seed"],
+            engine="python",
+            max_steps=FAST_CONFIG["max_steps"],
+        )
+        # master seed None = "the config's own seed is the cell seed", which
+        # is exactly what a simulate request denotes
+        campaign = Campaign(
+            name="local",  # cell identity is campaign-name-independent
+            specs=[("minimum", "auto")],
+            inputs=[(7, 3)],
+            engines=("python",),
+            configs=(config,),
+            seed=None,
+        )
+        run_campaign(campaign, str(tmp_path / "runs"), cache_dir=str(tmp_path / "cache"))
+        _, headers, body = client.request(
+            "POST", "/v1/simulate", {"spec": "minimum", "input": [7, 3], "config": FAST_CONFIG}
+        )
+        assert headers["x-repro-cache"] == "hit"
+        assert json.loads(body)["output_mode"] == 3
+
+    def test_expected_output_repeat_hits_cache(self, client):
+        first = client.expected_output("minimum", [6, 9], config=FAST_CONFIG)
+        before = client.stats()["cache"]["hits"]
+        second = client.expected_output("minimum", [6, 9], config=FAST_CONFIG)
+        assert second == first
+        assert client.stats()["cache"]["hits"] == before + 1
+
+
+class TestJobs:
+    def test_job_round_trip_matches_in_process_campaign(self, tmp_path):
+        """The 3-request acceptance: submit, poll, compare against Workbench."""
+        inputs = [(3, 7), (9, 2), (5, 5)]
+        config = RunConfig(trials=5, seed=None, engine="python", max_steps=200_000)
+
+        with ServerThread(port=0, workers=2, cache_dir=str(tmp_path / "cache")) as srv:
+            client = ServeClient("127.0.0.1", srv.port)
+            job = client.submit_job(
+                name="acceptance",
+                specs=["minimum"],
+                inputs=[list(x) for x in inputs],
+                engines=["python"],
+                config={"trials": 5, "engine": "python", "max_steps": 200_000},
+                seed=99,
+            )
+            assert job["state"] == "queued" and job["total"] == 3
+            done = client.wait_for_job(job["id"])
+
+        assert done["state"] == "done"
+        assert done["progress"] == {
+            "total": 3, "done": 3, "from_cache": 0, "executed": 3, "errors": 0,
+        }
+
+        run = Workbench(config).campaign(
+            "acceptance",
+            ["minimum"],
+            inputs,
+            engines=["python"],
+            configs=[config],
+            seed=99,
+            out_dir=str(tmp_path / "runs"),
+            cache_dir=None,
+        )
+        local = sorted(
+            (r.deterministic_dict() for r in run.results), key=lambda r: r["cell_id"]
+        )
+        over_http = sorted(
+            (
+                {k: v for k, v in row.items() if k not in ("wall_time", "cached")}
+                for row in done["results"]
+            ),
+            key=lambda r: r["cell_id"],
+        )
+        # Deterministic identity: same cell ids, same derived per-cell seeds,
+        # same outputs — a serve job and a local campaign are the same run.
+        assert canonical_json(over_http) == canonical_json(local)
+
+    def test_job_repeat_is_served_from_cache(self, client):
+        fields = dict(
+            name="memo",
+            specs=["minimum"],
+            inputs=[[1, 4], [6, 2]],
+            engines=["python"],
+            config=FAST_CONFIG,
+            seed=7,
+        )
+        first = client.wait_for_job(client.submit_job(**fields)["id"])
+        second = client.wait_for_job(client.submit_job(**fields)["id"])
+        assert first["progress"]["executed"] == 2
+        assert second["progress"]["from_cache"] == 2
+        assert second["progress"]["executed"] == 0
+        strip = lambda rows: [  # noqa: E731
+            {k: v for k, v in r.items() if k not in ("wall_time", "cached")} for r in rows
+        ]
+        assert strip(second["results"]) == strip(first["results"])
+
+    def test_job_over_a_grid(self, client):
+        job = client.submit_job(
+            name="grid",
+            specs=["minimum"],
+            grid="0:3",
+            engines=["python"],
+            config=FAST_CONFIG,
+            seed=5,
+        )
+        done = client.wait_for_job(job["id"])
+        assert done["state"] == "done"
+        assert done["progress"]["total"] == 9
+        assert all(row["correct"] for row in done["results"])
+
+    def test_job_results_can_be_suppressed_when_polling(self, client):
+        import http.client
+
+        job = client.submit_job(
+            name="quiet", specs=["minimum"], inputs=[[2, 2]],
+            engines=["python"], config=FAST_CONFIG, seed=1,
+        )
+        client.wait_for_job(job["id"])
+        connection = http.client.HTTPConnection(client.host, client.port, timeout=30)
+        try:
+            connection.request(
+                "GET", f"/v1/jobs/{job['id']}", headers={"X-Repro-Results": "0"}
+            )
+            response = connection.getresponse()
+            assert response.status == 200
+            assert "results" not in json.loads(response.read())
+        finally:
+            connection.close()
+
+    def test_cancel_keeps_partial_results_and_settles_cancelled(self, client):
+        job = client.submit_job(
+            name="cancelme",
+            specs=["minimum"],
+            inputs=[[4000 + i, 4000] for i in range(6)],  # ~minutes of work
+            engines=["python"],
+            config={"trials": 10, "seed": 1, "engine": "python", "max_steps": 100_000_000},
+        )
+        reply = client.cancel_job(job["id"])
+        assert reply["state"] in ("running", "queued", "cancelled")
+        final = client.wait_for_job(job["id"])
+        assert final["state"] == "cancelled"
+        assert final["progress"]["done"] < final["progress"]["total"]
+        # cancelling a settled job is a no-op, not an error
+        assert client.cancel_job(job["id"])["state"] == "cancelled"
+
+    def test_queue_backpressure_is_429_with_retry_after(self, tmp_path):
+        with ServerThread(
+            port=0, workers=1, cache_dir=str(tmp_path / "cache"), queue_limit=1
+        ) as srv:
+            client = ServeClient("127.0.0.1", srv.port)
+            slow = client.submit_job(
+                name="occupier",
+                specs=["minimum"],
+                inputs=[[5000, 5000]],
+                engines=["python"],
+                config={"trials": 10, "seed": 1, "engine": "python", "max_steps": 100_000_000},
+            )
+            status, headers, body = client.request(
+                "POST",
+                "/v1/jobs",
+                {"name": "rejected", "specs": ["minimum"], "inputs": [[1, 2]],
+                 "engines": ["python"], "config": FAST_CONFIG},
+            )
+            assert status == 429
+            assert "retry-after" in headers
+            assert "queue is full" in json.loads(body)["error"]
+            assert client.stats()["jobs"]["rejected"] == 1
+            client.cancel_job(slow["id"])
+            client.wait_for_job(slow["id"])
+
+    def test_unknown_job_is_404(self, client):
+        for method, path in (
+            ("GET", "/v1/jobs/nope"),
+            ("DELETE", "/v1/jobs/nope"),
+            ("POST", "/v1/jobs/nope/cancel"),
+        ):
+            status, _, _ = client.request(method, path)
+            assert status == 404
+
+
+class TestValidation:
+    """Every bad request is a 400 whose message names the offending field."""
+
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ({"input": [1, 2]}, "'spec'"),
+            ({"spec": "nope", "input": [1]}, "unknown spec 'nope'"),
+            ({"spec": "minimum"}, "'input'"),
+            ({"spec": "minimum", "input": [1]}, "2"),  # wrong arity names the dimension
+            ({"spec": "minimum", "input": [1, -2]}, "'input'[1]"),
+            ({"spec": "minimum", "input": [1, "x"]}, "'input'[1]"),
+            ({"spec": "minimum", "input": [1, 2], "config": {"bogus": 1}}, "'bogus'"),
+            ({"spec": "minimum", "input": [1, 2], "config": {"trials": 0}}, "trials"),
+            ({"spec": "minimum", "input": [1, 2], "config": {"seed": "x"}}, "seed"),
+            ({"spec": "minimum", "input": [1, 2], "strategy": ""}, "'strategy'"),
+            ({"spec": "minimum", "input": [1, 2], "config": {"engine": "warp"}}, "warp"),
+            ({"spec": {"name": "minimum", "dimension": 3}, "input": [1, 2]}, "'dimension'"),
+            ({"spec": {"name": "minimum", "fingerprint": "00"}, "input": [1, 2]}, "'fingerprint'"),
+        ],
+    )
+    def test_simulate_rejections_name_the_field(self, client, payload, fragment):
+        status, _, body = client.request("POST", "/v1/simulate", payload)
+        assert status == 400, body
+        assert fragment in json.loads(body)["error"]
+
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ({"specs": ["minimum"], "inputs": [[1, 2]], "grid": "0:2"}, "exactly one"),
+            ({"specs": ["minimum"]}, "inputs"),
+            ({"specs": [], "inputs": [[1, 2]]}, "'specs'"),
+            ({"specs": ["minimum"], "inputs": [[1, 2]], "engines": ["warp"]}, "warp"),
+        ],
+    )
+    def test_job_rejections_name_the_field(self, client, payload, fragment):
+        status, _, body = client.request("POST", "/v1/jobs", payload)
+        assert status == 400, body
+        assert fragment in json.loads(body)["error"]
+
+    def test_body_must_be_json(self, client):
+        import http.client
+
+        connection = http.client.HTTPConnection(client.host, client.port, timeout=30)
+        try:
+            connection.request(
+                "POST", "/v1/simulate", body=b"not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert "not valid JSON" in json.loads(response.read())["error"]
+        finally:
+            connection.close()
+
+    def test_unknown_path_is_404_and_wrong_method_405(self, client):
+        assert client.request("GET", "/v1/nowhere")[0] == 404
+        assert client.request("PATCH", "/v1/stats")[0] == 405
+        assert client.request("GET", "/v1/simulate")[0] == 405
+
+    def test_client_raises_typed_errors(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.simulate("nope", [1])
+        assert excinfo.value.status == 400
+
+
+class TestStats:
+    def test_stats_shape(self, client):
+        client.simulate("minimum", [2, 3], config=FAST_CONFIG)
+        stats = client.stats()
+        assert set(stats) >= {"uptime_seconds", "cache", "engines", "requests", "jobs", "server"}
+        assert stats["server"]["workers"] == 1
+        assert stats["cache"]["enabled"] is True
+        simulate = stats["requests"]["POST /v1/simulate"]
+        assert simulate["count"] == 1
+        assert simulate["by_status"] == {"200": 1}
+        assert simulate["latency"]["p50_ms"] > 0
+
+    def test_latency_percentiles_are_sane(self):
+        window = LatencyWindow(size=8)
+        for value in (0.001, 0.002, 0.003, 0.004):
+            window.record(value)
+        snap = window.snapshot_ms()
+        assert snap["p99_ms"] == pytest.approx(4.0)
+        assert snap["mean_ms"] == pytest.approx(2.5)
+        assert snap["window"] == 4
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+        assert percentile([5.0], 0.99) == 5.0
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_metrics_snapshot_empty(self):
+        snap = ServerMetrics().snapshot()
+        assert snap["cache"] == {"hits": 0, "misses": 0, "hit_rate": None}
+        assert snap["requests"] == {}
+
+
+class TestServerModes:
+    def test_workers_zero_uses_thread_executor(self, tmp_path):
+        with ServerThread(port=0, workers=0, cache_dir=str(tmp_path / "cache")) as srv:
+            client = ServeClient("127.0.0.1", srv.port)
+            row = client.simulate("minimum", [4, 6], config=FAST_CONFIG)
+            assert row["output_mode"] == 4
+            assert client.stats()["server"]["workers"] == 0
+
+    def test_cache_disabled_still_serves_identical_bodies(self):
+        with ServerThread(port=0, workers=0, cache_dir=None) as srv:
+            client = ServeClient("127.0.0.1", srv.port)
+            request = {"spec": "minimum", "input": [4, 6], "config": FAST_CONFIG}
+            _, headers1, body1 = client.request("POST", "/v1/simulate", request)
+            _, headers2, body2 = client.request("POST", "/v1/simulate", request)
+            # no cache: both are misses, but seeded determinism still yields
+            # byte-identical bodies
+            assert headers1["x-repro-cache"] == headers2["x-repro-cache"] == "miss"
+            assert body1 == body2
+            assert client.stats()["cache"]["enabled"] is False
+
+    def test_keep_alive_reuses_one_connection(self, server):
+        import http.client
+
+        connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            for _ in range(3):
+                connection.request("GET", "/v1/health")
+                response = connection.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            connection.close()
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            ReproServer(workers=-1)
+
+
+class TestCliServe:
+    def test_serve_boots_answers_and_drains_on_sigterm(self, tmp_path):
+        import urllib.request
+
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
+        env["PYTHONUNBUFFERED"] = "1"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0", "--workers", "1",
+             "--cache-dir", str(tmp_path / "cache")],
+            cwd=str(tmp_path),
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            announce = proc.stdout.readline()
+            assert "repro.serve listening on http://127.0.0.1:" in announce
+            port = int(announce.split("http://127.0.0.1:")[1].split(" ")[0])
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/v1/health", timeout=30
+            ) as response:
+                assert json.loads(response.read())["status"] == "ok"
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+            assert "draining" in proc.stdout.read()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
