@@ -353,6 +353,40 @@ def format_markdown_trend(
     return "\n".join(lines)
 
 
+def format_profile(rows: Iterable[CellResult], top: int = 10) -> str:
+    """A where-did-the-time-go profile over campaign rows (``report --profile``).
+
+    Uses the execution provenance the executors record on every row —
+    ``wall_time``, ``cpu_time`` (``time.process_time``), and the worker PID —
+    so it works on any ``results.jsonl``, no rerun or tracing required.
+    Cached rows carry no execution time and are excluded beyond the headline
+    count.  A wall/CPU gap on a cell is the signature of an oversubscribed or
+    I/O-starved worker.
+    """
+    executed = [row for row in rows if not row.cached]
+    if not executed:
+        return "profile: no executed cells (everything cached or recorded earlier)"
+    wall = sum(row.wall_time for row in executed)
+    cpu = sum(row.cpu_time or 0.0 for row in executed)
+    workers = sorted({row.worker for row in executed if row.worker is not None})
+    lines = [
+        f"profile       : {len(executed)} executed cells, "
+        f"{wall:.3f}s wall, {cpu:.3f}s cpu"
+        + (f", {len(workers)} workers" if workers else ""),
+    ]
+    slowest = sorted(executed, key=lambda row: row.wall_time, reverse=True)[:top]
+    if slowest:
+        lines.append(f"slowest cells (top {len(slowest)} by wall time):")
+        for row in slowest:
+            cpu_part = f" cpu {row.cpu_time:.3f}s" if row.cpu_time is not None else ""
+            worker_part = f" worker {row.worker}" if row.worker is not None else ""
+            lines.append(
+                f"  {row.cell_id}  {row.wall_time:.3f}s{cpu_part}  "
+                f"{row.spec}/{row.engine} input={list(row.input)}{worker_part}"
+            )
+    return "\n".join(lines)
+
+
 def format_report(summary: CampaignSummary) -> str:
     """A compact human-readable rendering of a summary."""
     lines = [

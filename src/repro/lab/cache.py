@@ -28,9 +28,11 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from typing import Any, Dict, Optional
 
 from repro.core.specs import FunctionSpec
+from repro.obs.metrics import MetricsRegistry, global_registry
 
 #: Bump when a change to the simulators / constructions invalidates old results.
 #: "repro-lab-4": the "nrm" next-reaction engine landed.  Existing engines'
@@ -87,22 +89,57 @@ def cell_cache_key(
 
 
 class ResultCache:
-    """Content-addressed key -> JSON-payload store under a root directory."""
+    """Content-addressed key -> JSON-payload store under a root directory.
 
-    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+    Every instance reports into a :class:`repro.obs.metrics.MetricsRegistry`
+    (the shared default unless one is passed — the server passes its own so
+    ``GET /v1/metrics`` and ``/v1/stats`` read the same series):
+
+    * ``repro_result_cache_requests_total{result="hit"|"miss"}`` — ``get``
+      outcomes;
+    * ``repro_result_cache_get_seconds`` / ``repro_result_cache_put_seconds``
+      — lookup and publish (write + fsync + rename) latency histograms, the
+      numbers that expose a cache root on slow storage.
+    """
+
+    def __init__(
+        self, root: str = DEFAULT_CACHE_DIR, registry: Optional[MetricsRegistry] = None
+    ) -> None:
         self.root = str(root)
+        self.registry = registry if registry is not None else global_registry()
+        requests = self.registry.counter(
+            "repro_result_cache_requests_total",
+            "ResultCache.get outcomes by result (hit/miss).",
+            labels=("result",),
+        )
+        self._hits = requests.labels(result="hit")
+        self._misses = requests.labels(result="miss")
+        self._get_seconds = self.registry.histogram(
+            "repro_result_cache_get_seconds", "ResultCache.get latency."
+        )
+        self._put_seconds = self.registry.histogram(
+            "repro_result_cache_put_seconds",
+            "ResultCache.put latency (write + fsync + atomic rename).",
+        )
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The cached payload for ``key``, or ``None`` (corruption reads as a miss)."""
+        start = time.perf_counter()
         try:
             with open(self._path(key), "r", encoding="utf-8") as handle:
                 data = json.load(handle)
         except (OSError, json.JSONDecodeError):
+            data = None
+        finally:
+            self._get_seconds.observe(time.perf_counter() - start)
+        if not isinstance(data, dict):
+            self._misses.inc()
             return None
-        return data if isinstance(data, dict) else None
+        self._hits.inc()
+        return data
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         """Atomically and durably publish ``payload`` under ``key``.
@@ -115,6 +152,7 @@ class ResultCache:
         entries are content-addressed: two writers racing on one key are
         writing the same payload.
         """
+        start = time.perf_counter()
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         handle = tempfile.NamedTemporaryFile(
@@ -136,6 +174,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self._put_seconds.observe(time.perf_counter() - start)
 
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self._path(key))

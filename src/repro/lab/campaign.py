@@ -44,11 +44,15 @@ from repro.lab.cache import (
     spec_fingerprint,
 )
 from repro.lab.store import CellResult, ResultStore
+from repro.obs.provenance import run_manifest
+from repro.obs.trace import JsonlTraceSink, Tracer, get_tracer, install_tracer
 from repro.sim.registry import registered_engines
 
 MANIFEST_NAME = "manifest.json"
 RESULTS_NAME = "results.jsonl"
 SUMMARY_NAME = "summary.json"
+TRACE_NAME = "trace.jsonl"
+PROVENANCE_NAME = "provenance.json"
 
 
 # ---------------------------------------------------------------------------
@@ -479,19 +483,30 @@ def run_campaign(
     progress: Optional[Callable[[CellResult, str], None]] = None,
     retry_errors: bool = False,
     cells: Optional[List[Cell]] = None,
+    trace: bool = False,
 ) -> CampaignRun:
     """Run (or resume) a campaign into ``out_dir``; see the module docstring.
 
-    ``out_dir`` receives ``manifest.json``, ``results.jsonl``, and
-    ``summary.json``.  Running into a directory that already holds a
-    *different* campaign manifest is an error; the *same* campaign resumes.
-    ``cache_dir=None`` disables the content-addressed cache.  ``progress``
-    (if given) is called per cell with its result and its source: ``"done"``
-    (recorded by a previous run), ``"cache"``, or ``"run"``.  Recorded error
-    rows normally count as done; ``retry_errors=True`` re-executes them (the
-    retried row supersedes the old one when results are collected).  ``cells``
-    accepts a precomputed ``campaign.expand()`` so callers that already
-    expanded (the CLI, for its progress total) skip a second expansion.
+    ``out_dir`` receives ``manifest.json``, ``results.jsonl``,
+    ``summary.json``, and a ``provenance.json`` run manifest (version, code
+    salt, engine list, spec fingerprints, config cache keys — see
+    :func:`repro.obs.provenance.run_manifest`).  Running into a directory
+    that already holds a *different* campaign manifest is an error; the
+    *same* campaign resumes.  ``cache_dir=None`` disables the
+    content-addressed cache.  ``progress`` (if given) is called per cell with
+    its result and its source: ``"done"`` (recorded by a previous run),
+    ``"cache"``, or ``"run"``.  Recorded error rows normally count as done;
+    ``retry_errors=True`` re-executes them (the retried row supersedes the
+    old one when results are collected).  ``cells`` accepts a precomputed
+    ``campaign.expand()`` so callers that already expanded (the CLI, for its
+    progress total) skip a second expansion.
+
+    ``trace=True`` additionally writes ``trace.jsonl`` — a schema-versioned
+    span/event trace (``repro.obs.trace``) covering the campaign span, one
+    ``lab.cell`` span per executed cell, worker heartbeats, and (for
+    in-process cells) per-trial ``kernel.run`` spans — readable with
+    ``python -m repro trace``.  Tracing is installed process-globally for
+    the duration of the call and restored afterwards.
 
     Results are appended to the store in deterministic cell order (the pool
     executor's ordered ``imap`` guarantees this even across workers).
@@ -512,58 +527,101 @@ def run_campaign(
     store = ResultStore(os.path.join(out_dir, RESULTS_NAME))
     if cells is None:
         cells = campaign.expand()
-    recorded = {row.cell_id: row for row in store.iter_rows()}
-    already_done = 0
-    pending: List[Cell] = []
+
+    fingerprints: Dict[str, str] = {}
+    config_keys = set()
     for cell in cells:
-        row = recorded.get(cell.cell_id)
-        if row is not None and (row.ok or not retry_errors):
-            already_done += 1
-            if progress:
-                progress(row, "done")
-        else:
-            pending.append(cell)
-
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
-    from_cache = 0
-    to_run: List[Cell] = []
-    for cell in pending:
-        payload = cache.get(cell.cache_key()) if cache and cell.cacheable else None
-        if payload is not None and payload.get("cell_id") == cell.cell_id:
-            result = CellResult.from_dict(payload)
-            result.cached = True
-            result.wall_time = 0.0
-            store.append(result)
-            from_cache += 1
-            if progress:
-                progress(result, "cache")
-        else:
-            to_run.append(cell)
-
-    if executor is None:
-        from repro.lab.executor import PoolExecutor, SerialExecutor
-
-        executor = (
-            PoolExecutor(workers=workers, chunksize=chunksize, timeout=timeout)
-            if workers > 1
-            else SerialExecutor(timeout=timeout)
-        )
-
-    executed = 0
-    for cell, result in zip(to_run, executor.map(to_run)):
-        store.append(result)
-        executed += 1
-        if cache is not None and cell.cacheable and result.ok:
-            cache.put(cell.cache_key(), result.deterministic_dict())
-        if progress:
-            progress(result, "run")
-
-    rows_by_id = {row.cell_id: row for row in store.iter_rows()}
-    results = [rows_by_id[cell.cell_id] for cell in cells if cell.cell_id in rows_by_id]
-    summary = summarize(results, campaign=campaign.name)
-    with open(os.path.join(out_dir, SUMMARY_NAME), "w", encoding="utf-8") as handle:
-        json.dump(summary.to_dict(), handle, indent=2, sort_keys=True)
+        fingerprints.setdefault(cell.spec, cell.spec_fingerprint)
+        config_keys.add(cell.config.cache_key())
+    provenance = run_manifest(
+        engines=campaign.engines,
+        spec_fingerprints=fingerprints,
+        extra={
+            "campaign": campaign.name,
+            "seed": campaign.seed,
+            "total_cells": len(cells),
+            "config_cache_keys": sorted(config_keys),
+        },
+    )
+    with open(os.path.join(out_dir, PROVENANCE_NAME), "w", encoding="utf-8") as handle:
+        json.dump(provenance, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+    sink = None
+    previous_tracer = None
+    if trace:
+        sink = JsonlTraceSink(os.path.join(out_dir, TRACE_NAME), manifest=provenance)
+        previous_tracer = install_tracer(Tracer(sink))
+    tracer = get_tracer()
+    campaign_span = tracer.span(
+        "campaign.run", campaign=campaign.name, cells=len(cells), workers=workers
+    )
+    campaign_span.__enter__()
+    try:
+        recorded = {row.cell_id: row for row in store.iter_rows()}
+        already_done = 0
+        pending: List[Cell] = []
+        for cell in cells:
+            row = recorded.get(cell.cell_id)
+            if row is not None and (row.ok or not retry_errors):
+                already_done += 1
+                if progress:
+                    progress(row, "done")
+            else:
+                pending.append(cell)
+
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        from_cache = 0
+        to_run: List[Cell] = []
+        for cell in pending:
+            payload = cache.get(cell.cache_key()) if cache and cell.cacheable else None
+            if payload is not None and payload.get("cell_id") == cell.cell_id:
+                result = CellResult.from_dict(payload)
+                result.cached = True
+                result.wall_time = 0.0
+                store.append(result)
+                from_cache += 1
+                tracer.event("cache.hit", cell=cell.cell_id, spec=cell.spec)
+                if progress:
+                    progress(result, "cache")
+            else:
+                to_run.append(cell)
+
+        if executor is None:
+            from repro.lab.executor import PoolExecutor, SerialExecutor
+
+            executor = (
+                PoolExecutor(workers=workers, chunksize=chunksize, timeout=timeout)
+                if workers > 1
+                else SerialExecutor(timeout=timeout)
+            )
+
+        executed = 0
+        for cell, result in zip(to_run, executor.map(to_run)):
+            store.append(result)
+            executed += 1
+            if cache is not None and cell.cacheable and result.ok:
+                cache.put(cell.cache_key(), result.deterministic_dict())
+            if progress:
+                progress(result, "run")
+
+        rows_by_id = {row.cell_id: row for row in store.iter_rows()}
+        results = [
+            rows_by_id[cell.cell_id] for cell in cells if cell.cell_id in rows_by_id
+        ]
+        summary = summarize(results, campaign=campaign.name)
+        with open(os.path.join(out_dir, SUMMARY_NAME), "w", encoding="utf-8") as handle:
+            json.dump(summary.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        campaign_span.set(
+            executed=executed, from_cache=from_cache, already_done=already_done
+        )
+    finally:
+        campaign_span.__exit__(None, None, None)
+        if previous_tracer is not None:
+            install_tracer(previous_tracer)
+        if sink is not None:
+            sink.close()
 
     return CampaignRun(
         campaign=campaign,

@@ -3,8 +3,12 @@
 Subcommands::
 
     run            expand and execute a campaign (spec x grid x engines) into --out
+                   (--trace writes a schema-versioned trace.jsonl next to the rows)
     resume         finish an interrupted campaign from its manifest
     report         re-aggregate and print a finished (or partial) campaign
+                   (--profile adds executed-cell wall/CPU totals and the slowest cells)
+    trace          validate and pretty-print a trace.jsonl: span tree + top
+                   self-time table (nonzero exit when the file violates the schema)
     bench          run the benchmark family through the executor -> BENCH_results.json
     bench-compare  diff two BENCH_results.json files; fail on throughput
                    regression (--markdown emits a trend table for CI summaries)
@@ -35,6 +39,7 @@ from repro.lab.aggregate import (
     compare_bench_results,
     default_bench_path,
     format_markdown_trend,
+    format_profile,
     format_report,
     load_bench_json,
     make_bench_record,
@@ -114,6 +119,33 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="print the aggregate for a campaign dir")
     report.add_argument("out_dir")
     report.add_argument("--json", action="store_true", help="print summary as JSON")
+    report.add_argument(
+        "--profile",
+        action="store_true",
+        help="also print executed-cell wall/CPU totals and the slowest cells",
+    )
+    report.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows in the --profile slowest-cells table (default: 10)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="validate + pretty-print a trace.jsonl (span tree, self-time)"
+    )
+    trace.add_argument("trace_file", help="path to a trace.jsonl (see run --trace)")
+    trace.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows in the self-time table (default: 10)",
+    )
+    trace.add_argument(
+        "--no-tree", action="store_true", help="skip the span tree, print only totals"
+    )
 
     bench = sub.add_parser(
         "bench", help="benchmark family through the campaign executor"
@@ -223,6 +255,12 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--json", action="store_true", help="print summary as JSON")
     parser.add_argument("--quiet", action="store_true", help="no per-cell progress")
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span/event trace to <out>/trace.jsonl "
+        "(inspect with `python -m repro trace`)",
+    )
 
 
 def _progress_printer(total: int, quiet: bool):
@@ -269,6 +307,7 @@ def _execution_kwargs(args) -> dict:
         "timeout": args.timeout,
         "cache_dir": None if args.no_cache else args.cache_dir,
         "retry_errors": args.retry_errors,
+        "trace": args.trace,
     }
 
 
@@ -338,11 +377,41 @@ def _command_report(args) -> int:
         print(f"error: no {RESULTS_NAME} in {args.out_dir!r}", file=sys.stderr)
         return 2
     name = Campaign.load(manifest).name if os.path.exists(manifest) else ""
-    summary = summarize(store.load(), campaign=name)
+    rows = store.load()
+    summary = summarize(rows, campaign=name)
     if args.json:
-        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+        payload = summary.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(format_report(summary))
+        if args.profile:
+            print()
+            print(format_profile(rows, top=args.top))
+    return 0
+
+
+def _command_trace(args) -> int:
+    from repro.obs.report import format_self_time_table, format_span_tree
+    from repro.obs.trace import read_trace, validate_trace
+
+    try:
+        records = list(read_trace(args.trace_file))
+    except OSError as exc:
+        print(f"error: cannot read {args.trace_file!r}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {args.trace_file!r} is not a trace: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_trace(records)
+    if problems:
+        print(f"error: {args.trace_file!r} violates the trace schema:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 2
+    if not args.no_tree:
+        print(format_span_tree(records))
+        print()
+    print(format_self_time_table(records, top=args.top))
     return 0
 
 
@@ -486,6 +555,7 @@ _COMMANDS = {
     "run": _command_run,
     "resume": _command_resume,
     "report": _command_report,
+    "trace": _command_trace,
     "bench": _command_bench,
     "bench-compare": _command_bench_compare,
     "specs": _command_specs,
@@ -507,3 +577,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (ValueError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # The reader went away (e.g. `... | head`).  Point stdout at devnull
+        # so the interpreter's exit-time flush doesn't raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE, matching shell convention

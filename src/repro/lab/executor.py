@@ -39,6 +39,7 @@ from typing import Dict, Iterable, Iterator, Optional, Tuple
 from repro.crn.network import CRN
 from repro.lab.campaign import Cell, resolve_spec
 from repro.lab.store import CellResult
+from repro.obs.trace import get_tracer
 from repro.sim.runner import run_many
 
 
@@ -64,7 +65,9 @@ def _built_crn(spec_name: str, strategy: str) -> CRN:
     return crn
 
 
-def _error_row(cell: Cell, exc: BaseException, wall_time: float) -> CellResult:
+def _error_row(
+    cell: Cell, exc: BaseException, wall_time: float, cpu_time: Optional[float] = None
+) -> CellResult:
     return CellResult(
         cell_id=cell.cell_id,
         spec=cell.spec,
@@ -75,12 +78,23 @@ def _error_row(cell: Cell, exc: BaseException, wall_time: float) -> CellResult:
         status="error",
         error=f"{type(exc).__name__}: {exc}",
         wall_time=wall_time,
+        cpu_time=cpu_time,
+        worker=os.getpid(),
     )
 
 
 def run_cell(cell: Cell) -> CellResult:
-    """Execute one cell; deterministic for seeded cells, never raises."""
+    """Execute one cell; deterministic for seeded cells, never raises.
+
+    The returned row carries execution provenance next to the deterministic
+    payload: wall seconds, CPU seconds (``time.process_time`` — the number
+    that exposes a cell starved by oversubscribed workers), and the executing
+    worker's PID.  All three live in
+    :data:`repro.lab.store.PROVENANCE_FIELDS`, so the serial/parallel
+    bit-identity contract and the cache payloads are unaffected.
+    """
     start = time.perf_counter()
+    cpu_start = time.process_time()
     try:
         spec = resolve_spec(cell.spec)
         expected = spec(cell.input)
@@ -103,9 +117,13 @@ def run_cell(cell: Cell) -> CellResult:
             mean_steps=report.mean_steps,
             total_steps=sum(report.steps),
             wall_time=time.perf_counter() - start,
+            cpu_time=time.process_time() - cpu_start,
+            worker=os.getpid(),
         )
     except Exception as exc:  # noqa: BLE001 — failure capture is the contract
-        return _error_row(cell, exc, time.perf_counter() - start)
+        return _error_row(
+            cell, exc, time.perf_counter() - start, time.process_time() - cpu_start
+        )
 
 
 def run_cell_with_timeout(cell: Cell, timeout: Optional[float] = None) -> CellResult:
@@ -141,6 +159,34 @@ def _pool_task(payload: Tuple[Cell, Optional[float]]) -> CellResult:
     return run_cell_with_timeout(cell, timeout)
 
 
+def _traced_results(results: Iterable[CellResult]) -> Iterator[CellResult]:
+    """Emit a per-cell span + a worker heartbeat as each result arrives.
+
+    The pool path: results come back to the *parent* process through ordered
+    ``imap``, so the trace file has a single span writer per cell even though
+    the work happened in a forked worker — the span duration is the
+    worker-measured ``wall_time`` carried on the row.
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        yield from results
+        return
+    for result in results:
+        tracer.emit_span(
+            "lab.cell",
+            time.time() - result.wall_time,
+            result.wall_time,
+            cell=result.cell_id,
+            spec=result.spec,
+            engine=result.engine,
+            status=result.status,
+            worker=result.worker,
+            cpu_s=result.cpu_time,
+        )
+        tracer.event("worker.heartbeat", worker=result.worker, cell=result.cell_id)
+        yield result
+
+
 class SerialExecutor:
     """In-process, one cell at a time — the debugging fallback."""
 
@@ -148,8 +194,23 @@ class SerialExecutor:
         self.timeout = timeout
 
     def map(self, cells: Iterable[Cell]) -> Iterator[CellResult]:
+        tracer = get_tracer()
+        if not tracer.enabled:
+            for cell in cells:
+                yield run_cell_with_timeout(cell, self.timeout)
+            return
+        # In-process cells run inside a live span, so their per-trial
+        # kernel.run spans nest under the cell in the trace tree.
         for cell in cells:
-            yield run_cell_with_timeout(cell, self.timeout)
+            with tracer.span(
+                "lab.cell", cell=cell.cell_id, spec=cell.spec, engine=cell.engine
+            ) as span:
+                result = run_cell_with_timeout(cell, self.timeout)
+                span.set(
+                    status=result.status, worker=result.worker, cpu_s=result.cpu_time
+                )
+            tracer.event("worker.heartbeat", worker=result.worker, cell=result.cell_id)
+            yield result
 
     def __repr__(self) -> str:
         return f"SerialExecutor(timeout={self.timeout})"
@@ -192,7 +253,9 @@ class PoolExecutor:
         with multiprocessing.Pool(processes=min(self.workers, len(cells))) as pool:
             # imap (not imap_unordered): results come back in cell order, so
             # the store stays deterministic no matter the scheduling.
-            yield from pool.imap(_pool_task, payloads, self._chunksize_for(len(cells)))
+            yield from _traced_results(
+                pool.imap(_pool_task, payloads, self._chunksize_for(len(cells)))
+            )
 
     def __repr__(self) -> str:
         return (

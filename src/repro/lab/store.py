@@ -8,9 +8,9 @@ and schedules only the remainder.
 The **determinism contract**: everything in :meth:`CellResult.deterministic_dict`
 is a pure function of the cell descriptor (spec fingerprint, input, config,
 engine) for seeded cells, so the serial and parallel executors must produce
-bit-identical deterministic rows.  ``wall_time`` and ``cached`` are
-provenance — they describe *this* execution, not the result — and are the
-only fields excluded.
+bit-identical deterministic rows.  The :data:`PROVENANCE_FIELDS`
+(``wall_time``, ``cached``, ``cpu_time``, ``worker``) describe *this*
+execution, not the result, and are the only fields excluded.
 """
 
 from __future__ import annotations
@@ -22,7 +22,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
 #: Fields describing how a row was produced rather than what was computed.
 #: Excluded from the deterministic view (and therefore from cache payloads).
-PROVENANCE_FIELDS = ("wall_time", "cached")
+PROVENANCE_FIELDS = ("wall_time", "cached", "cpu_time", "worker")
 
 
 @dataclass
@@ -52,6 +52,11 @@ class CellResult:
     error: Optional[str] = None
     wall_time: float = 0.0
     cached: bool = False
+    cpu_time: Optional[float] = None
+    """CPU seconds (``time.process_time``) the executing worker spent on this
+    cell; ``None`` for cached rows (provenance, like ``wall_time``)."""
+    worker: Optional[int] = None
+    """PID of the process that executed the cell (provenance)."""
 
     def __post_init__(self) -> None:
         self.input = tuple(int(v) for v in self.input)

@@ -1,0 +1,62 @@
+"""repro.obs — unified tracing, metrics, and run-provenance (DESIGN.md §9).
+
+The stack's single observability substrate, dependency-free by construction:
+
+* :class:`RunStats` — the per-run counter block every engine fills in
+  (events, selections, propensity_ops, rng_draws, wall_s);
+* :class:`Tracer` / :class:`JsonlTraceSink` — schema-versioned JSONL span
+  traces, off by default with a no-op disabled path benched at ≤ 2% overhead
+  on the scalar kernel (``benchmarks/test_bench_obs.py``);
+* :class:`MetricsRegistry` — named counters/gauges/histograms behind both
+  the ``/v1/stats`` JSON snapshot and the ``GET /v1/metrics`` Prometheus
+  endpoint;
+* :func:`run_manifest` — the provenance record (version, ``CODE_SALT``,
+  config cache key, spec fingerprints) attached to campaign stores, traces,
+  and server stats.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
+    global_registry,
+    render_prometheus,
+)
+from repro.obs.provenance import PROVENANCE_SCHEMA, run_manifest
+from repro.obs.report import format_self_time_table, format_span_tree
+from repro.obs.stats import RunStats
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    JsonlTraceSink,
+    Span,
+    Tracer,
+    get_tracer,
+    install_tracer,
+    read_trace,
+    validate_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
+    "global_registry",
+    "render_prometheus",
+    "PROVENANCE_SCHEMA",
+    "run_manifest",
+    "format_self_time_table",
+    "format_span_tree",
+    "RunStats",
+    "TRACE_SCHEMA",
+    "JsonlTraceSink",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "install_tracer",
+    "read_trace",
+    "validate_trace",
+]

@@ -1,0 +1,66 @@
+"""Run-provenance manifests: what code, seed, and engine produced a result.
+
+The bench-regression gate and the content-addressed cache both depend on
+knowing *exactly* which code produced a row; this module packages that
+context into one JSON-serializable manifest attached to campaign output
+directories (``provenance.json``), traced runs (the trace file's ``meta``
+record), and the server's ``/v1/stats`` payload.
+
+Everything here is derived, never authoritative: the cache key
+(:func:`repro.lab.cache.cell_cache_key`) remains the single source of truth
+for replay identity — the manifest exists so a human (or a dashboard) can
+read that identity without recomputing hashes.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from typing import Any, Dict, Iterable, Optional
+
+#: Bump on any backwards-incompatible change to the manifest shape.
+PROVENANCE_SCHEMA = "repro-provenance-v1"
+
+
+def run_manifest(
+    engine: Optional[str] = None,
+    config: Optional[Any] = None,
+    spec_fingerprints: Optional[Dict[str, str]] = None,
+    engines: Optional[Iterable[str]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a provenance manifest for one run/campaign/server instance.
+
+    ``config`` may be a :class:`repro.api.config.RunConfig`; its
+    ``cache_key()`` (the string hashed into every cell cache address) is
+    embedded verbatim.  Imports are deferred so this module stays importable
+    from anywhere in the package without cycles.
+    """
+    from repro import __version__
+    from repro.lab.cache import CODE_SALT
+
+    manifest: Dict[str, Any] = {
+        "schema": PROVENANCE_SCHEMA,
+        "version": __version__,
+        "code_salt": CODE_SALT,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "created_unix": round(time.time(), 3),
+    }
+    if engine is not None:
+        manifest["engine"] = str(engine)
+    if engines is not None:
+        manifest["engines"] = sorted(str(name) for name in engines)
+    if config is not None:
+        cache_key = getattr(config, "cache_key", None)
+        manifest["config_cache_key"] = cache_key() if callable(cache_key) else str(cache_key)
+        to_json = getattr(config, "to_json_dict", None)
+        if callable(to_json):
+            manifest["config"] = to_json()
+    if spec_fingerprints:
+        manifest["spec_fingerprints"] = dict(sorted(spec_fingerprints.items()))
+    if extra:
+        manifest.update(extra)
+    return manifest

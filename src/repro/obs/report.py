@@ -1,0 +1,106 @@
+"""Human-readable rendering of JSONL traces (``python -m repro trace``).
+
+Two views over one trace file:
+
+* :func:`format_span_tree` — spans nested by parent id, ordered by start
+  time, with durations and the most useful attrs inline;
+* :func:`format_self_time_table` — per-span-name totals with *self* time
+  (duration minus child durations), answering "where did this campaign
+  spend its time" without a profiler rerun.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Tuple
+
+_TREE_ATTRS = ("cell", "spec", "engine", "policy", "worker", "events", "cells")
+
+
+def _span_records(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return [record for record in records if record.get("type") == "span"]
+
+
+def _self_times(spans: List[Dict[str, Any]]) -> Dict[Optional[str], float]:
+    """Span id -> duration minus the summed durations of its direct children."""
+    child_total: Dict[Optional[str], float] = defaultdict(float)
+    for span in spans:
+        child_total[span.get("parent")] += float(span.get("dur_s") or 0.0)
+    return {
+        span.get("id"): max(
+            0.0, float(span.get("dur_s") or 0.0) - child_total.get(span.get("id"), 0.0)
+        )
+        for span in spans
+    }
+
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1000:.2f}ms"
+
+
+def _attr_suffix(attrs: Dict[str, Any]) -> str:
+    shown = [f"{key}={attrs[key]}" for key in _TREE_ATTRS if key in attrs]
+    return f"  [{' '.join(shown)}]" if shown else ""
+
+
+def format_span_tree(records: List[Dict[str, Any]], max_children: int = 40) -> str:
+    """The trace's spans as an indented tree (one line per span)."""
+    spans = _span_records(records)
+    if not spans:
+        return "(no spans in trace)"
+    spans.sort(key=lambda span: float(span.get("t0") or 0.0))
+    children: Dict[Optional[str], List[Dict[str, Any]]] = defaultdict(list)
+    ids = {span.get("id") for span in spans}
+    for span in spans:
+        parent = span.get("parent")
+        children[parent if parent in ids else None].append(span)
+
+    lines: List[str] = []
+
+    def walk(span: Dict[str, Any], depth: int) -> None:
+        attrs = span.get("attrs") or {}
+        lines.append(
+            f"{'  ' * depth}{span.get('name')}  {_fmt_duration(float(span.get('dur_s') or 0.0))}"
+            f"{_attr_suffix(attrs)}"
+        )
+        kids = children.get(span.get("id"), [])
+        for child in kids[:max_children]:
+            walk(child, depth + 1)
+        if len(kids) > max_children:
+            lines.append(f"{'  ' * (depth + 1)}... ({len(kids) - max_children} more)")
+
+    for root in children[None]:
+        walk(root, 0)
+    events = sum(1 for record in records if record.get("type") == "event")
+    if events:
+        lines.append(f"({events} point events not shown; {len(spans)} spans total)")
+    return "\n".join(lines)
+
+
+def format_self_time_table(records: List[Dict[str, Any]], top: int = 10) -> str:
+    """Top-``top`` span names by total self time, as an aligned text table."""
+    spans = _span_records(records)
+    if not spans:
+        return "(no spans in trace)"
+    self_times = _self_times(spans)
+    by_name: Dict[str, Tuple[int, float, float]] = {}
+    for span in spans:
+        name = str(span.get("name"))
+        count, total, self_total = by_name.get(name, (0, 0.0, 0.0))
+        by_name[name] = (
+            count + 1,
+            total + float(span.get("dur_s") or 0.0),
+            self_total + self_times.get(span.get("id"), 0.0),
+        )
+    rows = sorted(by_name.items(), key=lambda item: item[1][2], reverse=True)[:top]
+    name_width = max([len("span")] + [len(name) for name, _ in rows])
+    header = f"{'span':<{name_width}}  {'count':>7}  {'total':>10}  {'self':>10}"
+    lines = [header, "-" * len(header)]
+    for name, (count, total, self_total) in rows:
+        lines.append(
+            f"{name:<{name_width}}  {count:>7}  {_fmt_duration(total):>10}  "
+            f"{_fmt_duration(self_total):>10}"
+        )
+    return "\n".join(lines)

@@ -22,6 +22,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.api.config import RunConfig
 from repro.lab.cache import CODE_SALT, ResultCache, cell_cache_key, spec_fingerprint
 from repro.lab.campaign import Campaign, SweepGrid, spec_factory_names
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.provenance import run_manifest
 from repro.serve.jobs import JobManager, QueueFullError, single_cell
 from repro.serve.metrics import ServerMetrics
 from repro.serve.protocol import (
@@ -146,7 +148,24 @@ async def handle_stats(state: ServerState, request: HttpRequest) -> Response:
     }
     payload["cache"]["enabled"] = state.cache is not None
     payload["cache"]["root"] = state.cache.root if state.cache is not None else None
+    payload["provenance"] = run_manifest(
+        config=state.config, extra={"workers": state.workers}
+    )
     return Response(payload=payload)
+
+
+async def handle_metrics(state: ServerState, request: HttpRequest) -> Response:
+    """Prometheus text exposition of the server's metrics registry.
+
+    Rendered from the *same* registry ``/v1/stats`` snapshots, including the
+    :class:`~repro.lab.cache.ResultCache` hit/miss and latency series when the
+    server owns a cache.
+    """
+    state.metrics.touch()
+    return Response(
+        body=render_prometheus(state.metrics.registry).encode("utf-8"),
+        headers={"Content-Type": PROMETHEUS_CONTENT_TYPE},
+    )
 
 
 async def handle_compile(state: ServerState, request: HttpRequest) -> Response:
@@ -431,6 +450,7 @@ _FIXED_ROUTES = {
     ("GET", "/v1/health"): (handle_health, "GET /v1/health"),
     ("GET", "/v1/engines"): (handle_engines, "GET /v1/engines"),
     ("GET", "/v1/stats"): (handle_stats, "GET /v1/stats"),
+    ("GET", "/v1/metrics"): (handle_metrics, "GET /v1/metrics"),
     ("POST", "/v1/compile"): (handle_compile, "POST /v1/compile"),
     ("POST", "/v1/simulate"): (handle_simulate, "POST /v1/simulate"),
     ("POST", "/v1/expected_output"): (handle_expected_output, "POST /v1/expected_output"),

@@ -86,8 +86,15 @@ class ReproServer:
         from repro import __version__
 
         self._pool = ProcessPoolExecutor(max_workers=self.workers) if self.workers else None
-        cache = ResultCache(self.cache_dir) if self.cache_dir is not None else None
-        metrics = ServerMetrics()
+        metrics = ServerMetrics(version=__version__)
+        # The cache reports into the server's registry, so its hit/miss and
+        # fsync-latency series show up on GET /v1/metrics alongside the
+        # request counters.
+        cache = (
+            ResultCache(self.cache_dir, registry=metrics.registry)
+            if self.cache_dir is not None
+            else None
+        )
         jobs = JobManager(self._pool, cache, metrics, queue_limit=self.queue_limit)
         self.state = ServerState(
             config=self.config,

@@ -40,6 +40,12 @@ output tracking, quiescence window) advances in batches.  The
 :class:`KernelRunResult` distinguishes ``steps`` (reaction events fired) from
 ``selections`` (scheduler iterations); for exact policies the two are equal,
 while a tau-leap run collapses thousands of events into a handful of leaps.
+Every run also carries a uniform :class:`repro.obs.stats.RunStats` block
+(``result.stats``: events, selections, propensity_ops, rng_draws, wall_s) —
+the counters are plain per-stepper ints incremented at the existing call
+sites, so the random stream and the seeded draw order are untouched, and the
+disabled-tracing overhead stays inside the ≤ 2% bench ceiling
+(``benchmarks/test_bench_obs.py``).
 
 Seeding / reproducibility policy
 --------------------------------
@@ -67,11 +73,14 @@ from __future__ import annotations
 
 import math
 import random
+import time as _time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.crn.configuration import Configuration
 from repro.crn.species import Species
+from repro.obs.stats import RunStats
+from repro.obs.trace import get_tracer
 from repro.sim.engine import CompiledCRN
 from repro.sim.trajectory import Trajectory
 
@@ -117,6 +126,10 @@ class KernelRunResult:
     selections: int = 0
     """Scheduler iterations: equal to ``steps`` for exact policies, the number
     of leaps / fallback bursts for a batch-firing policy."""
+    stats: Optional[RunStats] = None
+    """The uniform :class:`repro.obs.stats.RunStats` counter block (events,
+    selections, propensity_ops, rng_draws, wall_s) — populated by
+    :meth:`SimulatorCore.run` for every policy, including tau-leaping."""
 
 
 class StepPolicy:
@@ -187,7 +200,7 @@ _TIMED_OUT = -2
 class _GillespieStepper:
     """Single-run Gillespie state: the propensity vector, kept incrementally."""
 
-    __slots__ = ("compiled", "rng", "props", "last_recomputed", "propensity_ops")
+    __slots__ = ("compiled", "rng", "props", "last_recomputed", "propensity_ops", "rng_draws")
 
     def __init__(self, compiled: CompiledCRN, rng: random.Random) -> None:
         self.compiled = compiled
@@ -196,11 +209,24 @@ class _GillespieStepper:
         #: Reactions refreshed by the most recent ``fired`` call (test hook).
         self.last_recomputed: Tuple[int, ...] = ()
         #: Propensity values computed or read while scheduling (see
-        #: benchmarks/test_bench_simulators.py): the direct method reads the
-        #: whole vector per select (the total-rate sum; the choice scan prefix
-        #: is not counted, which undercounts) plus ``|deps(j)|`` recomputes
-        #: per fired; NRM pays only the recomputes.
+        #: benchmarks/test_bench_simulators.py): the full vector at ``start``,
+        #: then the whole vector per select (the total-rate sum; the choice
+        #: scan prefix is not counted, which undercounts) plus ``|deps(j)|``
+        #: recomputes per fired; NRM pays only the start plus the recomputes.
         self.propensity_ops: int = 0
+        #: Calls into the ``random.Random`` stream *not* covered by the
+        #: per-event constant below — i.e. the lone expovariate consumed by a
+        #: select that then times out.  The direct method's draw count is
+        #: otherwise a constant 2 per fired event (waiting time + choice), so
+        #: the hot path carries no counter at all; :meth:`SimulatorCore.run`
+        #: folds ``rng_draws + rng_draws_per_event * events`` into RunStats.
+        #: The stream itself is never wrapped, so seeded runs stay
+        #: bit-identical (RunStats contract).
+        self.rng_draws: int = 0
+
+    #: RNG draws per fired event (see ``rng_draws``): exponential waiting
+    #: time plus the propensity-proportional choice.
+    rng_draws_per_event = 2
 
     def _propensity(self, r: int, counts: List[int]) -> float:
         # Bit-identical to Reaction.propensity: start from the rate constant
@@ -217,6 +243,7 @@ class _GillespieStepper:
         self.props = [
             self._propensity(r, counts) for r in range(self.compiled.n_reactions)
         ]
+        self.propensity_ops += len(self.props)
 
     def select(self, time_now: float, max_time: float) -> Tuple[int, float]:
         """Pick the next reaction; returns ``(index, new_time)``.
@@ -233,6 +260,7 @@ class _GillespieStepper:
         rng = self.rng
         time_now += rng.expovariate(total)
         if time_now > max_time:
+            self.rng_draws += 1  # drawn but no event fired; see rng_draws_per_event
             return _TIMED_OUT, max_time
         choice = rng.random() * total
         cumulative = 0.0
@@ -441,6 +469,7 @@ class _NRMStepper:
         "time_now",
         "last_recomputed",
         "propensity_ops",
+        "rng_draws",
     )
 
     def __init__(self, compiled: CompiledCRN, rng: random.Random) -> None:
@@ -457,6 +486,9 @@ class _NRMStepper:
         #: Propensity values computed or read while scheduling — comparable
         #: with the :class:`_GillespieStepper` counter of the same name.
         self.propensity_ops: int = 0
+        #: Calls into the ``random.Random`` stream (same contract as the
+        #: direct-method stepper: count, never wrap).
+        self.rng_draws: int = 0
 
     # Bit-identical propensity evaluation, shared with the direct method.
     _propensity = _GillespieStepper._propensity
@@ -467,6 +499,8 @@ class _NRMStepper:
         self.props = [
             self._propensity(r, counts) for r in range(self.compiled.n_reactions)
         ]
+        self.propensity_ops += len(self.props)
+        self.rng_draws += sum(1 for a in self.props if a > 0.0)
         self.queue = IndexedPriorityQueue(
             rng.expovariate(a) if a > 0.0 else math.inf for a in self.props
         )
@@ -511,8 +545,13 @@ class _NRMStepper:
                     queue.update(r, t + (old / new) * (queue.key(r) - t))
             else:
                 queue.update(r, t + rng.expovariate(new))
+                self.rng_draws += 1
         a = props[j]
-        queue.update(j, t + rng.expovariate(a) if a > 0.0 else math.inf)
+        if a > 0.0:
+            queue.update(j, t + rng.expovariate(a))
+            self.rng_draws += 1
+        else:
+            queue.update(j, math.inf)
 
     def propensities(self) -> Tuple[float, ...]:
         """A snapshot of the incrementally-maintained propensity vector."""
@@ -526,7 +565,7 @@ class _NRMStepper:
 class _FairStepper:
     """Single-run fair-scheduler state: the applicability flags, kept incrementally."""
 
-    __slots__ = ("compiled", "rng", "weights", "app", "last_recomputed")
+    __slots__ = ("compiled", "rng", "weights", "app", "last_recomputed", "propensity_ops", "rng_draws")
 
     def __init__(
         self,
@@ -540,6 +579,12 @@ class _FairStepper:
         self.app: List[bool] = []
         #: Reactions refreshed by the most recent ``fired`` call (test hook).
         self.last_recomputed: Tuple[int, ...] = ()
+        #: Applicability evaluations — the fair scheduler's analogue of the
+        #: kinetic steppers' propensity work, counted under the same name so
+        #: :class:`repro.obs.stats.RunStats` is uniform across policies.
+        self.propensity_ops: int = 0
+        #: Calls into the ``random.Random`` stream (count, never wrap).
+        self.rng_draws: int = 0
 
     def _applicable(self, r: int, counts: List[int]) -> bool:
         for s, k in self.compiled.reactant_terms[r]:
@@ -551,6 +596,7 @@ class _FairStepper:
         self.app = [
             self._applicable(r, counts) for r in range(self.compiled.n_reactions)
         ]
+        self.propensity_ops += len(self.app)
 
     def select(self, time_now: float, max_time: float) -> Tuple[int, float]:
         """Pick a random applicable reaction (``_SILENT`` when there is none)."""
@@ -559,6 +605,7 @@ class _FairStepper:
         if not applicable:
             return _SILENT, time_now
         rng = self.rng
+        self.rng_draws += 1
         if self.weights is None:
             return rng.choice(applicable), time_now
         weights = [self.weights[j] for j in applicable]
@@ -577,6 +624,7 @@ class _FairStepper:
         """Refresh exactly the applicability flags firing ``j`` can have changed."""
         dependents = self.compiled.dependency_graph[j]
         self.last_recomputed = dependents
+        self.propensity_ops += len(dependents)
         app = self.app
         for r in dependents:
             app[r] = self._applicable(r, counts)
@@ -662,6 +710,7 @@ class _TauLeapStepper:
         "leaps",
         "exact_events",
         "rejections",
+        "poisson_draws",
     )
 
     def __init__(
@@ -690,6 +739,28 @@ class _TauLeapStepper:
         self.leaps = 0
         self.exact_events = 0
         self.rejections = 0
+        #: Uniform draws consumed by :meth:`_poisson` (the leap sampler's
+        #: share of the run's rng_draws; the embedded exact stepper keeps its
+        #: own counter for the fallback bursts).
+        self.poisson_draws = 0
+
+    # Uniform RunStats counters: the embedded exact stepper carries the
+    # propensity work (full recomputes after each leap, incremental updates
+    # inside bursts, the per-advance total-rate read) and the fallback draws;
+    # the leap sampler's Poisson draws are added on top.
+    @property
+    def propensity_ops(self) -> int:
+        return self.exact.propensity_ops
+
+    @property
+    def rng_draws(self) -> int:
+        # exact_events scales the embedded stepper's per-event draw constant
+        # (its hot path carries no counter; see _GillespieStepper.rng_draws).
+        return (
+            self.exact.rng_draws
+            + self.exact.rng_draws_per_event * self.exact_events
+            + self.poisson_draws
+        )
 
     # -- tau selection ---------------------------------------------------------
 
@@ -750,6 +821,7 @@ class _TauLeapStepper:
             while product > threshold:
                 k += 1
                 product *= rng.random()
+            self.poisson_draws += k + 1
             return k
         log_lam = math.log(lam)
         b = 0.931 + 2.53 * math.sqrt(lam)
@@ -759,6 +831,7 @@ class _TauLeapStepper:
         while True:
             u = rng.random() - 0.5
             v = rng.random()
+            self.poisson_draws += 2
             us = 0.5 - abs(u)
             k = math.floor((2.0 * a / us + b) * u + lam + 0.43)
             if us >= 0.07 and v <= v_r:
@@ -787,6 +860,10 @@ class _TauLeapStepper:
         """
         policy = self.policy
         props = self.exact.props
+        # The leap scheduler reads the whole vector (total rate + tau bound);
+        # counted once per advance, mirroring the direct method's per-select
+        # accounting, so tau's propensity work is comparable across engines.
+        self.exact.propensity_ops += len(props)
         total = sum(props)
         if total <= 0.0:
             return _SILENT, time_now
@@ -943,6 +1020,8 @@ class SimulatorCore:
             each step; the run stops as soon as it returns True.
         """
         compiled = self.compiled
+        t0_unix = _time.time()
+        t0 = _time.perf_counter()
         counts, extras = self._encode(initial)
         stepper = self.policy.bind(compiled, self.rng)
         stepper.start(counts)
@@ -1021,6 +1100,30 @@ class SimulatorCore:
                 steps,
                 self._decode(counts, extras),
             )
+        stats = RunStats(
+            events=steps,
+            selections=selections,
+            propensity_ops=getattr(stepper, "propensity_ops", 0),
+            rng_draws=getattr(stepper, "rng_draws", 0)
+            + getattr(stepper, "rng_draws_per_event", 0) * steps,
+            wall_s=_time.perf_counter() - t0,
+        )
+        # Tracing is a single emit of timings already measured above; when the
+        # global tracer is disabled (the default) this is one bool check.
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit_span(
+                "kernel.run",
+                t0_unix,
+                stats.wall_s,
+                policy=type(self.policy).__name__,
+                events=steps,
+                selections=selections,
+                propensity_ops=stats.propensity_ops,
+                rng_draws=stats.rng_draws,
+                silent=silent,
+                converged=converged,
+            )
         return KernelRunResult(
             final_configuration=self._decode(counts, extras),
             steps=steps,
@@ -1030,6 +1133,7 @@ class SimulatorCore:
             max_output_seen=max_output,
             trajectory=trajectory,
             selections=selections,
+            stats=stats,
         )
 
     def run_on_input(self, x: Sequence[int], **kwargs) -> KernelRunResult:

@@ -26,6 +26,7 @@ import pytest
 
 from repro.api.config import RunConfig
 from repro.api.workbench import Workbench
+from repro.lab.store import PROVENANCE_FIELDS
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.metrics import LatencyWindow, ServerMetrics, percentile
 from repro.serve.protocol import canonical_json
@@ -208,7 +209,7 @@ class TestJobs:
         )
         over_http = sorted(
             (
-                {k: v for k, v in row.items() if k not in ("wall_time", "cached")}
+                {k: v for k, v in row.items() if k not in PROVENANCE_FIELDS}
                 for row in done["results"]
             ),
             key=lambda r: r["cell_id"],
@@ -232,7 +233,7 @@ class TestJobs:
         assert second["progress"]["from_cache"] == 2
         assert second["progress"]["executed"] == 0
         strip = lambda rows: [  # noqa: E731
-            {k: v for k, v in r.items() if k not in ("wall_time", "cached")} for r in rows
+            {k: v for k, v in r.items() if k not in PROVENANCE_FIELDS} for r in rows
         ]
         assert strip(second["results"]) == strip(first["results"])
 
@@ -415,6 +416,81 @@ class TestStats:
         snap = ServerMetrics().snapshot()
         assert snap["cache"] == {"hits": 0, "misses": 0, "hit_rate": None}
         assert snap["requests"] == {}
+
+    def test_snapshot_has_uptime_s_version_and_all_job_events(self):
+        from repro.serve.metrics import JOB_EVENTS
+
+        snap = ServerMetrics(version="9.9.9").snapshot()
+        assert snap["uptime_s"] == snap["uptime_seconds"] >= 0
+        assert snap["version"] == "9.9.9"
+        assert set(snap["jobs"]) == set(JOB_EVENTS)
+        assert all(count == 0 for count in snap["jobs"].values())
+
+    def test_stats_includes_provenance_manifest(self, client):
+        from repro import __version__
+        from repro.lab.cache import CODE_SALT
+
+        stats = client.stats()
+        provenance = stats["provenance"]
+        assert provenance["schema"] == "repro-provenance-v1"
+        assert provenance["version"] == __version__
+        assert provenance["code_salt"] == CODE_SALT
+        assert stats["version"] == __version__
+
+    def test_latency_window_empty_and_single_sample(self):
+        assert LatencyWindow().snapshot_ms() == {}
+        window = LatencyWindow()
+        window.record(0.002)
+        snap = window.snapshot_ms()
+        assert snap["p50_ms"] == snap["p99_ms"] == pytest.approx(2.0)
+        assert snap["window"] == 1
+        assert snap["total_count"] == 1
+
+    def test_latency_window_wraparound_keeps_lifetime_count(self):
+        window = LatencyWindow(size=4)
+        for i in range(10):
+            window.record(0.001 * (i + 1))
+        snap = window.snapshot_ms()
+        assert snap["window"] == 4
+        assert snap["total_count"] == 10
+        # only the last 4 samples (7..10 ms) remain in the percentile window
+        assert snap["p50_ms"] >= 7.0
+        assert window.total == pytest.approx(sum(0.001 * (i + 1) for i in range(10)))
+
+
+class TestPrometheusEndpoint:
+    def test_metrics_text_parses_and_matches_stats(self, client):
+        request = {"spec": "minimum", "input": [3, 5], "config": FAST_CONFIG}
+        client.request("POST", "/v1/simulate", request)  # miss, populates memo
+        client.request("POST", "/v1/simulate", request)  # hit
+        status, headers, body = client.request("GET", "/v1/metrics")
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain; version=0.0.4")
+        text = body.decode("utf-8")
+
+        # every non-comment line must parse as `name{labels} value`
+        parsed = {}
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_and_labels, _, value = line.rpartition(" ")
+            float(value)  # must be a number (or would raise)
+            parsed[name_and_labels] = value
+        assert 'repro_result_cache_requests_total{result="hit"}' in parsed
+        assert parsed['repro_result_cache_requests_total{result="hit"}'] == "1"
+        assert (
+            parsed['repro_http_requests_total{endpoint="POST /v1/simulate",status="200"}']
+            == "2"
+        )
+        assert "repro_server_uptime_seconds" in parsed
+
+        # same registry as /v1/stats: the JSON view must agree
+        stats = client.stats()
+        assert stats["cache"]["hits"] >= 1
+        assert stats["requests"]["POST /v1/simulate"]["count"] == 2
+
+    def test_metrics_rejects_other_methods(self, client):
+        assert client.request("POST", "/v1/metrics")[0] == 405
 
 
 class TestServerModes:
