@@ -76,6 +76,13 @@ class RunConfig:
         0 and 1; smaller is more accurate and slower.  Exact engines ignore
         it, but it is part of :meth:`cache_key` for every config, so cached
         campaign cells are keyed by it.
+    allow_approximate:
+        Opt-in for ``engine="auto"`` resolution to pick an *approximate*
+        engine (``"tau-vec"`` / ``"tau"``) when the population clears the
+        engine's recommended floor.  Off by default: auto resolution stays
+        exact unless the caller explicitly accepts statistically-gated
+        (rather than exact) sampling.  Explicit engine selections are never
+        affected by this flag.
     """
 
     trials: int = 10
@@ -84,6 +91,7 @@ class RunConfig:
     seed: Optional[int] = None
     engine: str = "python"
     epsilon: float = 0.03
+    allow_approximate: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.trials, int) or self.trials < 1:
@@ -100,6 +108,10 @@ class RunConfig:
         if not isinstance(self.engine, str) or not self.engine:
             raise ValueError(f"engine must be a nonempty string, got {self.engine!r}")
         validate_epsilon(self.epsilon)
+        if not isinstance(self.allow_approximate, bool):
+            raise ValueError(
+                f"allow_approximate must be a bool, got {self.allow_approximate!r}"
+            )
 
     # -- derivation -----------------------------------------------------------
 
@@ -222,5 +234,6 @@ class RunConfig:
         return (
             f"RunConfig(engine={self.engine}, trials={self.trials}, "
             f"max_steps={self.max_steps}, quiescence_window={window}, "
-            f"seed={self.seed}, epsilon={self.epsilon})"
+            f"seed={self.seed}, epsilon={self.epsilon}, "
+            f"allow_approximate={self.allow_approximate})"
         )

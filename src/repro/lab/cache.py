@@ -39,7 +39,7 @@ from repro.obs.metrics import MetricsRegistry, global_registry
 #: seeded streams are locked bit for bit (tests/test_kernel.py), but the
 #: engine axis gained a value; the salt keeps any pre-NRM cache from ever
 #: answering for (or colliding with) a run that could now resolve to "nrm".
-CODE_SALT = "repro-lab-4"
+CODE_SALT = "repro-lab-5"
 
 #: Side length of the grid a spec is tabulated on for fingerprinting.
 FINGERPRINT_BOUND = 5

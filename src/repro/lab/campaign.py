@@ -140,7 +140,9 @@ _register_builtin_specs()
 # ---------------------------------------------------------------------------
 
 
-def resolve_engine(selector: str, x: Sequence[int]) -> str:
+def resolve_engine(
+    selector: str, x: Sequence[int], config: Optional[RunConfig] = None
+) -> str:
     """Resolve an engine selector for one input, honouring ``"auto"``.
 
     ``"auto"`` consults the engine registry's capability metadata: among
@@ -149,10 +151,33 @@ def resolve_engine(selector: str, x: Sequence[int]) -> str:
     ``max_recommended_population`` admits this input's population.  In the
     default registry that means ``python`` for small inputs and
     ``vectorized`` beyond ~2000 molecules.
+
+    When the config opts in with ``allow_approximate=True``, huge populations
+    resolve to an *approximate* engine first: among approximate engines whose
+    ``min_recommended_population`` floor (and ``max_recommended_population``
+    ceiling, if any) admits the population, batch-capable ones are preferred
+    — in the default registry that picks ``tau-vec`` (falling back to
+    ``tau``) at populations of 10^4 and above, while small inputs still get
+    the exact resolution.  Explicit selectors are returned unchanged in all
+    cases; the opt-in only affects ``"auto"``.
     """
     if selector != "auto":
         return selector
     population = sum(int(v) for v in x)
+    if config is not None and config.allow_approximate:
+        admitted = [
+            info
+            for info in registered_engines()
+            if info.approximate
+            and (info.min_recommended_population or 0) <= population
+            and (
+                info.max_recommended_population is None
+                or population <= info.max_recommended_population
+            )
+        ]
+        if admitted:
+            batch_native = [info for info in admitted if info.batch_capable]
+            return (batch_native[0] if batch_native else admitted[0]).name
     fair_capable = [info for info in registered_engines() if info.supports_fair]
     for info in fair_capable:
         bound = info.max_recommended_population
@@ -369,8 +394,10 @@ class Campaign:
                         f"{spec_name!r} takes {spec.dimension}"
                     )
                 for selector in self.engines:
-                    engine = resolve_engine(selector, x)
                     for variant in self.configs:
+                        # Resolved per variant: "auto" may pick an approximate
+                        # engine only for configs that opted in.
+                        engine = resolve_engine(selector, x, variant)
                         variant_fields = variant.to_dict()
                         variant_fields.pop("seed")
                         variant_fields.pop("engine")

@@ -529,7 +529,10 @@ def _command_engines(args) -> int:
         else:
             bound = "unbounded"
         kind = "approximate" if info.approximate else "exact"
-        print(f"{info.name:<12} {kind:<12} pop {bound:<12} {info.description}")
+        shape = "batch" if info.batch_capable else "scalar"
+        print(
+            f"{info.name:<12} {kind:<12} {shape:<7} pop {bound:<12} {info.description}"
+        )
     return 0
 
 

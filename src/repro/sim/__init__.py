@@ -46,12 +46,15 @@ Symbol                                  Purpose
 ``CompiledCRN``                         The shared IR: dense stoichiometry + sparse terms +
                                         reaction dependency graph.
 ``BatchGillespieEngine``                Vectorized SSA: B independent trajectories per step.
+``BatchTauLeapEngine``                  Vectorized tau-leaping: the whole batch advances one
+                                        CGP leap per round (``engine="tau-vec"``).
 ``BatchFairEngine``                     Vectorized fair scheduler with quiescence windows.
 ``BatchRunResult``                      Array-valued result of a batch run.
 ``Trajectory`` / ``TrajectoryPoint``    Recorded species counts along a scalar run.
 ``ConvergenceReport``                   Aggregate statistics over repeated runs.
 ``run_to_convergence``                  One fair run until silence / quiescence.
-``run_many``                            Repeated runs (``engine="python"|"vectorized"|"nrm"|"tau"``).
+``run_many``                            Repeated runs
+                                        (``engine="python"|"vectorized"|"nrm"|"tau"|"tau-vec"``).
 ``estimate_expected_output``            Monte-Carlo mean output under Gillespie kinetics.
 ``sweep_inputs``                        ``run_many`` over a collection of inputs (per-input seeds).
 ``default_quiescence_window``           Population-scaled convergence-detection window.
@@ -73,6 +76,7 @@ from repro.sim.engine import (
     BatchFairEngine,
     BatchGillespieEngine,
     BatchRunResult,
+    BatchTauLeapEngine,
     CompiledCRN,
 )
 from repro.sim.kernel import (
@@ -122,6 +126,7 @@ __all__ = [
     "output_consuming_bias",
     "CompiledCRN",
     "BatchGillespieEngine",
+    "BatchTauLeapEngine",
     "BatchFairEngine",
     "BatchRunResult",
     "SimulatorCore",

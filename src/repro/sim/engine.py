@@ -23,6 +23,10 @@ This module trades the sparse dict representation for a dense one:
   a uniformly random (or statically biased) applicable reaction, with the same
   per-row quiescence-window convergence detection as
   :class:`~repro.sim.fair.FairScheduler`.
+* :class:`BatchTauLeapEngine` compounds the batch layout with tau-leaping:
+  every active row advances one Cao–Gillespie–Petzold leap per round (batched
+  Poisson firing counts, per-trial rejection/tau-halving, per-trial exact
+  fallback under the shared ``n_critical`` rule of :mod:`repro.sim.tau`).
 
 See ``DESIGN.md`` for the architecture and the seeding / reproducibility
 policy, ``tests/test_engine.py`` for the scalar-vs-vectorized equivalence
@@ -31,6 +35,7 @@ suite, and ``tests/test_kernel.py`` for the kernel-vs-legacy scalar suite.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
@@ -38,6 +43,8 @@ import numpy as np
 
 from repro.crn.configuration import Configuration
 from repro.crn.species import Species
+from repro.obs.stats import RunStats
+from repro.obs.trace import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (network imports us lazily)
     from repro.crn.network import CRN
@@ -207,9 +214,13 @@ class BatchRunResult:
 
     All per-trajectory fields are numpy arrays of length ``B``; ``counts`` is
     the ``(B, S)`` matrix of final configurations in the compiled species
-    ordering.  ``times`` is only populated by the Gillespie engine and
-    ``converged`` only by the fair engine (it is all-False for Gillespie runs,
-    which have no quiescence detector).
+    ordering.  ``times`` is only populated by the clock-bearing engines
+    (Gillespie and tau-leap) and ``converged`` only by the engines with a
+    quiescence detector (fair and tau-leap); the fields are all-False /
+    ``None`` otherwise.  ``stats`` is the uniform whole-batch
+    :class:`~repro.obs.stats.RunStats` block, currently populated by the
+    tau-leap engine (``None`` for the single-firing engines, whose counters
+    are derivable from ``steps``).
     """
 
     compiled: CompiledCRN
@@ -219,6 +230,7 @@ class BatchRunResult:
     converged: np.ndarray
     max_output_seen: np.ndarray
     times: Optional[np.ndarray] = None
+    stats: Optional[RunStats] = None
 
     def __len__(self) -> int:
         return self.counts.shape[0]
@@ -368,6 +380,312 @@ class BatchGillespieEngine(_BatchEngineBase):
             max_output_seen=max_output,
             times=times,
         )
+
+    def run_on_input(self, x: Sequence[int], batch: int = 1, **kwargs) -> BatchRunResult:
+        """Advance ``batch`` trajectories from the initial configuration for ``x``."""
+        return self.run(self.crn.initial_configuration(x), batch=batch, **kwargs)
+
+
+class BatchTauLeapEngine(_BatchEngineBase):
+    """Vectorized tau-leaping: the whole batch advances one *leap* per round.
+
+    This engine compounds the two biggest speedups in the repo: the batch
+    engines' dense numpy kinetics (all trials advance per step) and the
+    tau-leap scheduler-iteration collapse (many firings per step).  Each
+    round, every active trial gets its own Cao–Gillespie–Petzold tau bound
+    (via the shared helpers in :mod:`repro.sim.tau` — the *same* bound the
+    scalar ``engine="tau"`` computes), fires a batched Poisson count per
+    reaction, and applies the aggregate net change.
+
+    The scalar stepper's safety rails carry over per trial:
+
+    * **negative-population rejection** — a trial whose sampled leap would
+      drive any species negative re-samples with its tau halved (other
+      trials keep their accepted leaps); after ``max_rejections`` halvings
+      it falls back to exact stepping for this round.
+    * **exact fallback** (the shared ``n_critical`` rule) — trials whose
+      leap would expect fewer than ``n_critical`` firings drop out of the
+      leap and instead run a burst of up to ``exact_burst`` single-firing
+      exact SSA steps (the :class:`BatchGillespieEngine` inner loop over
+      just those rows), while the rest of the batch keeps leaping.  Small
+      populations therefore degrade gracefully to the exact batch engine.
+
+    Sampling uses the engine's ``numpy.random.Generator`` (batched
+    ``rng.poisson`` / ``standard_exponential``), a stream unrelated to both
+    the scalar engines' ``random.Random`` and the hand-rolled scalar Poisson
+    sampler — runs are *statistically* (not bit-for-bit) equivalent to the
+    exact engines, which ``tests/test_statistical_equivalence.py`` gates
+    with two-sample KS tests exactly as it does for ``engine="tau"``.
+
+    Parameters
+    ----------
+    crn:
+        The network to simulate, or an already-compiled :class:`CompiledCRN`.
+    seed / rng:
+        Integer seed or explicit :class:`numpy.random.Generator` (exclusive).
+    epsilon:
+        The CGP relative-drift error knob (same default and validation as
+        :class:`~repro.sim.kernel.TauLeapPolicy`).
+    n_critical / exact_burst / max_rejections:
+        The scalar policy's safety-rail knobs, applied per trial.
+    """
+
+    def __init__(
+        self,
+        crn: "CRN | CompiledCRN",
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        epsilon: float = 0.03,
+        n_critical: float = 10.0,
+        exact_burst: int = 100,
+        max_rejections: int = 30,
+    ) -> None:
+        from repro.api.config import validate_epsilon
+        from repro.sim.tau import BatchTauSelector, build_g_candidates
+
+        super().__init__(crn, seed=seed, rng=rng)
+        epsilon = validate_epsilon(epsilon)
+        if n_critical <= 0:
+            raise ValueError(f"n_critical must be positive, got {n_critical!r}")
+        if exact_burst < 1:
+            raise ValueError(f"exact_burst must be >= 1, got {exact_burst!r}")
+        if max_rejections < 1:
+            raise ValueError(f"max_rejections must be >= 1, got {max_rejections!r}")
+        self.epsilon = float(epsilon)
+        self.n_critical = float(n_critical)
+        self.exact_burst = int(exact_burst)
+        self.max_rejections = int(max_rejections)
+        # Precompiled tau-selection data (shared math with the scalar stepper).
+        self._selector = BatchTauSelector(
+            build_g_candidates(self.compiled.reactant_terms),
+            self.compiled.net_terms,
+            self.compiled.n_species,
+        )
+
+    def run(
+        self,
+        initial: Configuration,
+        batch: int = 1,
+        max_steps: int = 1_000_000,
+        max_time: float = float("inf"),
+        quiescence_window: int = 0,
+    ) -> BatchRunResult:
+        """Advance ``batch`` trajectories until silence, quiescence, or a bound.
+
+        Semantics mirror the scalar tau engine run through
+        :class:`~repro.sim.kernel.SimulatorCore`: quiescence is detected at
+        *leap* granularity (a leap that fires ``k`` events while the output
+        is unchanged advances the window counter by ``k``), a trial may
+        overshoot ``max_steps`` by at most one leap, and a trial whose clock
+        would cross ``max_time`` has its final leap clamped to land exactly
+        on it.
+        """
+        from repro.sim.tau import critical_mask
+
+        t0_unix = _time.time()
+        t0 = _time.perf_counter()
+        compiled = self.compiled
+        counts = self._initial_counts(initial, batch)
+        steps = np.zeros(batch, dtype=np.int64)
+        times = np.zeros(batch, dtype=np.float64)
+        silent = np.zeros(batch, dtype=bool)
+        converged = np.zeros(batch, dtype=bool)
+        output_index = compiled.output_index
+        max_output = counts[:, output_index].copy()
+        last_output = counts[:, output_index].copy()
+        unchanged_for = np.zeros(batch, dtype=np.int64)
+        active = np.full(batch, compiled.n_reactions > 0)
+        silent |= ~active
+        stats = RunStats()
+        net_int = compiled.net.astype(np.int64)
+
+        while True:
+            rows = np.flatnonzero(active)
+            if rows.size == 0:
+                break
+            stats.selections += 1  # one leap round
+            props = compiled.propensities(counts[rows])
+            stats.propensity_ops += props.size
+            totals = props.sum(axis=1)
+            alive = totals > 0.0
+            newly_silent = rows[~alive]
+            silent[newly_silent] = True
+            active[newly_silent] = False
+            rows = rows[alive]
+            if rows.size == 0:
+                continue
+            props = props[alive]
+            totals = totals[alive]
+
+            tau = self._selector.select(props, counts[rows], self.epsilon)
+            # Purely catalytic rows (no reactant species ever changes) get an
+            # infinite bound; cap the batch so step budgets stay meaningful,
+            # mirroring the scalar stepper's 1000-expected-firings cap.
+            unbounded = np.isinf(tau)
+            if unbounded.any():
+                tau[unbounded] = 1000.0 / totals[unbounded]
+            crit = critical_mask(tau, totals, self.n_critical)
+
+            # Clamp leaping rows that would cross max_time; a non-positive
+            # clamped leap means the row is already at the horizon.
+            if np.isfinite(max_time):
+                over = ~crit & (times[rows] + tau > max_time)
+                if over.any():
+                    tau = np.where(over, max_time - times[rows], tau)
+                    timed_out = over & (tau <= 0.0)
+                    if timed_out.any():
+                        expired = rows[timed_out]
+                        times[expired] = max_time
+                        active[expired] = False
+                        keep = ~timed_out
+                        rows = rows[keep]
+                        props = props[keep]
+                        totals = totals[keep]
+                        tau = tau[keep]
+                        crit = crit[keep]
+                        if rows.size == 0:
+                            continue
+
+            events = np.zeros(rows.size, dtype=np.int64)
+
+            # --- the leap: batched Poisson counts with per-trial rejection ---
+            pending = np.flatnonzero(~crit)
+            for _ in range(self.max_rejections):
+                if pending.size == 0:
+                    break
+                lam = props[pending] * tau[pending, None]
+                firings = self.rng.poisson(lam)
+                stats.rng_draws += lam.size
+                delta = firings @ net_int
+                proposed = counts[rows[pending]] + delta
+                ok = (proposed >= 0).all(axis=1)
+                accepted = pending[ok]
+                if accepted.size:
+                    counts[rows[accepted]] = proposed[ok]
+                    times[rows[accepted]] += tau[accepted]
+                    events[accepted] = firings[ok].sum(axis=1)
+                pending = pending[~ok]
+                if pending.size == 0:
+                    break
+                tau[pending] /= 2.0
+                now_critical = critical_mask(
+                    tau[pending], totals[pending], self.n_critical
+                )
+                crit[pending[now_critical]] = True
+                pending = pending[~now_critical]
+            # Rows still rejecting after max_rejections halvings fall back.
+            crit[pending] = True
+
+            # --- exact fallback: single-firing SSA bursts for critical rows ---
+            burst = np.flatnonzero(crit)
+            if burst.size:
+                burst_events, burst_silent, burst_timed = self._exact_burst_rows(
+                    counts, times, rows[burst], max_time, stats
+                )
+                events[burst] = burst_events
+                silent[rows[burst[burst_silent]]] = True
+                active[rows[burst[burst_silent]]] = False
+                active[rows[burst[burst_timed]]] = False
+
+            # --- per-round bookkeeping, at leap granularity like the scalar ---
+            steps[rows] += events
+            current = counts[rows, output_index]
+            max_output[rows] = np.maximum(max_output[rows], current)
+            same = current == last_output[rows]
+            unchanged_for[rows] = np.where(same, unchanged_for[rows] + events, 0)
+            last_output[rows] = current
+            if quiescence_window:
+                quiescent = rows[unchanged_for[rows] >= quiescence_window]
+                converged[quiescent] = True
+                active[quiescent] = False
+            active[rows[steps[rows] >= max_steps]] = False
+            if np.isfinite(max_time):
+                active[rows[times[rows] >= max_time]] = False
+
+        stats.events = int(steps.sum())
+        stats.wall_s = _time.perf_counter() - t0
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit_span(
+                "engine.batch_tau.run",
+                t0_unix,
+                stats.wall_s,
+                batch=batch,
+                events=stats.events,
+                selections=stats.selections,
+            )
+        return BatchRunResult(
+            compiled=compiled,
+            counts=counts,
+            steps=steps,
+            silent=silent,
+            converged=converged,
+            max_output_seen=max_output,
+            times=times,
+            stats=stats,
+        )
+
+    def _exact_burst_rows(
+        self,
+        counts: np.ndarray,
+        times: np.ndarray,
+        sub_rows: np.ndarray,
+        max_time: float,
+        stats: RunStats,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Up to ``exact_burst`` vectorized exact SSA steps over ``sub_rows``.
+
+        Mutates ``counts`` / ``times`` in place for the rows it advances and
+        returns ``(events, went_silent, timed_out)`` aligned to ``sub_rows``.
+        This is the :class:`BatchGillespieEngine` inner loop restricted to
+        the critical subset: cumulative-propensity inverse-CDF selection, one
+        firing per row per iteration.
+        """
+        compiled = self.compiled
+        events = np.zeros(sub_rows.size, dtype=np.int64)
+        went_silent = np.zeros(sub_rows.size, dtype=bool)
+        timed_out = np.zeros(sub_rows.size, dtype=bool)
+        live = np.ones(sub_rows.size, dtype=bool)
+        for _ in range(self.exact_burst):
+            idx = np.flatnonzero(live)
+            if idx.size == 0:
+                break
+            rows = sub_rows[idx]
+            cumulative = np.cumsum(compiled.propensities(counts[rows]), axis=1)
+            stats.propensity_ops += cumulative.size
+            totals = cumulative[:, -1]
+            dead = totals <= 0.0
+            if dead.any():
+                went_silent[idx[dead]] = True
+                live[idx[dead]] = False
+                idx = idx[~dead]
+                rows = sub_rows[idx]
+                if rows.size == 0:
+                    break
+                cumulative = cumulative[~dead]
+                totals = totals[~dead]
+            waits = self.rng.standard_exponential(rows.size) / totals
+            stats.rng_draws += rows.size
+            new_times = times[rows] + waits
+            over = new_times > max_time
+            if over.any():
+                times[rows[over]] = max_time
+                timed_out[idx[over]] = True
+                live[idx[over]] = False
+                idx = idx[~over]
+                rows = sub_rows[idx]
+                if rows.size == 0:
+                    continue
+                cumulative = cumulative[~over]
+                totals = totals[~over]
+                new_times = new_times[~over]
+            picks = (1.0 - self.rng.random(rows.size)) * totals
+            stats.rng_draws += rows.size
+            chosen = (cumulative < picks[:, None]).sum(axis=1)
+            counts[rows] += compiled.net[chosen]
+            times[rows] = new_times
+            events[idx] += 1
+        return events, went_silent, timed_out
 
     def run_on_input(self, x: Sequence[int], batch: int = 1, **kwargs) -> BatchRunResult:
         """Advance ``batch`` trajectories from the initial configuration for ``x``."""

@@ -82,6 +82,7 @@ from repro.crn.species import Species
 from repro.obs.stats import RunStats
 from repro.obs.trace import get_tracer
 from repro.sim.engine import CompiledCRN
+from repro.sim.tau import build_g_candidates, g_factor, is_critical, select_tau
 from repro.sim.trajectory import Trajectory
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -725,16 +726,10 @@ class _TauLeapStepper:
         self.exact = _GillespieStepper(compiled, rng)
         # Per reactant species: the distinct (reaction order, own coefficient)
         # pairs over reactions consuming it, for the g_i factor of the tau
-        # bound.  g_i = order for coefficient 1; higher self-coefficients get
-        # the Cao et al. small-count correction (order + (k-1)/(x-1)).
-        candidates: Dict[int, set] = {}
-        for terms in compiled.reactant_terms:
-            order = sum(k for _, k in terms)
-            for s, k in terms:
-                candidates.setdefault(s, set()).add((order, k))
-        self.g_candidates: Dict[int, Tuple[Tuple[int, int], ...]] = {
-            s: tuple(sorted(pairs)) for s, pairs in candidates.items()
-        }
+        # bound (shared with the batched engine via repro.sim.tau).
+        self.g_candidates: Dict[int, Tuple[Tuple[int, int], ...]] = (
+            build_g_candidates(compiled.reactant_terms)
+        )
         #: Diagnostics (test hooks): leap / exact-burst / rejection counters.
         self.leaps = 0
         self.exact_events = 0
@@ -766,40 +761,23 @@ class _TauLeapStepper:
 
     def _g(self, s: int, x: int) -> float:
         """The highest-order-reaction factor g_i of Cao et al. (2006)."""
-        g = 1.0
-        for order, k in self.g_candidates.get(s, ((1, 1),)):
-            if k <= 1:
-                g = max(g, float(order))
-            else:
-                g = max(g, order + (k - 1) / float(max(x - 1, 1)))
-        return g
+        return g_factor(self.g_candidates.get(s, ((1, 1),)), x)
 
     def select_tau(self, counts: List[int]) -> float:
         """The largest leap over which no propensity should drift by more than
-        ``epsilon`` relatively (species-wise mean/variance bound)."""
-        epsilon = self.policy.epsilon
-        net_terms = self.compiled.net_terms
-        props = self.exact.props
-        mean_drift: Dict[int, float] = {}
-        var_drift: Dict[int, float] = {}
-        for j, a in enumerate(props):
-            if a <= 0.0:
-                continue
-            for s, delta in net_terms[j]:
-                mean_drift[s] = mean_drift.get(s, 0.0) + delta * a
-                var_drift[s] = var_drift.get(s, 0.0) + delta * delta * a
-        tau = math.inf
-        for s, pairs in self.g_candidates.items():
-            mu = abs(mean_drift.get(s, 0.0))
-            sigma2 = var_drift.get(s, 0.0)
-            if mu == 0.0 and sigma2 == 0.0:
-                continue
-            bound = max(epsilon * counts[s] / self._g(s, counts[s]), 1.0)
-            if mu > 0.0:
-                tau = min(tau, bound / mu)
-            if sigma2 > 0.0:
-                tau = min(tau, bound * bound / sigma2)
-        return tau
+        ``epsilon`` relatively (species-wise mean/variance bound).
+
+        Delegates to the shared scalar form in :mod:`repro.sim.tau` — the
+        same float ops in the same order as the pre-refactor inline loop, so
+        seeded ``engine="tau"`` streams are bit-for-bit unchanged.
+        """
+        return select_tau(
+            self.g_candidates,
+            self.compiled.net_terms,
+            self.exact.props,
+            counts,
+            self.policy.epsilon,
+        )
 
     # -- Poisson sampling ------------------------------------------------------
 
@@ -873,7 +851,7 @@ class _TauLeapStepper:
             # propensities are constant, so any leap is exact w.r.t. the
             # rates.  Bound the batch so step budgets stay meaningful.
             tau = 1000.0 / total
-        if tau * total < policy.n_critical:
+        if is_critical(tau, total, policy.n_critical):
             return self._exact_burst(counts, time_now, max_time)
         if time_now + tau > max_time:
             tau = max_time - time_now
@@ -903,7 +881,7 @@ class _TauLeapStepper:
                 return events, time_now
             self.rejections += 1
             tau /= 2.0
-            if tau * total < policy.n_critical:
+            if is_critical(tau, total, policy.n_critical):
                 break
         return self._exact_burst(counts, time_now, max_time)
 

@@ -68,6 +68,12 @@ class EngineInfo:
         True when the engine samples the kinetics approximately rather than
         exactly (results are statistically, not bit-for-bit, equivalent to
         the exact engines; see ``tests/test_statistical_equivalence.py``).
+    batch_capable:
+        True when the engine advances all trials simultaneously through a
+        dense batch representation (numpy rows) rather than one trajectory
+        at a time — the throughput shape serve clients and the lab's
+        ``"auto"`` resolution prefer at scale, published as metadata so they
+        never have to string-match engine names.
     description:
         One-line human-readable summary.
     """
@@ -79,6 +85,7 @@ class EngineInfo:
     max_recommended_population: Optional[int] = None
     min_recommended_population: Optional[int] = None
     approximate: bool = False
+    batch_capable: bool = False
     description: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
@@ -95,6 +102,7 @@ class EngineInfo:
             "max_recommended_population": self.max_recommended_population,
             "min_recommended_population": self.min_recommended_population,
             "approximate": self.approximate,
+            "batch_capable": self.batch_capable,
             "description": self.description,
         }
 
@@ -117,7 +125,7 @@ def _ensure_builtin_engines() -> None:
     # caller (e.g. a test) unregistered, so the defaults are always
     # restorable.  Only the missing names are touched — a deliberate
     # replace=True override of the other built-ins must survive.
-    missing = {"python", "vectorized", "nrm", "tau"} - set(_REGISTRY)
+    missing = {"python", "vectorized", "nrm", "tau", "tau-vec"} - set(_REGISTRY)
     if missing:
         runner.register_builtin_engines(missing)
 
@@ -130,6 +138,7 @@ def register_engine(
     max_recommended_population: Optional[int] = None,
     min_recommended_population: Optional[int] = None,
     approximate: bool = False,
+    batch_capable: bool = False,
     description: str = "",
     replace: bool = False,
 ):
@@ -164,6 +173,7 @@ def register_engine(
             max_recommended_population=max_recommended_population,
             min_recommended_population=min_recommended_population,
             approximate=approximate,
+            batch_capable=batch_capable,
             description=description,
         )
         return cls

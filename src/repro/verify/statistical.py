@@ -19,7 +19,8 @@ contract's toolkit:
 * :func:`sample_kinetic_distribution` — one seeded sample of per-trajectory
   completion step counts and final output counts for a CRN under a named
   kinetic sampler (``"python"`` exact scalar, ``"vectorized"`` exact batch,
-  ``"nrm"`` exact next-reaction method, ``"tau"`` tau-leaping, or any bound
+  ``"nrm"`` exact next-reaction method, ``"tau"`` tau-leaping, ``"tau-vec"``
+  batched tau-leaping, or any bound
   :class:`~repro.sim.kernel.StepPolicy`).
   All samplers target the same CTMC, so their step/output distributions must
   agree up to sampling noise.
@@ -188,7 +189,8 @@ def sample_kinetic_distribution(
     engine:
         ``"python"`` (exact scalar kernel), ``"nrm"`` (exact Gibson–Bruck
         next-reaction method), ``"tau"`` (tau-leaping with ``epsilon``),
-        ``"vectorized"`` (exact numpy batch engine), or a
+        ``"vectorized"`` (exact numpy batch engine), ``"tau-vec"`` (batched
+        tau-leaping with ``epsilon``), or a
         :class:`~repro.sim.kernel.StepPolicy` instance to sample an arbitrary
         — e.g. deliberately biased — scalar policy.
     n_seeds / base_seed:
@@ -198,8 +200,9 @@ def sample_kinetic_distribution(
         deterministic in CI.
     quiescence_window:
         Optional kinetic quiescence detection for CRNs that never fall
-        silent (scalar samplers only — the batch Gillespie engine has no
-        quiescence detector, so requesting both raises ``ValueError``).
+        silent (scalar samplers only — the batch engines are sampled on a
+        pure ``max_steps`` budget here, so requesting both raises
+        ``ValueError``).
     """
     if n_seeds < 2:
         raise ValueError(f"n_seeds must be >= 2 for a distribution, got {n_seeds}")
@@ -218,25 +221,35 @@ def sample_kinetic_distribution(
     elif engine == "vectorized":
         policy = None
         label = "vectorized"
+    elif engine == "tau-vec":
+        policy = None
+        label = "tau-vec"
     else:
         raise ValueError(
             f"unknown kinetic sampler {engine!r}; expected 'python', "
-            f"'vectorized', 'nrm', 'tau', or a StepPolicy instance"
+            f"'vectorized', 'nrm', 'tau', 'tau-vec', or a StepPolicy instance"
         )
 
     sample = DistributionSample(engine=label)
     if policy is None:
         if quiescence_window:
             raise ValueError(
-                "the vectorized batch engine has no quiescence detector; "
-                "use a max_steps budget (quiescence_window=0) for "
-                "cross-engine sampling"
+                "batch engines are sampled on a max_steps budget here "
+                "(quiescence_window=0) so every engine sees the identical "
+                "stopping rule; drop quiescence_window for cross-engine "
+                "sampling"
             )
-        from repro.sim.engine import BatchGillespieEngine
+        if label == "tau-vec":
+            from repro.sim.engine import BatchTauLeapEngine
 
-        result = BatchGillespieEngine(crn.compiled(), seed=base_seed).run_on_input(
-            x, batch=n_seeds, max_steps=max_steps
-        )
+            batch_engine = BatchTauLeapEngine(
+                crn.compiled(), seed=base_seed, epsilon=epsilon
+            )
+        else:
+            from repro.sim.engine import BatchGillespieEngine
+
+            batch_engine = BatchGillespieEngine(crn.compiled(), seed=base_seed)
+        result = batch_engine.run_on_input(x, batch=n_seeds, max_steps=max_steps)
         sample.steps = [int(v) for v in result.steps]
         sample.outputs = [int(v) for v in result.output_counts()]
         sample.all_completed = bool(result.silent.all())

@@ -28,6 +28,7 @@ from repro.functions.catalog import (
 from repro.sim import (
     BatchFairEngine,
     BatchGillespieEngine,
+    BatchTauLeapEngine,
     CompiledCRN,
     FairScheduler,
     GillespieSimulator,
@@ -384,3 +385,159 @@ class TestEngineSelector:
             engine="vectorized",
         )
         assert not report.passed
+
+
+# ---------------------------------------------------------------------------
+# BatchTauLeapEngine: vectorized tau-leaping (engine="tau-vec")
+# ---------------------------------------------------------------------------
+
+
+class TestBatchTauLeapEngine:
+    """The batched tau-leap engine against the scalar oracle and its own rails.
+
+    Distributional admission lives in ``tests/test_statistical_equivalence.py``
+    (KS gates, ``-m statistical``); this class covers the deterministic
+    contract — stable outputs, safety rails, bounds, stats, and knobs.
+    """
+
+    @pytest.mark.parametrize("factory", SPEC_FACTORIES, ids=SPEC_IDS)
+    def test_identical_stable_outputs_small_inputs(self, factory):
+        # Small populations sit entirely under the n_critical rule, so this
+        # exercises the exact-fallback path: the engine must degrade to the
+        # exact batch engine and still reach every stable output.
+        spec = factory()
+        crn = spec.known_crn
+        engine = BatchTauLeapEngine(crn.compiled(), seed=5)
+        for x in small_inputs(spec.dimension):
+            expected = spec.func(x)
+            result = engine.run_on_input(x, batch=8)
+            assert result.silent.all()
+            assert (result.output_counts() == expected).all()
+
+    def test_large_population_collapses_leap_rounds(self):
+        # The point of leaping: 5000 firings per trial in a few hundred leap
+        # rounds shared by the whole batch, not 5000 scheduler iterations.
+        crn = minimum_spec().known_crn
+        result = BatchTauLeapEngine(crn.compiled(), seed=7).run_on_input(
+            (5_000, 5_000), batch=16
+        )
+        assert result.silent.all()
+        assert (result.output_counts() == 5_000).all()
+        assert (result.steps == 5_000).all()
+        assert result.stats is not None
+        assert result.stats.selections < 1_000  # leap rounds, not events
+
+    def test_counts_never_negative_and_clock_advances(self):
+        crn = minimum_spec().known_crn
+        result = BatchTauLeapEngine(crn.compiled(), seed=3).run_on_input(
+            (2_000, 1_500), batch=8
+        )
+        assert (result.counts >= 0).all()
+        assert (result.times > 0).all()
+
+    def test_max_steps_bound_overshoots_by_at_most_one_leap(self):
+        crn = double_spec().known_crn
+        result = BatchTauLeapEngine(crn.compiled(), seed=1).run_on_input(
+            (100_000,), batch=4, max_steps=10_000
+        )
+        assert (result.steps >= 10_000).all()
+        assert not result.silent.any()
+
+    def test_max_time_clamps_clock(self):
+        crn = double_spec().known_crn
+        result = BatchTauLeapEngine(crn.compiled(), seed=1).run_on_input(
+            (100_000,), batch=4, max_time=1e-7
+        )
+        assert (result.times <= 1e-7).all()
+        assert not result.silent.any()
+
+    def test_quiescence_window_terminates_catalytic_network(self):
+        # X1 + X2 -> X1 + X2 never falls silent and never moves the output;
+        # the leap-granularity quiescence window must stop it, mirroring the
+        # scalar SimulatorCore semantics.  Purely catalytic kinetics also
+        # exercise the infinite-tau cap (tau bounded to 1000 expected
+        # firings), so the window is crossed in a handful of leap rounds.
+        x1, x2, y = species("X1 X2 Y")
+        crn = CRN([x1 + x2 >> x1 + x2], (x1, x2), y)
+        result = BatchTauLeapEngine(crn.compiled(), seed=4).run_on_input(
+            (50, 50), batch=6, quiescence_window=500, max_steps=100_000
+        )
+        assert result.converged.all()
+        assert not result.silent.any()
+
+    def test_zero_reaction_crn_is_silent_everywhere(self):
+        X, Y = species("X Y")
+        crn = CRN([], (X,), Y)
+        result = BatchTauLeapEngine(crn.compiled(), seed=2).run_on_input((9,), batch=5)
+        assert result.silent.all()
+        assert (result.steps == 0).all()
+
+    def test_run_stats_are_uniform_and_consistent(self):
+        crn = minimum_spec().known_crn
+        result = BatchTauLeapEngine(crn.compiled(), seed=11).run_on_input(
+            (50_000, 50_000), batch=8
+        )
+        stats = result.stats
+        assert stats.events == int(result.steps.sum())
+        assert 0 < stats.selections < stats.events
+        assert stats.propensity_ops > 0
+        assert stats.rng_draws > 0
+        assert stats.wall_s > 0.0
+
+    def test_same_seed_same_batch(self):
+        crn = maximum_spec().known_crn
+        first = BatchTauLeapEngine(crn.compiled(), seed=42).run_on_input(
+            (5_000, 7_000), batch=6
+        )
+        second = BatchTauLeapEngine(crn.compiled(), seed=42).run_on_input(
+            (5_000, 7_000), batch=6
+        )
+        assert (first.counts == second.counts).all()
+        assert (first.steps == second.steps).all()
+        assert first.times == pytest.approx(second.times)
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.1, "x", True])
+    def test_epsilon_validated(self, epsilon):
+        crn = minimum_spec().known_crn
+        with pytest.raises(ValueError):
+            BatchTauLeapEngine(crn.compiled(), seed=1, epsilon=epsilon)
+
+    def test_safety_knobs_validated(self):
+        crn = minimum_spec().known_crn
+        with pytest.raises(ValueError):
+            BatchTauLeapEngine(crn.compiled(), seed=1, n_critical=0.0)
+        with pytest.raises(ValueError):
+            BatchTauLeapEngine(crn.compiled(), seed=1, exact_burst=0)
+        with pytest.raises(ValueError):
+            BatchTauLeapEngine(crn.compiled(), seed=1, max_rejections=0)
+
+    def test_run_many_tau_vec_report(self):
+        crn = minimum_spec().known_crn
+        report = run_many(crn, (3_000, 4_000), trials=6, seed=10, engine="tau-vec")
+        assert report.output_unanimous
+        assert report.output_mode == 3_000
+        assert report.all_silent_or_converged
+        assert len(report.outputs) == len(report.steps) == 6
+
+    def test_run_many_tau_vec_is_reproducible(self):
+        crn = maximum_spec().known_crn
+        first = run_many(crn, (3_000, 8_000), trials=6, seed=10, engine="tau-vec")
+        second = run_many(crn, (3_000, 8_000), trials=6, seed=10, engine="tau-vec")
+        assert first.outputs == second.outputs
+        assert first.steps == second.steps
+
+    def test_estimate_expected_output_tau_vec(self):
+        crn = double_spec().known_crn
+        estimate = estimate_expected_output(
+            crn, (6_000,), trials=4, seed=11, engine="tau-vec"
+        )
+        assert estimate == pytest.approx(12_000.0)
+
+    def test_tau_vec_rejects_fair_requests(self):
+        from repro.sim.registry import validate_engine_request
+
+        with pytest.raises(ValueError, match="supports_fair=False"):
+            validate_engine_request("tau-vec", fair=True)
+        # epsilon= is exactly what the approximate engine is for.
+        info = validate_engine_request("tau-vec", epsilon=0.05)
+        assert info.approximate and info.batch_capable

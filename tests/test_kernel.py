@@ -753,6 +753,95 @@ class TestSeedStreamLockNRM:
         assert result.steps == steps
 
 
+class TestSeedStreamLockTauVec:
+    """The pre-existing engines are bit-for-bit unchanged by the tau-vec PR.
+
+    That PR moved the tau-selection math out of ``_TauLeapStepper`` into the
+    shared :mod:`repro.sim.tau` helpers (now also consumed by the batched
+    ``tau-vec`` engine, which draws from its own numpy Generator).  These
+    fixtures were captured *before* the refactor and pin every scalar
+    engine's seeded stream — and the shared tau bound itself, down to the
+    float — so neither the helper move nor the new engine can perturb them.
+    """
+
+    def test_nrm_run_many_replays_pre_tau_vec_fixture(self):
+        from repro.api.config import RunConfig
+
+        report = run_many(
+            branching_crn(),
+            (40,),
+            config=RunConfig(trials=6, seed=424242, engine="nrm"),
+        )
+        assert report.outputs == [12, 12, 9, 10, 9, 6]
+
+    def test_nrm_estimate_replays_pre_tau_vec_fixture(self):
+        from repro.api.config import RunConfig
+        from repro.sim.runner import estimate_expected_output
+
+        estimate = estimate_expected_output(
+            branching_crn(), (40,), config=RunConfig(trials=5, seed=99, engine="nrm")
+        )
+        assert estimate == pytest.approx(13.6, abs=1e-12)
+
+    @pytest.mark.parametrize("engine", ["python", "vectorized", "tau", "nrm"])
+    def test_general_construction_replays_pre_tau_vec_fixture(self, engine):
+        from repro.api.config import RunConfig
+
+        crn = build_crn_for(minimum_spec(), strategy="general")
+        report = run_many(
+            crn,
+            (4, 6),
+            config=RunConfig(trials=4, seed=777, engine=engine, max_steps=50_000),
+        )
+        assert report.outputs == [4, 4, 4, 4], engine
+        assert report.steps == [41, 41, 41, 41], engine
+
+    @pytest.mark.parametrize(
+        "seed,final_time,selections",
+        [(5, 1.6949295079945488, 142), (6, 1.914413349394657, 141)],
+    )
+    def test_tau_clock_replays_pre_tau_vec_fixture(
+        self, seed, final_time, selections
+    ):
+        # Exact float equality on the simulated clock plus the leap-round
+        # count: the strongest detector of any change to the tau bound or to
+        # the scalar Poisson sampler's draw order.
+        result = SimulatorCore(
+            minimum_spec().known_crn, TauLeapPolicy(), rng=random.Random(seed)
+        ).run_on_input((5_000, 5_000))
+        assert result.final_time == final_time
+        assert result.steps == 5_000
+        assert result.selections == selections
+
+    @pytest.mark.parametrize(
+        "seed,final_time,output",
+        [(5, 1.7633406230519273, 10), (6, 1.2634142499274723, 8)],
+    )
+    def test_nrm_clock_replays_pre_tau_vec_fixture(self, seed, final_time, output):
+        result = SimulatorCore(
+            branching_crn(), NextReactionPolicy(), rng=random.Random(seed)
+        ).run_on_input((40,))
+        assert result.final_time == final_time
+        assert result.final_configuration[Y] == output
+
+    @pytest.mark.parametrize(
+        "x,epsilon,expected",
+        [((5_000, 5_000), 0.03, 3e-06), ((123, 77), 0.07, 0.00028455284552845534)],
+    )
+    def test_shared_select_tau_replays_scalar_bound(self, x, epsilon, expected):
+        # The shared repro.sim.tau scalar form produces the exact floats the
+        # pre-refactor inline loop did (same ops, same order).
+        from repro.sim.engine import CompiledCRN
+
+        compiled = CompiledCRN(minimum_spec().known_crn)
+        stepper = TauLeapPolicy(epsilon=epsilon).bind(compiled, random.Random(0))
+        counts = [int(v) for v in compiled.encode(
+            minimum_spec().known_crn.initial_configuration(x)
+        )]
+        stepper.exact.start(counts)
+        assert stepper.select_tau(counts) == expected
+
+
 class TestSimulatorCore:
     def test_quiescence_window_converges_catalytic_network(self):
         crn = CRN([X1 + X2 >> X1 + X2], (X1, X2), Y)

@@ -67,6 +67,40 @@ class TestEngineResolution:
     def test_auto_small_population_prefers_reference_engine(self):
         assert resolve_engine("auto", (3, 4)) == "python"
 
+    def test_auto_with_allow_approximate_picks_tau_vec_at_scale(self):
+        from repro.api.config import RunConfig
+
+        # With the opt-in, populations past the approximate engines'
+        # min_recommended_population floor resolve to the batch-capable
+        # approximate engine.
+        config = RunConfig(allow_approximate=True)
+        assert resolve_engine("auto", (50_000, 50_000), config) == "tau-vec"
+        assert resolve_engine("auto", (10_000,), config) == "tau-vec"
+
+    def test_auto_without_opt_in_stays_exact(self):
+        from repro.api.config import RunConfig
+
+        # The default config never resolves "auto" to an approximate engine,
+        # with or without a config object.
+        assert resolve_engine("auto", (50_000, 50_000), RunConfig()) == "vectorized"
+        assert resolve_engine("auto", (50_000, 50_000)) == "vectorized"
+
+    def test_auto_with_opt_in_small_population_stays_exact(self):
+        from repro.api.config import RunConfig
+
+        # Under the floor, leaping degrades to exact stepping, so the opt-in
+        # changes nothing and the exact resolution wins.
+        config = RunConfig(allow_approximate=True)
+        assert resolve_engine("auto", (3, 4), config) == "python"
+        assert resolve_engine("auto", (9_999,), config) == "python"
+
+    def test_explicit_selector_ignores_allow_approximate(self):
+        from repro.api.config import RunConfig
+
+        config = RunConfig(allow_approximate=True)
+        assert resolve_engine("python", (10**6, 10**6), config) == "python"
+        assert resolve_engine("nrm", (50_000, 50_000), config) == "nrm"
+
     def test_auto_large_population_picks_vectorized(self):
         # beyond the python engine's max_recommended_population of 20_000
         # (raised from 2_000 when the scalar kernel replaced the dict loops)
@@ -85,6 +119,23 @@ class TestCampaignExpansion:
         )
         kwargs.update(overrides)
         return Campaign(**kwargs)
+
+    def test_auto_resolution_is_per_config_variant(self):
+        # "auto" is resolved inside the config-variant loop, so one campaign
+        # can mix an exact baseline with an approximate opt-in variant and
+        # each cell records the engine its own config resolved to.
+        campaign = self.campaign(
+            inputs=((30_000, 30_000),),
+            engines=("auto",),
+            configs=(
+                RunConfig(trials=2),
+                RunConfig(trials=2, allow_approximate=True),
+            ),
+        )
+        engines = {
+            cell.config.allow_approximate: cell.engine for cell in campaign.expand()
+        }
+        assert engines == {False: "vectorized", True: "tau-vec"}
 
     def test_grid_is_normalized_to_points(self):
         campaign = self.campaign()

@@ -93,8 +93,10 @@ class TestCliSmoke:
         assert engines.returncode == 0
         assert "python" in engines.stdout and "vectorized" in engines.stdout
         assert "tau" in engines.stdout
+        assert "tau-vec" in engines.stdout
         assert "approximate" in engines.stdout  # capability surfaced
         assert ">= 10000" in engines.stdout  # tau's population floor
+        assert "batch" in engines.stdout and "scalar" in engines.stdout
 
     def test_engines_json_matches_the_registry(self, tmp_path):
         result = repro_cli("engines", "--json", cwd=tmp_path)
@@ -107,10 +109,14 @@ class TestCliSmoke:
 
         assert payload == {"engines": [info.to_dict() for info in registered_engines()]}
         by_name = {entry["name"]: entry for entry in payload["engines"]}
-        assert set(by_name) == {"python", "vectorized", "nrm", "tau"}
+        assert set(by_name) == {"python", "vectorized", "nrm", "tau", "tau-vec"}
         assert by_name["tau"]["approximate"] is True
         assert by_name["tau"]["min_recommended_population"] == 10000
         assert by_name["python"]["supports_fair"] is True
+        assert by_name["tau-vec"]["approximate"] is True
+        assert by_name["tau-vec"]["batch_capable"] is True
+        assert by_name["vectorized"]["batch_capable"] is True
+        assert by_name["python"]["batch_capable"] is False
 
     def test_unknown_spec_is_a_clean_error(self, tmp_path):
         run = repro_cli(

@@ -386,3 +386,129 @@ class TestWitnessSearchSoundness:
             lambda x: slope * x[0] + offset * x[1], 2, direction_bound=1, offset_bound=2, terms=3
         )
         assert witness is None
+
+
+class TestBatchTauLeapInvariants:
+    """The batched tau-leap engine's safety rails on random CRNs, plus
+    scalar-vs-batched agreement of the shared CGP tau bound.
+
+    The batched engine reimplements the scalar tau machinery in dense numpy;
+    these properties pin the pieces the statistical gates cannot isolate —
+    nonnegativity after whole Poisson leaps, conservation-law preservation,
+    termination of the rejection/fallback cascade, and the tau bound itself
+    agreeing with the scalar form on arbitrary reaction structure.
+    """
+
+    @given(
+        random_crns(),
+        st.integers(min_value=0, max_value=400),
+        st.integers(min_value=0, max_value=400),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batched_leaps_never_drive_counts_negative(self, crn, a, b, seed):
+        # The per-trial rejection rail: whatever the sampled Poisson firing
+        # counts, the accepted raw dense counts are never negative.
+        if crn is None:
+            return
+        from repro.sim.engine import BatchTauLeapEngine
+
+        engine = BatchTauLeapEngine(crn.compiled(), seed=seed, epsilon=0.1)
+        result = engine.run_on_input((a, b), batch=5, max_steps=5_000)
+        assert (result.counts >= 0).all()
+        assert (result.steps >= 0).all()
+
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_conservative_reactions_conserve_mass_batched(self, a, b, seed):
+        # Every reaction maps 2 molecules to 2 molecules, so the per-row
+        # total is invariant under whole Poisson leaps and fallback bursts.
+        from repro.sim.engine import BatchTauLeapEngine
+
+        A, B, C, D = SPECIES_POOL
+        crn = CRN(
+            [A + B >> C + D, C + D >> A + B, (A + C >> B + D).with_rate(2.0)],
+            (A, B),
+            C,
+        )
+        result = BatchTauLeapEngine(crn.compiled(), seed=seed, epsilon=0.1).run_on_input(
+            (a, b), batch=4, max_steps=3_000
+        )
+        assert (result.counts.sum(axis=1) == a + b).all()
+
+    @given(
+        random_crns(),
+        st.lists(st.integers(min_value=0, max_value=400), min_size=4, max_size=4),
+        st.floats(min_value=0.01, max_value=0.3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_and_batched_tau_bounds_agree(self, crn, raw_counts, epsilon):
+        # Same propensity vector in, same CGP bound out — up to float
+        # summation order (sparse dict accumulation vs dense matmul), hence
+        # approx rather than exact equality.  Catalytic rows must be inf in
+        # both forms.
+        if crn is None:
+            return
+        import math
+
+        import numpy as np
+
+        from repro.sim.tau import build_g_candidates, select_tau, select_tau_batch
+
+        compiled = crn.compiled()
+        row = [int(v) for v in raw_counts[: compiled.n_species]]
+        counts = np.array([row], dtype=np.int64)
+        props = compiled.propensities(counts)
+        g_candidates = build_g_candidates(compiled.reactant_terms)
+        scalar = select_tau(
+            g_candidates,
+            compiled.net_terms,
+            [float(v) for v in props[0]],
+            row,
+            epsilon,
+        )
+        batched = select_tau_batch(
+            g_candidates,
+            compiled.net_terms,
+            compiled.n_species,
+            np.repeat(props, 3, axis=0),
+            np.repeat(counts, 3, axis=0),
+            epsilon,
+        )
+        assert batched.shape == (3,)
+        for value in batched:
+            if math.isinf(scalar):
+                assert math.isinf(value), (crn.reactions, row)
+            else:
+                assert math.isclose(float(value), scalar, rel_tol=1e-9), (
+                    crn.reactions,
+                    row,
+                )
+
+    @given(
+        random_crns(),
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batched_fallback_always_terminates(self, crn, a, b, seed):
+        # Tight rails (few rejections, tiny exact bursts) still terminate:
+        # every run ends in silence, quiescence, or the step budget
+        # (overshot by at most one leap per trial).
+        if crn is None:
+            return
+        from repro.sim.engine import BatchTauLeapEngine
+
+        engine = BatchTauLeapEngine(
+            crn.compiled(), seed=seed, epsilon=0.05, max_rejections=3, exact_burst=16
+        )
+        result = engine.run_on_input(
+            (a, b), batch=4, max_steps=2_000, quiescence_window=500
+        )
+        done = result.silent | result.converged | (result.steps >= 2_000)
+        assert done.all(), (result.silent, result.converged, result.steps)

@@ -84,6 +84,30 @@ class TestRegistryBasics:
         assert not nrm.approximate  # exact sampler, unlike tau
         assert "nrm" in engine_names()
 
+    def test_tau_vec_capability_metadata(self):
+        tau_vec = get_engine("tau-vec")
+        assert tau_vec.supports_gillespie
+        assert not tau_vec.supports_fair  # kinetic scheduling only
+        assert tau_vec.approximate  # statistically (not bit-for-bit) equivalent
+        assert tau_vec.batch_capable  # advances the whole trial batch per round
+        assert tau_vec.min_recommended_population == 10_000
+
+    def test_batch_capable_metadata_partitions_the_builtins(self):
+        # batch_capable is published metadata, not a name convention: the
+        # dense-batch engines carry it, the scalar ones do not.
+        flags = {info.name: info.batch_capable for info in registered_engines()}
+        assert flags["vectorized"] and flags["tau-vec"]
+        assert not flags["python"] and not flags["nrm"] and not flags["tau"]
+
+    def test_batch_capable_in_to_dict(self):
+        # to_dict is the single serialization behind both `engines --json`
+        # and GET /v1/engines, so the new field must ride through it.
+        payload = get_engine("tau-vec").to_dict()
+        assert payload["batch_capable"] is True
+        assert payload["approximate"] is True
+        default = EngineInfo(name="x", implementation=None)
+        assert default.to_dict()["batch_capable"] is False
+
     def test_unknown_engine_error_lists_registered_names(self):
         with pytest.raises(ValueError) as excinfo:
             check_engine("cuda")

@@ -64,6 +64,11 @@ class TestBasicEndpoints:
         over_http = client.engines()
         in_process = [info.to_dict() for info in registered_engines()]
         assert over_http == in_process
+        # capability metadata rides through the shared to_dict serialization
+        by_name = {entry["name"]: entry for entry in over_http}
+        assert by_name["tau-vec"]["batch_capable"] is True
+        assert by_name["tau-vec"]["approximate"] is True
+        assert by_name["python"]["batch_capable"] is False
 
     def test_compile_reports_crn_shape(self, client):
         payload = client.compile("minimum")
@@ -93,6 +98,19 @@ class TestBasicEndpoints:
     def test_expected_output_close_to_spec_value(self, client):
         value = client.expected_output("minimum", [6, 9], config=FAST_CONFIG)
         assert value == pytest.approx(6.0, abs=1.5)
+
+    def test_simulate_runs_tau_vec_with_epsilon(self, client):
+        # The approximate batch engine is addressable over the wire with its
+        # error knob, through the same config plumbing as every engine.
+        row = client.simulate(
+            "minimum",
+            [3000, 4000],
+            config={"trials": 3, "seed": 7, "engine": "tau-vec", "epsilon": 0.05},
+        )
+        assert row["expected"] == 3000
+        assert row["output_mode"] == 3000
+        assert row["correct"] is True
+        assert row["status"] == "ok"
 
     def test_verify_exhaustive_passes(self, client):
         report = client.verify("double", method="exhaustive", config={"seed": 3})

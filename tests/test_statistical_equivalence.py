@@ -5,9 +5,11 @@ The exact engines are locked bit-for-bit elsewhere (``tests/test_kernel.py``,
 express: every kinetic sampler — the exact scalar kernel (``python``), the
 exact numpy batch engine (``vectorized``), the exact Gibson–Bruck
 next-reaction engine (``nrm``, exact but on a differently-consumed stream,
-so bit-for-bit locks are impossible by construction), and the approximate
-tau-leaping policy (``tau``) — samples the *same* continuous-time Markov
-chain, so their per-trajectory completion-step and final-output
+so bit-for-bit locks are impossible by construction), the approximate
+tau-leaping policy (``tau``), and the batched tau-leaping engine
+(``tau-vec``, approximate *and* on the numpy Generator stream) — samples the
+*same* continuous-time Markov chain, so their per-trajectory
+completion-step and final-output
 distributions must agree up to sampling noise.  Each gate is a two-sample Kolmogorov–Smirnov test
 (:mod:`repro.verify.statistical`) at ``ALPHA``, run on a fixed seed matrix so
 the verdicts are deterministic in CI.
@@ -15,13 +17,13 @@ the verdicts are deterministic in CI.
 Coverage:
 
 * the five construction strategy families (known / 1d / leaderless / quilt /
-  general), python-vs-vectorized-vs-nrm-vs-tau;
+  general), python-vs-vectorized-vs-nrm-vs-tau-vs-tau-vec;
 * a branching CRN whose output is genuinely stochastic
   (``X -> Y`` at rate 1 vs ``X -> Z`` at rate 3, output ~ Binomial(n, 1/4)),
   so the gates compare non-degenerate distributions;
-* *power*: deliberately rate-biased Gillespie *and* next-reaction policies
-  must be **rejected** by the same gates — a subtly biased backend (present
-  or future numba/C) cannot pass by being merely plausible.
+* *power*: deliberately rate-biased Gillespie, next-reaction, *and* batched
+  tau-leap samplers must be **rejected** by the same gates — a subtly biased
+  backend (present or future numba/C) cannot pass by being merely plausible.
 
 Methodology knobs (documented in DESIGN.md section 6): ``ALPHA = 1e-3`` per
 gate, ``N_SEEDS = 60`` trajectories per engine per case.  Ties make the
@@ -262,6 +264,37 @@ class TestCrossEngineGates:
         candidate = sample_distribution(label, crn, x, "tau")
         _gate(label, reference, candidate)
 
+    @pytest.mark.parametrize("label,crn,x", FAMILY_CASES, ids=FAMILY_IDS)
+    def test_tau_vec_matches_python(self, sample_distribution, label, crn, x):
+        # The admission gate for the batched tau-leap engine: approximate
+        # sampler on the numpy Generator stream, so distributional identity
+        # against the exact scalar reference is the whole contract.
+        reference = sample_distribution(label, crn, x, "python")
+        candidate = sample_distribution(label, crn, x, "tau-vec")
+        assert reference.all_completed and candidate.all_completed
+        _gate(label, reference, candidate)
+
+    @pytest.mark.parametrize("label,crn,x", FAMILY_CASES, ids=FAMILY_IDS)
+    def test_tau_vec_matches_vectorized(self, sample_distribution, label, crn, x):
+        reference = sample_distribution(label, crn, x, "vectorized")
+        candidate = sample_distribution(label, crn, x, "tau-vec")
+        _gate(label, reference, candidate)
+
+    @pytest.mark.parametrize("label,crn,x", FAMILY_CASES, ids=FAMILY_IDS)
+    def test_tau_vec_matches_nrm(self, sample_distribution, label, crn, x):
+        reference = sample_distribution(label, crn, x, "nrm")
+        candidate = sample_distribution(label, crn, x, "tau-vec")
+        _gate(label, reference, candidate)
+
+    @pytest.mark.parametrize("label,crn,x", FAMILY_CASES, ids=FAMILY_IDS)
+    def test_tau_vec_matches_tau(self, sample_distribution, label, crn, x):
+        # Both tau variants approximate the same CTMC with the same CGP
+        # bound; agreeing with each other *and* with the exact engines pins
+        # the batched port to the scalar semantics.
+        reference = sample_distribution(label, crn, x, "tau")
+        candidate = sample_distribution(label, crn, x, "tau-vec")
+        _gate(label, reference, candidate)
+
     def test_stable_outputs_equal_across_engines(self, sample_distribution):
         # Beyond distributional agreement: on a stable computation every
         # engine must converge to the same (deterministic) output.
@@ -269,7 +302,7 @@ class TestCrossEngineGates:
             if label == "branching/binomial":
                 continue  # genuinely stochastic output by construction
             expected = sample_distribution(label, crn, x, "python").outputs[0]
-            for engine in ("python", "vectorized", "nrm", "tau"):
+            for engine in ("python", "vectorized", "nrm", "tau", "tau-vec"):
                 sample = sample_distribution(label, crn, x, engine)
                 assert set(sample.outputs) == {expected}, (label, engine)
 
@@ -326,6 +359,48 @@ class _RateBiasedNRMPolicy(NextReactionPolicy):
                 return base * factor if produces_output else base
 
         return _BiasedNRMStepper(compiled, rng)
+
+
+class _RateBiasedBatchTauEngine:
+    """The same injected rate bias, through the batched tau-leap machinery.
+
+    Wraps :class:`~repro.sim.engine.BatchTauLeapEngine` with a compiled-CRN
+    proxy whose ``propensities`` inflate every output-producing reaction, so
+    the bias flows through *both* batched sampling paths — the Poisson leap
+    intensities and the exact-fallback inverse-CDF selection — exactly as a
+    mis-ported rate constant would.
+    """
+
+    def __init__(self, crn: CRN, seed: int, factor: float = 3.0) -> None:
+        import numpy as np
+
+        from repro.sim.engine import BatchTauLeapEngine
+
+        self._engine = BatchTauLeapEngine(crn, seed=seed)
+        compiled = self._engine.compiled
+        scale = np.ones(compiled.n_reactions)
+        for r, terms in enumerate(compiled.net_terms):
+            if any(
+                s == compiled.output_index and delta > 0 for s, delta in terms
+            ):
+                scale[r] = factor
+
+        class _BiasedCompiled:
+            def __getattr__(self, name):
+                return getattr(compiled, name)
+
+            def propensities(self, counts):
+                return compiled.propensities(counts) * scale
+
+        self._engine.compiled = _BiasedCompiled()
+
+    def sample(self, x, n_seeds: int) -> DistributionSample:
+        result = self._engine.run_on_input(x, batch=n_seeds)
+        sample = DistributionSample(engine="tau-vec[rate-biased]")
+        sample.steps = [int(v) for v in result.steps]
+        sample.outputs = [int(v) for v in result.output_counts()]
+        sample.all_completed = bool(result.silent.all())
+        return sample
 
 
 class TestGatePower:
@@ -389,14 +464,34 @@ class TestGatePower:
                 reference, biased, metrics=("outputs",), alpha=ALPHA
             )
 
+    def test_biased_batch_tau_engine_rejected_on_outputs(self, sample_distribution):
+        # The batched tau-leap machinery earns no exemption either: the same
+        # injected rate bias routed through batched Poisson intensities and
+        # the exact-fallback selection must be flagged by the gate the honest
+        # tau-vec sampler passes.
+        label, crn, x = "branching/binomial", _branching_crn(), (400,)
+        reference = sample_distribution(label, crn, x, "python")
+        biased = _RateBiasedBatchTauEngine(
+            crn, seed=BASE_SEED + 30_000, factor=3.0
+        ).sample(x, N_SEEDS)
+        assert biased.all_completed
+        with pytest.raises(AssertionError, match="outputs distribution"):
+            assert_distributions_match(
+                reference, biased, metrics=("outputs",), alpha=ALPHA
+            )
+
     def test_honest_policies_pass_where_biased_fails(self, sample_distribution):
-        # Control for the two rejection tests: on the very same CRN/input the
-        # honest tau sampler passes, so the gate discriminates bias from
-        # approximation.
+        # Control for the rejection tests: on the very same CRN/input the
+        # honest approximate samplers pass, so the gate discriminates bias
+        # from approximation.
         label, crn, x = "branching/binomial", _branching_crn(), (400,)
         reference = sample_distribution(label, crn, x, "python")
         tau = sample_distribution(label, crn, x, "tau")
         assert_distributions_match(reference, tau, metrics=("outputs",), alpha=ALPHA)
+        tau_vec = sample_distribution(label, crn, x, "tau-vec")
+        assert_distributions_match(
+            reference, tau_vec, metrics=("outputs",), alpha=ALPHA
+        )
 
 
 class TestTauErrorKnob:
@@ -423,6 +518,33 @@ class TestTauErrorKnob:
             crn,
             (2_000, 3_000),
             config=RunConfig(trials=3, seed=11, engine="tau", epsilon=0.05),
+        )
+        assert report.outputs == [2_000, 2_000, 2_000]
+        assert report.all_silent_or_converged
+
+    def test_tighter_epsilon_takes_more_leap_rounds_batched(self):
+        from repro.sim.engine import BatchTauLeapEngine
+
+        crn = minimum_spec().known_crn
+        loose = BatchTauLeapEngine(crn, seed=1, epsilon=0.2).run_on_input(
+            (5_000, 5_000), batch=4
+        )
+        tight = BatchTauLeapEngine(crn, seed=1, epsilon=0.01).run_on_input(
+            (5_000, 5_000), batch=4
+        )
+        assert loose.silent.all() and tight.silent.all()
+        assert loose.steps.tolist() == tight.steps.tolist() == [5_000] * 4
+        assert tight.stats.selections > loose.stats.selections  # smaller leaps
+
+    def test_epsilon_flows_from_runconfig_to_tau_vec(self):
+        from repro.api.config import RunConfig
+        from repro.sim.runner import run_many
+
+        crn = minimum_spec().known_crn
+        report = run_many(
+            crn,
+            (2_000, 3_000),
+            config=RunConfig(trials=3, seed=11, engine="tau-vec", epsilon=0.05),
         )
         assert report.outputs == [2_000, 2_000, 2_000]
         assert report.all_silent_or_converged
