@@ -25,6 +25,11 @@ Quickstart::
 or from a shell: ``python -m repro run --spec minimum --grid 0:10 --seed 7
 --workers 4 --out runs/minimum-sweep`` (then ``resume`` / ``report`` /
 ``bench`` — see ``python -m repro --help``).
+
+Campaigns also shard across *processes and hosts*: pass ``--backend
+shared-dir`` (or ``executor=SharedDirBackend(...)``) and serve the queue
+directory with any number of ``python -m repro worker --queue-dir ...``
+processes — see :mod:`repro.lab.backends` and DESIGN.md §11.
 """
 
 from repro.lab.aggregate import (
@@ -34,6 +39,13 @@ from repro.lab.aggregate import (
     format_report,
     summarize,
     write_bench_json,
+)
+from repro.lab.backends import (
+    LocalPoolBackend,
+    SharedDirBackend,
+    SharedDirQueue,
+    WorkQueue,
+    worker_loop,
 )
 from repro.lab.cache import (
     CODE_SALT,
@@ -74,11 +86,15 @@ __all__ = [
     "CellResult",
     "CellTimeoutError",
     "EngineStats",
+    "LocalPoolBackend",
     "PoolExecutor",
     "ResultCache",
     "ResultStore",
     "SerialExecutor",
+    "SharedDirBackend",
+    "SharedDirQueue",
     "SweepGrid",
+    "WorkQueue",
     "cell_cache_key",
     "format_report",
     "register_spec_factory",
@@ -91,5 +107,6 @@ __all__ = [
     "spec_factory_names",
     "spec_fingerprint",
     "summarize",
+    "worker_loop",
     "write_bench_json",
 ]

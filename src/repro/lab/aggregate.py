@@ -1,15 +1,21 @@
 """Campaign summaries: convergence / correctness rates and engine throughput.
 
-:func:`summarize` folds a list of :class:`~repro.lab.store.CellResult` rows
-into a :class:`CampaignSummary`; :func:`format_report` renders it for humans.
+:func:`summarize` folds :class:`~repro.lab.store.CellResult` rows into a
+:class:`CampaignSummary`; :func:`format_report` renders it for humans.
 Rates are over *ok* rows; error rows are counted but never averaged in.
 Throughput is computed only from rows that actually simulated in this run —
 cache replays carry no wall time and would otherwise fake an infinite
 steps/sec.
+
+Both :func:`summarize` and :func:`format_profile` are **single-pass streaming
+folds**: they consume their row iterable exactly once and hold O(engines) /
+O(top) state, never the row list — a million-cell ``report`` reads
+``ResultStore.iter_rows()`` straight off disk without materializing anything.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -58,6 +64,10 @@ class CampaignSummary:
     mean_steps: float
     wall_time: float
     engines: Dict[str, EngineStats] = field(default_factory=dict)
+    corrupt_lines_skipped: int = 0
+    """Interior store lines that failed to parse (see
+    :class:`~repro.lab.store.StoreScanStats`); nonzero means the store was
+    damaged and the affected cells were recovered by a re-run."""
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -71,18 +81,27 @@ class CampaignSummary:
             "mean_steps": round(self.mean_steps, 3),
             "wall_time_s": round(self.wall_time, 6),
             "engines": {name: stats.to_dict() for name, stats in self.engines.items()},
+            "corrupt_lines_skipped": self.corrupt_lines_skipped,
         }
 
 
 def summarize(results: Iterable[CellResult], campaign: str = "") -> CampaignSummary:
-    """Fold rows into a :class:`CampaignSummary` (empty input yields zero rates)."""
-    rows: List[CellResult] = list(results)
+    """Fold rows into a :class:`CampaignSummary` (empty input yields zero rates).
+
+    One streaming pass with O(engines) state: ``results`` may be a plain list
+    or a one-shot iterator straight off ``ResultStore.iter_rows()`` — the rows
+    are never materialized here.
+    """
     per_engine: Dict[str, EngineStats] = {}
-    ok = errors = cache_hits = converged = correct = 0
+    # only freshly simulated steps count toward throughput; a cached row's
+    # steps were earned in some earlier run
+    fresh_steps: Dict[str, int] = {}
+    total = ok = errors = cache_hits = converged = correct = 0
     steps_sum = 0.0
     wall_time = 0.0
 
-    for row in rows:
+    for row in results:
+        total += 1
         stats = per_engine.setdefault(row.engine, EngineStats(engine=row.engine))
         stats.cells += 1
         if row.cached:
@@ -102,26 +121,19 @@ def summarize(results: Iterable[CellResult], campaign: str = "") -> CampaignSumm
         steps_sum += row.mean_steps or 0.0
         if row.total_steps:
             stats.total_steps += row.total_steps
+            if not row.cached:
+                fresh_steps[row.engine] = fresh_steps.get(row.engine, 0) + row.total_steps
         if not row.cached:
             wall_time += row.wall_time
             stats.wall_time += row.wall_time
 
-    for stats in per_engine.values():
+    for name, stats in per_engine.items():
         if stats.wall_time > 0:
-            # only freshly simulated steps count toward throughput; a cached
-            # row's steps were earned in some earlier run
-            fresh_steps = stats.total_steps if stats.cache_hits == 0 else None
-            if fresh_steps is None:
-                fresh_steps = sum(
-                    row.total_steps or 0
-                    for row in rows
-                    if row.engine == stats.engine and row.ok and not row.cached
-                )
-            stats.steps_per_sec = round(fresh_steps / stats.wall_time, 1)
+            stats.steps_per_sec = round(fresh_steps.get(name, 0) / stats.wall_time, 1)
 
     return CampaignSummary(
         campaign=campaign,
-        total_cells=len(rows),
+        total_cells=total,
         ok=ok,
         errors=errors,
         cache_hits=cache_hits,
@@ -361,20 +373,38 @@ def format_profile(rows: Iterable[CellResult], top: int = 10) -> str:
     so it works on any ``results.jsonl``, no rerun or tracing required.
     Cached rows carry no execution time and are excluded beyond the headline
     count.  A wall/CPU gap on a cell is the signature of an oversubscribed or
-    I/O-starved worker.
+    I/O-starved worker.  Streams ``rows`` in one pass holding only running
+    totals and a ``top``-sized heap.
     """
-    executed = [row for row in rows if not row.cached]
+    executed = 0
+    wall = 0.0
+    cpu = 0.0
+    workers: set = set()
+    # bounded min-heap of the top-N slowest rows; one pass, O(top) memory
+    heap: List[Tuple[float, int, CellResult]] = []
+    for row in rows:
+        if row.cached:
+            continue
+        executed += 1
+        wall += row.wall_time
+        cpu += row.cpu_time or 0.0
+        if row.worker is not None:
+            workers.add(row.worker)
+        if top <= 0:
+            continue
+        entry = (row.wall_time, -executed, row)
+        if len(heap) < top:
+            heapq.heappush(heap, entry)
+        elif entry[:2] > heap[0][:2]:
+            heapq.heappushpop(heap, entry)
     if not executed:
         return "profile: no executed cells (everything cached or recorded earlier)"
-    wall = sum(row.wall_time for row in executed)
-    cpu = sum(row.cpu_time or 0.0 for row in executed)
-    workers = sorted({row.worker for row in executed if row.worker is not None})
     lines = [
-        f"profile       : {len(executed)} executed cells, "
+        f"profile       : {executed} executed cells, "
         f"{wall:.3f}s wall, {cpu:.3f}s cpu"
         + (f", {len(workers)} workers" if workers else ""),
     ]
-    slowest = sorted(executed, key=lambda row: row.wall_time, reverse=True)[:top]
+    slowest = [entry[2] for entry in sorted(heap, key=lambda e: e[:2], reverse=True)]
     if slowest:
         lines.append(f"slowest cells (top {len(slowest)} by wall time):")
         for row in slowest:
@@ -398,6 +428,11 @@ def format_report(summary: CampaignSummary) -> str:
         f"mean steps    : {summary.mean_steps:,.1f}",
         f"sim wall time : {summary.wall_time:.3f}s",
     ]
+    if summary.corrupt_lines_skipped:
+        lines.append(
+            f"store warnings: {summary.corrupt_lines_skipped} corrupt interior "
+            "line(s) skipped (affected cells re-run on resume)"
+        )
     if summary.engines:
         lines.append("per engine    :")
         for name in sorted(summary.engines):

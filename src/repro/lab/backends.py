@@ -1,0 +1,704 @@
+"""Pluggable work-queue backends for distributed, sharded campaigns.
+
+The executor seam (:func:`~repro.lab.campaign.run_campaign` accepts anything
+with ``map(cells) -> iterator of CellResult``) generalizes to a **work
+queue**: campaign cells are deterministic, content-addressed, and resumable
+from the JSONL store, so shards can be *claimed idempotently* by any number
+of hosts and the per-worker results merged by cache key.  Three pieces:
+
+* :class:`WorkQueue` — the claim / lease / renew / complete protocol over
+  content-addressed cell ids;
+* :class:`LocalPoolBackend` — the degenerate backend: wraps today's
+  in-process :class:`~repro.lab.executor.PoolExecutor` bit-for-bit, so
+  ``backend="local"`` is exactly the historical behaviour;
+* :class:`SharedDirBackend` / :class:`SharedDirQueue` — a filesystem-backed
+  queue any number of ``python -m repro worker --queue-dir ...`` processes
+  can serve, coordinated purely by atomic directory-entry operations (no
+  server, no locks, works on any shared POSIX directory).
+
+**The lease contract.**  A cell is claimed by atomically creating
+``leases/<cell_id>`` with ``O_CREAT | O_EXCL`` — exactly one claimant can
+win — after which the claim token ``pending/<cell_id>`` is removed.  A lease
+carries a deadline; a worker that dies (SIGKILL, host loss) simply stops
+renewing, and once the deadline passes any other worker re-issues the claim
+token and drops the stale lease.  The race this allows — the presumed-dead
+worker finishing after its cell was reclaimed — is *harmless by
+construction*: cells are deterministic, rows are merged by ``cell_id`` with
+last-write-wins, and both writers produce canonical-JSON-identical
+deterministic rows.  Leases are therefore an optimization against duplicate
+*work*, never a correctness mechanism; correctness rests on idempotence.
+
+**Merge-by-cache-key.**  Each worker appends to its own
+``results/<worker_id>.jsonl`` (single-writer, so the store's torn-tail
+recovery applies per shard).  The merged view is the union of the shards
+deduplicated by ``cell_id`` (equivalently the cache key — both are content
+addresses of the descriptor), so N workers, duplicated executions, and
+resumed runs all collapse to one canonical row per cell, byte-identical in
+the deterministic view to a serial run.
+
+Queue directory layout::
+
+    queue.json            seal: the campaign's full cell-id list
+    cells/<id>.json       serialized Cell descriptors (atomic publish)
+    pending/<id>          claim tokens (zero-byte)
+    leases/<id>           held claims: {worker, deadline, ...}
+    done/<id>             completion markers: {worker, finished_unix}
+    results/<w>.jsonl     per-worker CellResult shards (ResultStore format)
+    stats/<w>.json        per-worker counters (claimed/executed/errors/...)
+    traces/<w>.jsonl      optional per-worker repro-trace-v1 shards
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+import time
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.api.config import RunConfig
+from repro.lab.campaign import Cell
+from repro.lab.executor import PoolExecutor, run_cell_with_timeout
+from repro.lab.store import CellResult, ResultStore
+
+#: Schema tag of the queue seal file.
+QUEUE_SCHEMA = "repro-queue-v1"
+
+QUEUE_MANIFEST_NAME = "queue.json"
+
+#: Default seconds a claim stays exclusive without renewal.
+DEFAULT_LEASE_TTL = 60.0
+
+
+# ---------------------------------------------------------------------------
+# Cell serialization: descriptors must cross process/host boundaries as JSON
+# ---------------------------------------------------------------------------
+
+
+def cell_to_dict(cell: Cell) -> Dict[str, Any]:
+    """A JSON-safe rendering of a :class:`~repro.lab.campaign.Cell`.
+
+    Specs travel *by registered name* (the same contract as the pickle path):
+    the built-in catalog is registered at import in every process, while
+    custom factories must be registered in the worker process before it can
+    execute cells referencing them.
+    """
+    return {
+        "index": cell.index,
+        "spec": cell.spec,
+        "strategy": cell.strategy,
+        "input": [int(v) for v in cell.input],
+        "engine": cell.engine,
+        "config": cell.config.to_dict(),
+        "spec_fingerprint": cell.spec_fingerprint,
+        "cell_id": cell.cell_id,
+    }
+
+
+def cell_from_dict(data: Dict[str, Any]) -> Cell:
+    """Rebuild a :class:`~repro.lab.campaign.Cell` from :func:`cell_to_dict`."""
+    return Cell(
+        index=int(data["index"]),
+        spec=str(data["spec"]),
+        strategy=str(data["strategy"]),
+        input=tuple(int(v) for v in data["input"]),
+        engine=str(data["engine"]),
+        config=RunConfig.from_dict(data["config"]),
+        spec_fingerprint=str(data["spec_fingerprint"]),
+        cell_id=str(data["cell_id"]),
+    )
+
+
+def _atomic_write_json(path: str, payload: Dict[str, Any]) -> None:
+    directory = os.path.dirname(path) or "."
+    handle = tempfile.NamedTemporaryFile(
+        "w", encoding="utf-8", dir=directory, prefix=".tmp-", delete=False
+    )
+    try:
+        with handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: str) -> Optional[Dict[str, Any]]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def default_worker_id() -> str:
+    """``<host>-<pid>`` — unique per live worker process, stable within one."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+# ---------------------------------------------------------------------------
+# The protocol
+# ---------------------------------------------------------------------------
+
+
+class WorkQueue:
+    """Claim / lease / renew / complete over content-addressed cell ids.
+
+    The contract every backend honours:
+
+    * :meth:`enqueue` publishes cell descriptors and claim tokens, sealing
+      the work list; enqueueing is idempotent (already-done cells are never
+      re-issued).
+    * :meth:`claim` hands *at most one* worker a given cell at a time while
+      the lease is live; expired leases are re-claimable.
+    * :meth:`renew` extends a held lease (long cells call it before work
+      whose duration may exceed the TTL).
+    * :meth:`complete` durably records the row and releases the lease;
+      completing twice is harmless (last write wins on merge).
+    """
+
+    def enqueue(self, cells: Iterable[Cell]) -> int:
+        raise NotImplementedError
+
+    def claim(self, worker_id: str) -> Optional[Cell]:
+        raise NotImplementedError
+
+    def renew(self, cell_id: str, worker_id: str, ttl: Optional[float] = None) -> bool:
+        raise NotImplementedError
+
+    def complete(self, cell_id: str, worker_id: str, result: CellResult) -> None:
+        raise NotImplementedError
+
+
+class SharedDirQueue(WorkQueue):
+    """A :class:`WorkQueue` over a shared POSIX directory (see module docs).
+
+    Every mutation is a single atomic directory operation (``O_EXCL`` create,
+    ``rename``, ``replace``), so any number of worker processes — local or on
+    hosts sharing the filesystem — can serve one queue without coordination.
+    """
+
+    def __init__(self, root: str, lease_ttl: float = DEFAULT_LEASE_TTL) -> None:
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {lease_ttl}")
+        self.root = str(root)
+        self.lease_ttl = float(lease_ttl)
+        for name in ("cells", "pending", "leases", "done", "results", "stats", "traces"):
+            os.makedirs(self._dir(name), exist_ok=True)
+
+    def _dir(self, name: str) -> str:
+        return os.path.join(self.root, name)
+
+    def _entry(self, kind: str, cell_id: str) -> str:
+        return os.path.join(self.root, kind, cell_id)
+
+    def _list(self, kind: str) -> List[str]:
+        try:
+            return sorted(os.listdir(self._dir(kind)))
+        except FileNotFoundError:
+            return []
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, QUEUE_MANIFEST_NAME)
+
+    def manifest(self) -> Optional[Dict[str, Any]]:
+        return _read_json(self.manifest_path)
+
+    def sealed(self) -> bool:
+        return self.manifest() is not None
+
+    # -- producer side ------------------------------------------------------
+
+    def enqueue(self, cells: Iterable[Cell]) -> int:
+        """Publish descriptors + claim tokens for every not-yet-done cell.
+
+        Idempotent: done cells are skipped, already-pending/leased cells keep
+        their existing token, and re-enqueueing after a crash simply re-issues
+        tokens for whatever never completed.  Seals the queue by writing
+        ``queue.json`` (the full id list) last, so workers only treat the
+        queue as complete once every token is in place.
+        """
+        cells = list(cells)
+        done = set(self._list("done"))
+        issued = 0
+        for cell in cells:
+            cell_id = cell.cell_id
+            cell_path = self._entry("cells", cell_id + ".json")
+            if not os.path.exists(cell_path):
+                _atomic_write_json(cell_path, cell_to_dict(cell))
+            if cell_id in done:
+                continue
+            if os.path.exists(self._entry("leases", cell_id)):
+                continue
+            token = self._entry("pending", cell_id)
+            try:
+                os.close(os.open(token, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644))
+            except FileExistsError:
+                continue
+            issued += 1
+        existing = self.manifest()
+        ids = sorted(
+            set(cell.cell_id for cell in cells)
+            | set((existing or {}).get("cell_ids", []))
+        )
+        _atomic_write_json(
+            self.manifest_path,
+            {
+                "schema": QUEUE_SCHEMA,
+                "cell_ids": ids,
+                "total": len(ids),
+                "lease_ttl": self.lease_ttl,
+                "created_unix": (existing or {}).get("created_unix") or time.time(),
+                "updated_unix": time.time(),
+            },
+        )
+        return issued
+
+    # -- worker side --------------------------------------------------------
+
+    def claim(self, worker_id: str) -> Optional[Cell]:
+        """Atomically claim one cell, or ``None`` if nothing is claimable.
+
+        Sweeps the claim tokens; if none can be won, reclaims expired leases
+        and sweeps once more.  Winning a claim = creating the lease file with
+        ``O_EXCL`` (exactly one winner per token, even across hosts).
+        """
+        for attempt in (0, 1):
+            cell = self._claim_pending(worker_id)
+            if cell is not None:
+                return cell
+            if attempt == 0 and not self._reclaim_expired():
+                return None
+        return None
+
+    def _claim_pending(self, worker_id: str) -> Optional[Cell]:
+        for cell_id in self._list("pending"):
+            token = self._entry("pending", cell_id)
+            if os.path.exists(self._entry("done", cell_id)):
+                # stale token from a reclaim race; the work is already done
+                try:
+                    os.unlink(token)
+                except OSError:
+                    pass
+                continue
+            lease_path = self._entry("leases", cell_id)
+            now = time.time()
+            try:
+                fd = os.open(lease_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            except FileExistsError:
+                continue  # someone else holds (or just won) this cell
+            except OSError:
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {
+                        "cell_id": cell_id,
+                        "worker": worker_id,
+                        "claimed_unix": now,
+                        "deadline": now + self.lease_ttl,
+                        "pid": os.getpid(),
+                        "host": socket.gethostname(),
+                    },
+                    handle,
+                    sort_keys=True,
+                )
+            try:
+                os.unlink(token)
+            except OSError:
+                pass
+            cell_data = _read_json(self._entry("cells", cell_id + ".json"))
+            if cell_data is None:
+                # unreadable descriptor: nothing can ever run this id; drop
+                # the lease so the damage is visible as an unfinished queue
+                # rather than silently marked done
+                try:
+                    os.unlink(lease_path)
+                except OSError:
+                    pass
+                continue
+            return cell_from_dict(cell_data)
+        return None
+
+    def _reclaim_expired(self) -> int:
+        """Re-issue claim tokens for leases whose deadline has passed."""
+        now = time.time()
+        reclaimed = 0
+        for cell_id in self._list("leases"):
+            lease_path = self._entry("leases", cell_id)
+            if os.path.exists(self._entry("done", cell_id)):
+                try:
+                    os.unlink(lease_path)
+                except OSError:
+                    pass
+                continue
+            meta = _read_json(lease_path)
+            deadline = meta.get("deadline") if meta else None
+            if not isinstance(deadline, (int, float)):
+                # half-written lease (claimant died between create and write):
+                # fall back to the file's age
+                try:
+                    deadline = os.path.getmtime(lease_path) + self.lease_ttl
+                except OSError:
+                    continue
+            if now < deadline:
+                continue
+            token = self._entry("pending", cell_id)
+            try:
+                os.close(os.open(token, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644))
+            except OSError:
+                pass
+            try:
+                os.unlink(lease_path)
+            except OSError:
+                pass
+            reclaimed += 1
+        return reclaimed
+
+    def renew(self, cell_id: str, worker_id: str, ttl: Optional[float] = None) -> bool:
+        """Extend a held lease; ``False`` if it is no longer this worker's."""
+        lease_path = self._entry("leases", cell_id)
+        meta = _read_json(lease_path)
+        if meta is None or meta.get("worker") != worker_id:
+            return False
+        meta["deadline"] = time.time() + (ttl if ttl is not None else self.lease_ttl)
+        _atomic_write_json(lease_path, meta)
+        return True
+
+    def worker_store(self, worker_id: str) -> ResultStore:
+        return ResultStore(self._entry("results", worker_id + ".jsonl"))
+
+    def worker_trace_path(self, worker_id: str) -> str:
+        return self._entry("traces", worker_id + ".jsonl")
+
+    def complete(self, cell_id: str, worker_id: str, result: CellResult) -> None:
+        """Durably record ``result`` and release the lease.
+
+        Order matters: the row is appended (flushed + fsync'd) *before* the
+        done marker appears, so a done marker always has a row behind it.
+        """
+        self.worker_store(worker_id).append(result)
+        _atomic_write_json(
+            self._entry("done", cell_id),
+            {"cell_id": cell_id, "worker": worker_id, "finished_unix": time.time()},
+        )
+        for kind in ("leases", "pending"):
+            try:
+                os.unlink(self._entry(kind, cell_id))
+            except OSError:
+                pass
+
+    # -- coordinator / merge side ------------------------------------------
+
+    def done_ids(self) -> Set[str]:
+        return set(self._list("done"))
+
+    def all_done(self, wanted: Optional[Set[str]] = None) -> bool:
+        if wanted is None:
+            manifest = self.manifest()
+            if manifest is None:
+                return False
+            wanted = set(manifest.get("cell_ids", []))
+        return wanted <= self.done_ids()
+
+    def merged_rows(self, wanted: Optional[Set[str]] = None) -> Dict[str, CellResult]:
+        """The union of every worker shard, deduplicated by ``cell_id``.
+
+        Within a shard the store's own last-write-wins dedupe applies; across
+        shards the newest row (by append order over shards sorted by name)
+        wins — sound because any two rows for one id agree on the
+        deterministic view.
+        """
+        rows: Dict[str, CellResult] = {}
+        for name in self._list("results"):
+            if not name.endswith(".jsonl"):
+                continue
+            store = ResultStore(self._entry("results", name))
+            for row in store.iter_rows():
+                if wanted is not None and row.cell_id not in wanted:
+                    continue
+                rows[row.cell_id] = row
+        return rows
+
+    def write_worker_stats(self, worker_id: str, stats: Dict[str, Any]) -> None:
+        _atomic_write_json(self._entry("stats", worker_id + ".json"), stats)
+
+    def worker_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-worker counters, keyed by worker id (for provenance folding)."""
+        stats: Dict[str, Dict[str, Any]] = {}
+        for name in self._list("stats"):
+            if not name.endswith(".json"):
+                continue
+            payload = _read_json(self._entry("stats", name))
+            if payload is not None:
+                stats[name[: -len(".json")]] = payload
+        return stats
+
+    def trace_shards(self) -> List[str]:
+        """Paths of every per-worker trace shard present in the queue."""
+        return [
+            self.worker_trace_path(name[: -len(".jsonl")])
+            for name in self._list("traces")
+            if name.endswith(".jsonl")
+        ]
+
+    def __repr__(self) -> str:
+        return f"SharedDirQueue({self.root!r}, lease_ttl={self.lease_ttl})"
+
+
+# ---------------------------------------------------------------------------
+# Backends: the executor-seam adapters run_campaign actually consumes
+# ---------------------------------------------------------------------------
+
+
+class LocalPoolBackend:
+    """The local backend: today's multiprocessing pool behind the seam.
+
+    ``map`` delegates straight to :class:`~repro.lab.executor.PoolExecutor`
+    (ordered ``imap``), so rows — provenance included — are bit-for-bit what
+    the historical executor produced.  Exists so campaign call sites select
+    backends uniformly (``"local"`` vs ``"shared-dir"``).
+    """
+
+    name = "local"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.executor = PoolExecutor(workers=workers, chunksize=chunksize, timeout=timeout)
+
+    def map(self, cells: Iterable[Cell]) -> Iterator[CellResult]:
+        yield from self.executor.map(cells)
+
+    def __repr__(self) -> str:
+        return f"LocalPoolBackend({self.executor!r})"
+
+
+class SharedDirBackend:
+    """Executor-seam adapter over a :class:`SharedDirQueue`.
+
+    ``map(cells)`` enqueues the cells, optionally participates in serving the
+    queue in-process (``participate=True``, the default — a campaign run with
+    no external workers still completes), waits until every wanted cell has a
+    done marker, then yields the merged rows **in the given cell order** so
+    :func:`~repro.lab.campaign.run_campaign`'s ``zip(to_run, ...)`` append
+    loop sees exactly what the pool executor would have produced.
+    """
+
+    name = "shared-dir"
+
+    def __init__(
+        self,
+        queue_dir: str,
+        participate: bool = True,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        timeout: Optional[float] = None,
+        poll: float = 0.2,
+        stall_timeout: float = 600.0,
+        worker_id: Optional[str] = None,
+        trace: bool = False,
+    ) -> None:
+        self.queue = SharedDirQueue(queue_dir, lease_ttl=lease_ttl)
+        self.participate = participate
+        self.timeout = timeout
+        self.poll = float(poll)
+        self.stall_timeout = float(stall_timeout)
+        self.worker_id = worker_id or ("coordinator-" + default_worker_id())
+        self.trace = trace
+
+    def map(self, cells: Iterable[Cell]) -> Iterator[CellResult]:
+        cells = list(cells)
+        if not cells:
+            return
+        queue = self.queue
+        queue.enqueue(cells)
+        wanted = {cell.cell_id for cell in cells}
+        worker = _WorkerSession(
+            queue, self.worker_id, timeout=self.timeout, trace=self.trace
+        )
+        last_done = -1
+        last_progress = time.monotonic()
+        while True:
+            done = len(wanted & queue.done_ids())
+            if done > last_done:
+                last_done = done
+                last_progress = time.monotonic()
+            if done >= len(wanted):
+                break
+            claimed = worker.serve_one() if self.participate else False
+            if claimed:
+                last_progress = time.monotonic()
+                continue
+            if time.monotonic() - last_progress > self.stall_timeout:
+                raise RuntimeError(
+                    f"shared-dir queue stalled: {len(wanted) - done} of "
+                    f"{len(wanted)} cells incomplete after {self.stall_timeout}s "
+                    f"without progress (queue_dir={queue.root!r}; are any "
+                    f"workers running?)"
+                )
+            time.sleep(self.poll)
+        worker.finish()
+        rows = queue.merged_rows(wanted)
+        for cell in cells:
+            row = rows.get(cell.cell_id)
+            if row is None:
+                raise RuntimeError(
+                    f"cell {cell.cell_id} is marked done but no worker shard "
+                    f"holds its row (queue_dir={queue.root!r})"
+                )
+            yield row
+
+    def worker_stats(self) -> Dict[str, Dict[str, Any]]:
+        return self.queue.worker_stats()
+
+    def trace_shards(self) -> List[str]:
+        return self.queue.trace_shards()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedDirBackend({self.queue.root!r}, participate={self.participate}, "
+            f"lease_ttl={self.queue.lease_ttl})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The worker loop behind `python -m repro worker`
+# ---------------------------------------------------------------------------
+
+
+class _WorkerSession:
+    """Shared claim→run→complete machinery for workers and the coordinator."""
+
+    def __init__(
+        self,
+        queue: SharedDirQueue,
+        worker_id: str,
+        timeout: Optional[float] = None,
+        trace: bool = False,
+    ) -> None:
+        self.queue = queue
+        self.worker_id = worker_id
+        self.timeout = timeout
+        self.stats: Dict[str, Any] = {
+            "worker": worker_id,
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+            "claimed": 0,
+            "executed": 0,
+            "errors": 0,
+            "wall_s": 0.0,
+            "cpu_s": 0.0,
+            "started_unix": time.time(),
+            "updated_unix": time.time(),
+        }
+        self._tracer = None
+        self._sink = None
+        if trace:
+            from repro.obs.trace import JsonlTraceSink, Tracer
+
+            self._sink = JsonlTraceSink(
+                queue.worker_trace_path(worker_id),
+                manifest={"worker": worker_id, "queue_dir": queue.root},
+            )
+            self._tracer = Tracer(self._sink)
+
+    def serve_one(self) -> bool:
+        """Claim and execute one cell; ``False`` when nothing was claimable."""
+        cell = self.queue.claim(self.worker_id)
+        if cell is None:
+            return False
+        self.stats["claimed"] += 1
+        if self.timeout is not None and self.timeout > 0:
+            # make sure the lease outlives the cell's own wall-clock budget
+            self.queue.renew(
+                cell.cell_id,
+                self.worker_id,
+                ttl=max(self.queue.lease_ttl, self.timeout * 2),
+            )
+        result = run_cell_with_timeout(cell, self.timeout)
+        self.queue.complete(cell.cell_id, self.worker_id, result)
+        self.stats["executed"] += 1
+        if not result.ok:
+            self.stats["errors"] += 1
+        self.stats["wall_s"] += result.wall_time
+        self.stats["cpu_s"] += result.cpu_time or 0.0
+        self.stats["updated_unix"] = time.time()
+        self.queue.write_worker_stats(self.worker_id, self.stats)
+        if self._tracer is not None:
+            self._tracer.emit_span(
+                "lab.cell",
+                time.time() - result.wall_time,
+                result.wall_time,
+                cell=result.cell_id,
+                spec=result.spec,
+                engine=result.engine,
+                status=result.status,
+                worker=result.worker,
+                cpu_s=result.cpu_time,
+            )
+            self._tracer.event(
+                "worker.heartbeat", worker=self.worker_id, cell=result.cell_id
+            )
+        return True
+
+    def finish(self) -> Dict[str, Any]:
+        self.stats["updated_unix"] = time.time()
+        if self.stats["claimed"]:
+            self.queue.write_worker_stats(self.worker_id, self.stats)
+        if self._sink is not None:
+            self._sink.close()
+        return self.stats
+
+
+def worker_loop(
+    queue_dir: str,
+    worker_id: Optional[str] = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    timeout: Optional[float] = None,
+    poll: float = 0.2,
+    max_idle: float = 60.0,
+    max_cells: Optional[int] = None,
+    trace: bool = False,
+) -> Dict[str, Any]:
+    """Serve a shared-dir queue until it drains: ``python -m repro worker``.
+
+    Claims cells one at a time, executing each under ``timeout`` and
+    completing it durably before claiming the next.  Exits when the queue is
+    sealed and fully done, after ``max_idle`` seconds without a successful
+    claim (covers the never-sealed and stuck-foreign-lease cases), or after
+    ``max_cells`` completions.  Returns the worker's final counter dict (the
+    same payload published to ``stats/<worker_id>.json``).
+    """
+    queue = SharedDirQueue(queue_dir, lease_ttl=lease_ttl)
+    session = _WorkerSession(
+        queue, worker_id or default_worker_id(), timeout=timeout, trace=trace
+    )
+    idle_since: Optional[float] = None
+    try:
+        while True:
+            if max_cells is not None and session.stats["executed"] >= max_cells:
+                break
+            if session.serve_one():
+                idle_since = None
+                continue
+            if queue.sealed() and queue.all_done():
+                break
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            elif now - idle_since > max_idle:
+                break
+            time.sleep(poll)
+    finally:
+        session.finish()
+    return session.stats

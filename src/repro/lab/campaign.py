@@ -45,7 +45,13 @@ from repro.lab.cache import (
 )
 from repro.lab.store import CellResult, ResultStore
 from repro.obs.provenance import run_manifest
-from repro.obs.trace import JsonlTraceSink, Tracer, get_tracer, install_tracer
+from repro.obs.trace import (
+    JsonlTraceSink,
+    Tracer,
+    get_tracer,
+    install_tracer,
+    merge_trace_files,
+)
 from repro.sim.registry import registered_engines
 
 MANIFEST_NAME = "manifest.json"
@@ -637,9 +643,23 @@ def run_campaign(
             rows_by_id[cell.cell_id] for cell in cells if cell.cell_id in rows_by_id
         ]
         summary = summarize(results, campaign=campaign.name)
+        summary.corrupt_lines_skipped = store.last_scan.corrupt_interior
         with open(os.path.join(out_dir, SUMMARY_NAME), "w", encoding="utf-8") as handle:
             json.dump(summary.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
+        # Distributed backends expose per-worker counters and per-shard trace
+        # files; fold both into the campaign's artifacts (duck-typed so the
+        # seam stays "anything with map()").
+        stats_hook = getattr(executor, "worker_stats", None)
+        if callable(stats_hook):
+            worker_stats = stats_hook()
+            if worker_stats:
+                provenance["workers"] = worker_stats
+                with open(
+                    os.path.join(out_dir, PROVENANCE_NAME), "w", encoding="utf-8"
+                ) as handle:
+                    json.dump(provenance, handle, indent=2, sort_keys=True)
+                    handle.write("\n")
         campaign_span.set(
             executed=executed, from_cache=from_cache, already_done=already_done
         )
@@ -649,6 +669,15 @@ def run_campaign(
             install_tracer(previous_tracer)
         if sink is not None:
             sink.close()
+
+    shards_hook = getattr(executor, "trace_shards", None)
+    if sink is not None and callable(shards_hook):
+        shards = shards_hook()
+        if shards:
+            # The coordinator's own trace is shard zero; workers' cell spans
+            # merge in deduplicated by cell id.
+            trace_path = os.path.join(out_dir, TRACE_NAME)
+            merge_trace_files(trace_path, [trace_path] + list(shards), manifest=provenance)
 
     return CampaignRun(
         campaign=campaign,

@@ -3,8 +3,13 @@
 Subcommands::
 
     run            expand and execute a campaign (spec x grid x engines) into --out
-                   (--trace writes a schema-versioned trace.jsonl next to the rows)
+                   (--trace writes a schema-versioned trace.jsonl next to the rows;
+                   --backend shared-dir shards the cells over a work-queue
+                   directory any number of `worker` processes can serve)
     resume         finish an interrupted campaign from its manifest
+    worker         serve a shared-dir work queue (`--queue-dir`) until it drains;
+                   start any number of these, locally or on hosts sharing the
+                   filesystem, against one `run --backend shared-dir` campaign
     report         re-aggregate and print a finished (or partial) campaign
                    (--profile adds executed-cell wall/CPU totals and the slowest cells)
     trace          validate and pretty-print a trace.jsonl: span tree + top
@@ -115,6 +120,52 @@ def build_parser() -> argparse.ArgumentParser:
     resume = sub.add_parser("resume", help="finish an interrupted campaign")
     resume.add_argument("out_dir", help="directory holding manifest.json")
     _add_execution_arguments(resume)
+
+    worker = sub.add_parser(
+        "worker", help="serve a shared-dir campaign work queue until it drains"
+    )
+    worker.add_argument(
+        "--queue-dir",
+        required=True,
+        help="the queue directory a `run --backend shared-dir` campaign populates",
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity (default: <host>-<pid>)",
+    )
+    worker.add_argument(
+        "--timeout", type=float, default=None, help="per-cell wall-clock budget (s)"
+    )
+    worker.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        help="seconds a claimed cell stays exclusive without renewal (default: 60)",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        help="seconds between claim attempts when the queue is empty (default: 0.2)",
+    )
+    worker.add_argument(
+        "--max-idle",
+        type=float,
+        default=60.0,
+        help="exit after this many seconds without claiming a cell (default: 60)",
+    )
+    worker.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="exit after completing this many cells (default: unlimited)",
+    )
+    worker.add_argument(
+        "--trace",
+        action="store_true",
+        help="write a per-worker trace shard into <queue-dir>/traces/",
+    )
 
     report = sub.add_parser("report", help="print the aggregate for a campaign dir")
     report.add_argument("out_dir")
@@ -261,6 +312,32 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         help="record a span/event trace to <out>/trace.jsonl "
         "(inspect with `python -m repro trace`)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("local", "shared-dir"),
+        default="local",
+        help="execution backend: 'local' (in-process pool, the default) or "
+        "'shared-dir' (a work-queue directory served by `repro worker` "
+        "processes)",
+    )
+    parser.add_argument(
+        "--queue-dir",
+        default=None,
+        help="shared-dir backend: the queue directory (default: <out>/queue)",
+    )
+    parser.add_argument(
+        "--no-participate",
+        action="store_true",
+        help="shared-dir backend: only coordinate; leave every cell to "
+        "external workers",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        help="shared-dir backend: seconds a claimed cell stays exclusive "
+        "without renewal (default: 60)",
+    )
 
 
 def _progress_printer(total: int, quiet: bool):
@@ -300,8 +377,8 @@ def _finish(run: CampaignRun, as_json: bool) -> int:
     return 0 if run.summary.errors == 0 else 3
 
 
-def _execution_kwargs(args) -> dict:
-    return {
+def _execution_kwargs(args, out_dir: str) -> dict:
+    kwargs = {
         "workers": args.workers,
         "chunksize": args.chunksize,
         "timeout": args.timeout,
@@ -309,6 +386,17 @@ def _execution_kwargs(args) -> dict:
         "retry_errors": args.retry_errors,
         "trace": args.trace,
     }
+    if getattr(args, "backend", "local") == "shared-dir":
+        from repro.lab.backends import SharedDirBackend
+
+        kwargs["executor"] = SharedDirBackend(
+            queue_dir=args.queue_dir or os.path.join(out_dir, "queue"),
+            participate=not args.no_participate,
+            lease_ttl=args.lease_ttl,
+            timeout=args.timeout,
+            trace=args.trace,
+        )
+    return kwargs
 
 
 def _command_run(args) -> int:
@@ -348,7 +436,7 @@ def _command_run(args) -> int:
         out_dir,
         cells=cells,
         progress=_progress_printer(len(cells), args.quiet),
-        **_execution_kwargs(args),
+        **_execution_kwargs(args, out_dir),
     )
     return _finish(run, args.json)
 
@@ -365,9 +453,30 @@ def _command_resume(args) -> int:
         args.out_dir,
         cells=cells,
         progress=_progress_printer(len(cells), args.quiet),
-        **_execution_kwargs(args),
+        **_execution_kwargs(args, args.out_dir),
     )
     return _finish(run, args.json)
+
+
+def _command_worker(args) -> int:
+    from repro.lab.backends import worker_loop
+
+    stats = worker_loop(
+        args.queue_dir,
+        worker_id=args.worker_id,
+        lease_ttl=args.lease_ttl,
+        timeout=args.timeout,
+        poll=args.poll,
+        max_idle=args.max_idle,
+        max_cells=args.max_cells,
+        trace=args.trace,
+    )
+    print(
+        f"worker {stats['worker']}: {stats['executed']} cells "
+        f"({stats['errors']} errors), {stats['wall_s']:.3f}s sim wall time",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _command_report(args) -> int:
@@ -377,8 +486,11 @@ def _command_report(args) -> int:
         print(f"error: no {RESULTS_NAME} in {args.out_dir!r}", file=sys.stderr)
         return 2
     name = Campaign.load(manifest).name if os.path.exists(manifest) else ""
-    rows = store.load()
-    summary = summarize(rows, campaign=name)
+    # Stream: summarize/format_profile each fold store.iter_rows() in one
+    # pass with O(engines)/O(top) state — the row list is never materialized,
+    # so a million-row store reports in constant memory.
+    summary = summarize(store.iter_rows(), campaign=name)
+    summary.corrupt_lines_skipped = store.last_scan.corrupt_interior
     if args.json:
         payload = summary.to_dict()
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -386,7 +498,7 @@ def _command_report(args) -> int:
         print(format_report(summary))
         if args.profile:
             print()
-            print(format_profile(rows, top=args.top))
+            print(format_profile(store.iter_rows(), top=args.top))
     return 0
 
 
@@ -557,6 +669,7 @@ def _command_serve(args) -> int:
 _COMMANDS = {
     "run": _command_run,
     "resume": _command_resume,
+    "worker": _command_worker,
     "report": _command_report,
     "trace": _command_trace,
     "bench": _command_bench,

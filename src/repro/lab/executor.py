@@ -141,7 +141,8 @@ def run_cell_with_timeout(cell: Cell, timeout: Optional[float] = None) -> CellRe
         raise CellTimeoutError(f"cell exceeded the {timeout}s wall-clock budget")
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout)
+    started = time.monotonic()
+    prior_timer = signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
         # a timeout inside run_cell is caught by its handler and becomes an
         # error row; the except below covers the race where the alarm fires
@@ -150,8 +151,15 @@ def run_cell_with_timeout(cell: Cell, timeout: Optional[float] = None) -> CellRe
     except CellTimeoutError as exc:
         return _error_row(cell, exc, timeout)
     finally:
+        # Disarm our timer, restore the saved handler, and only then re-arm
+        # any timer the caller had running (minus the time we consumed) so the
+        # restored handler — not ours — receives its SIGALRM.
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        remaining, interval = prior_timer
+        if remaining > 0.0:
+            remaining = max(1e-6, remaining - (time.monotonic() - started))
+            signal.setitimer(signal.ITIMER_REAL, remaining, interval)
 
 
 def _pool_task(payload: Tuple[Cell, Optional[float]]) -> CellResult:

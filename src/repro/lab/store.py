@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import json
 import os
+import re
+import warnings
 from dataclasses import asdict, dataclass, fields
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
@@ -88,6 +90,39 @@ class CellResult:
         return cls(**kwargs)
 
 
+#: Fast path for pulling the ``cell_id`` out of a row without parsing the
+#: whole line.  Rows are written by :meth:`ResultStore.append` with sorted
+#: keys and compact separators, so the *first* occurrence of the pattern is
+#: always the real key (``cached`` and ``cell_id`` sort before every field
+#: whose value could embed the pattern as text).
+_CELL_ID_RE = re.compile(r'"cell_id":"([^"]+)"')
+
+
+@dataclass
+class StoreScanStats:
+    """What one scan of a store file saw (set on :attr:`ResultStore.last_scan`).
+
+    ``corrupt_tail`` is the torn final line an interrupted writer can leave
+    behind — expected, and silently ignored.  ``corrupt_interior`` lines are
+    *not* expected (disk fault, manual edit): they are counted, surfaced via a
+    :class:`UserWarning` and the campaign report, and the affected cell simply
+    reads as not-yet-completed so resume re-runs it.  ``duplicates`` counts
+    rows superseded by a later row with the same ``cell_id`` (resume after
+    interior corruption, ``--retry-errors``, or a distributed worker racing a
+    lease expiry); readers keep the last write.
+    """
+
+    lines: int = 0
+    rows: int = 0
+    duplicates: int = 0
+    corrupt_interior: int = 0
+    corrupt_tail: int = 0
+
+    @property
+    def corrupt_total(self) -> int:
+        return self.corrupt_interior + self.corrupt_tail
+
+
 class ResultStore:
     """Append-only JSONL store for :class:`CellResult` rows.
 
@@ -95,10 +130,18 @@ class ResultStore:
     always a valid prefix of the campaign — the property resume depends on.
     A trailing partial line (the one a ``kill -9`` can leave behind) is
     ignored on read.
+
+    Readers deduplicate by ``cell_id`` with last-write-wins semantics: a store
+    may legitimately hold several rows for one cell (resume re-ran a cell whose
+    earlier row was corrupted, ``--retry-errors`` superseded an error row, or a
+    distributed worker duplicated work after a lease expiry), and the newest
+    row is the canonical one.  Every read path records what it saw on
+    :attr:`last_scan` so callers can surface corruption counts.
     """
 
     def __init__(self, path: str) -> None:
         self.path = str(path)
+        self.last_scan: StoreScanStats = StoreScanStats()
 
     def exists(self) -> bool:
         return os.path.exists(self.path)
@@ -110,29 +153,151 @@ class ResultStore:
             handle.flush()
             os.fsync(handle.fileno())
 
-    def iter_rows(self) -> Iterator[CellResult]:
-        if not os.path.exists(self.path):
-            return
+    @staticmethod
+    def _fast_cell_id(line: str) -> Optional[str]:
+        """``cell_id`` of a complete-looking row, without a full JSON parse.
+
+        The regex alone would also match a line truncated *after* the id, so a
+        cheap completeness check (object lines end with ``}``) guards it; the
+        one line where truncation is actually expected — the final one — gets
+        a strict parse in :meth:`_index` instead.
+        """
+        if not line.endswith("}"):
+            return None
+        match = _CELL_ID_RE.search(line)
+        if match is not None:
+            return match.group(1)
+        try:  # hand-written / re-ordered row: fall back to a real parse
+            data = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        cell_id = data.get("cell_id") if isinstance(data, dict) else None
+        return cell_id if isinstance(cell_id, str) else None
+
+    @staticmethod
+    def _strict_cell_id(line: str) -> Optional[str]:
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        cell_id = data.get("cell_id") if isinstance(data, dict) else None
+        return cell_id if isinstance(cell_id, str) else None
+
+    def _index(self) -> Tuple[Dict[str, int], StoreScanStats]:
+        """Map each ``cell_id`` to the line number of its *last* occurrence.
+
+        Single streaming pass, parsing only the ``cell_id`` key — this is what
+        makes million-row resume scans cheap.  Interior lines use the fast
+        scan; the final line (the only one an interrupted append can tear) is
+        fully parsed so a torn tail never masquerades as a completed cell.
+        """
+        last: Dict[str, int] = {}
+        stats = StoreScanStats()
+        corrupt_lines = 0
+
+        def take(index: int, line: str, cell_id: Optional[str]) -> None:
+            nonlocal corrupt_lines
+            stats.lines += 1
+            if cell_id is None:
+                corrupt_lines += 1
+                return
+            if cell_id in last:
+                stats.duplicates += 1
+            last[cell_id] = index
+
+        pending: Optional[Tuple[int, str]] = None
         with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
+            for index, raw in enumerate(handle):
+                line = raw.strip()
                 if not line:
                     continue
+                if pending is not None:
+                    take(pending[0], pending[1], self._fast_cell_id(pending[1]))
+                pending = (index, line)
+        if pending is not None:
+            tail_id = self._strict_cell_id(pending[1])
+            take(pending[0], pending[1], tail_id)
+            if tail_id is None and corrupt_lines:
+                corrupt_lines -= 1
+                stats.corrupt_tail = 1
+        stats.corrupt_interior = corrupt_lines
+        stats.rows = len(last)
+        if stats.corrupt_interior:
+            warnings.warn(
+                f"{self.path}: skipped {stats.corrupt_interior} corrupt interior "
+                "line(s); the affected cells read as incomplete and will be "
+                "re-run on resume",
+                UserWarning,
+                stacklevel=3,
+            )
+        return last, stats
+
+    def iter_rows(self, dedupe: bool = True) -> Iterator[CellResult]:
+        """Stream rows in file order, one canonical row per ``cell_id``.
+
+        With ``dedupe=True`` (the default) only the last row written for each
+        cell is yielded, at the position of that last occurrence; corrupt
+        lines are skipped and counted on :attr:`last_scan`.  ``dedupe=False``
+        restores the raw historical view (every parseable row, duplicates
+        included) for forensics.
+        """
+        if not os.path.exists(self.path):
+            self.last_scan = StoreScanStats()
+            return
+        if dedupe:
+            last, stats = self._index()
+            self.last_scan = stats
+            keep = set(last.values())
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for index, raw in enumerate(handle):
+                    if index not in keep:
+                        continue
+                    try:
+                        yield CellResult.from_dict(json.loads(raw))
+                    except (ValueError, TypeError):
+                        # a line the fast scan accepted but a strict parse
+                        # rejects: treat it like any other interior damage
+                        self.last_scan.corrupt_interior += 1
+            return
+        self.last_scan = StoreScanStats()
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                self.last_scan.lines += 1
                 try:
                     data = json.loads(line)
                 except json.JSONDecodeError:
-                    continue  # torn final line from an interrupted writer
+                    continue
+                self.last_scan.rows += 1
                 yield CellResult.from_dict(data)
 
     def load(self) -> List[CellResult]:
         return list(self.iter_rows())
 
     def completed_ids(self) -> Set[str]:
-        """Cell ids already recorded (both ok and error rows count as done)."""
-        return {row.cell_id for row in self.iter_rows()}
+        """Cell ids already recorded (both ok and error rows count as done).
+
+        Streams the file parsing only the ``cell_id`` key — never builds a
+        :class:`CellResult` — so resuming a million-cell sweep costs one pass
+        of regex scans, not a million dataclass constructions.
+        """
+        if not os.path.exists(self.path):
+            self.last_scan = StoreScanStats()
+            return set()
+        last, stats = self._index()
+        self.last_scan = stats
+        return set(last)
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.iter_rows())
+        """Number of distinct completed cells (the deduplicated row count)."""
+        if not os.path.exists(self.path):
+            self.last_scan = StoreScanStats()
+            return 0
+        last, stats = self._index()
+        self.last_scan = stats
+        return len(last)
 
     def __repr__(self) -> str:
         return f"ResultStore({self.path!r})"

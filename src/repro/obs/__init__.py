@@ -34,6 +34,7 @@ from repro.obs.trace import (
     Tracer,
     get_tracer,
     install_tracer,
+    merge_trace_files,
     read_trace,
     validate_trace,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "Tracer",
     "get_tracer",
     "install_tracer",
+    "merge_trace_files",
     "read_trace",
     "validate_trace",
 ]

@@ -38,6 +38,7 @@ import io
 import itertools
 import json
 import os
+import tempfile
 import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional
@@ -261,6 +262,78 @@ def read_trace(path: str) -> Iterator[Dict[str, Any]]:
             except json.JSONDecodeError as exc:
                 raise ValueError(f"{path}:{line_number}: malformed trace line: {exc}")
             yield record
+
+
+def merge_trace_files(
+    out_path: str,
+    shard_paths: List[str],
+    manifest: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Merge per-shard traces into one schema-valid trace file at ``out_path``.
+
+    Built for distributed campaigns: every worker writes its own
+    ``repro-trace-v1`` shard, and the coordinator folds them into the
+    campaign's ``trace.jsonl``.  Shard ``meta`` headers are dropped in favour
+    of one fresh header (carrying ``manifest`` and the shard count);
+    ``lab.cell`` spans are **deduplicated by their cell id** — a cell executed
+    twice (lease expiry, resume) keeps only the latest span, mirroring the
+    store's last-write-wins row merge — and everything is ordered by
+    timestamp.  Unreadable shards are skipped (a worker killed mid-write must
+    not poison the merge); returns the number of records written after the
+    header.  ``out_path`` may itself be listed as a shard: records are read
+    before the output is replaced atomically.
+    """
+    by_cell: Dict[str, Dict[str, Any]] = {}
+    rest: List[Dict[str, Any]] = []
+    for path in shard_paths:
+        try:
+            records = list(read_trace(path))
+        except (OSError, ValueError):
+            continue
+        for record in records:
+            if record.get("type") == "meta":
+                continue
+            cell = None
+            if record.get("type") == "span" and record.get("name") == "lab.cell":
+                attrs = record.get("attrs")
+                if isinstance(attrs, dict):
+                    cell = attrs.get("cell")
+            if cell is None:
+                rest.append(record)
+                continue
+            previous = by_cell.get(cell)
+            if previous is None or (record.get("t0") or 0.0) >= (previous.get("t0") or 0.0):
+                by_cell[cell] = record
+
+    def _stamp(record: Dict[str, Any]) -> float:
+        value = record.get("t0", record.get("t"))
+        return float(value) if isinstance(value, (int, float)) else 0.0
+
+    merged = sorted(rest + list(by_cell.values()), key=_stamp)
+    header: Dict[str, Any] = {
+        "type": "meta",
+        "schema": TRACE_SCHEMA,
+        "pid": os.getpid(),
+        "created_unix": time.time(),
+        "merged_shards": len(shard_paths),
+    }
+    if manifest is not None:
+        header["manifest"] = manifest
+    directory = os.path.dirname(os.path.abspath(out_path))
+    fd, temp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-trace-")
+    try:
+        with io.open(fd, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for record in merged:
+                handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        os.replace(temp_path, out_path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    return len(merged)
 
 
 def validate_trace(records: List[Dict[str, Any]]) -> List[str]:

@@ -9,7 +9,11 @@ server exposes the Workbench workflow as JSON endpoints::
     POST /v1/expected_output  Monte-Carlo kinetic mean, memoized the same way
     POST /v1/verify           stable-computation verification
     POST /v1/jobs             submit a sweep/campaign grid to the worker pool
+                              (or, with ``"backend": "shared-dir"`` and a
+                              ``queue_dir``, to external ``python -m repro
+                              worker`` processes over a shared work queue)
     GET  /v1/jobs/{id}        poll progress / collect results
+    GET  /v1/jobs/{id}/results  stream rows so far as NDJSON (never buffered)
     DELETE /v1/jobs/{id}      cancel a running job
     GET  /v1/engines          registry capability metadata (EngineInfo.to_dict)
     GET  /v1/stats            cache hit-rate, per-engine counts, latency

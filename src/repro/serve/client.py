@@ -12,7 +12,7 @@ from __future__ import annotations
 import http.client
 import json
 import time
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.serve.protocol import canonical_json
 
@@ -116,6 +116,32 @@ class ServeClient:
 
     def cancel_job(self, job_id: str) -> Dict[str, Any]:
         return self._json("DELETE", f"/v1/jobs/{job_id}")
+
+    def job_results(
+        self, job_id: str, deterministic: bool = False
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream the job's result rows off the NDJSON endpoint, one at a time.
+
+        The rows are parsed line by line as the close-delimited stream
+        arrives; neither the client nor the server ever holds the full result
+        set in memory.  With ``deterministic=True`` the server strips the
+        provenance fields from every row.
+        """
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"X-Repro-Deterministic": "1"} if deterministic else {}
+            connection.request("GET", f"/v1/jobs/{job_id}/results", headers=headers)
+            response = connection.getresponse()
+            if response.status >= 300:
+                raw = response.read()
+                decoded = json.loads(raw.decode("utf-8")) if raw else None
+                raise ServeError(response.status, decoded)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()
 
     def wait_for_job(
         self, job_id: str, timeout: float = 120.0, poll_interval: float = 0.05

@@ -296,13 +296,45 @@ async def handle_verify(state: ServerState, request: HttpRequest) -> Response:
 async def handle_submit_job(state: ServerState, request: HttpRequest) -> Response:
     data = request.json()
     campaign, cells = _parse_job_campaign(data, state.config)
+    queue_dir = _parse_job_backend(data)
     try:
-        job = state.jobs.submit(campaign, cells)
+        job = state.jobs.submit(campaign, cells, queue_dir=queue_dir)
     except QueueFullError as exc:
         raise ApiError(429, str(exc), retry_after=exc.retry_after) from None
+    payload = {"id": job.id, "name": job.name, "state": job.state, "total": job.total}
+    if queue_dir is not None:
+        payload["backend"] = "shared-dir"
+        payload["queue_dir"] = queue_dir
+    return Response(status=202, payload=payload)
+
+
+async def handle_job_results(state: ServerState, request: HttpRequest, job_id: str) -> Response:
+    """``GET /v1/jobs/{id}/results`` — rows so far as streaming NDJSON.
+
+    One canonical-JSON row per line, written row by row off
+    :meth:`~repro.serve.jobs.Job.results_iter` with close-delimited framing —
+    the server never materializes a million-cell body.  Pass
+    ``X-Repro-Deterministic: 1`` to strip the provenance fields, leaving
+    exactly the rows a serial run's store would dedupe to.
+    """
+    job = state.jobs.get(job_id)
+    if job is None:
+        raise ApiError(404, f"no job {job_id!r}")
+    deterministic = request.headers.get("x-repro-deterministic", "0") == "1"
+
+    def ndjson():
+        from repro.serve.protocol import canonical_json
+
+        for row in job.results_iter():
+            payload = row.deterministic_dict() if deterministic else row.to_dict()
+            yield canonical_json(payload) + b"\n"
+
     return Response(
-        status=202,
-        payload={"id": job.id, "name": job.name, "state": job.state, "total": job.total},
+        stream=ndjson(),
+        headers={
+            "Content-Type": "application/x-ndjson",
+            "X-Repro-Job-State": job.state,
+        },
     )
 
 
@@ -328,6 +360,28 @@ def _check_engine_400(engine: str) -> None:
         check_engine(engine)
     except ValueError as exc:
         raise ApiError(400, f"field 'config.engine' invalid: {exc}") from None
+
+
+def _parse_job_backend(data: Any) -> Optional[str]:
+    """The optional ``backend`` / ``queue_dir`` pair on a job submission.
+
+    Returns the queue directory for a shared-dir job, or ``None`` for the
+    default local-pool fan-out.  ``backend`` may be omitted when ``queue_dir``
+    is given (it implies shared-dir), but a contradiction is a 400.
+    """
+    queue_dir = data.get("queue_dir")
+    if queue_dir is not None and (not isinstance(queue_dir, str) or not queue_dir):
+        raise ApiError(400, f"field 'queue_dir' must be a nonempty string, got {queue_dir!r}")
+    backend = data.get("backend")
+    if backend is None:
+        backend = "shared-dir" if queue_dir is not None else "local"
+    if backend not in ("local", "shared-dir"):
+        raise ApiError(400, f"field 'backend' must be 'local' or 'shared-dir', got {backend!r}")
+    if backend == "shared-dir" and queue_dir is None:
+        raise ApiError(400, "backend 'shared-dir' requires field 'queue_dir'")
+    if backend == "local" and queue_dir is not None:
+        raise ApiError(400, "field 'queue_dir' only applies to backend 'shared-dir'")
+    return queue_dir if backend == "shared-dir" else None
 
 
 def _parse_job_campaign(data: Any, default_config: RunConfig) -> Tuple[Campaign, List]:
@@ -472,6 +526,12 @@ async def dispatch(state: ServerState, request: HttpRequest) -> Response:
 
     if request.path.startswith("/v1/jobs/"):
         tail = request.path[len("/v1/jobs/"):]
+        if request.method == "GET" and tail.endswith("/results"):
+            job_id = tail[: -len("/results")]
+            if job_id and "/" not in job_id:
+                response = await handle_job_results(state, request, job_id)
+                response.endpoint = "GET /v1/jobs/{id}/results"
+                return response
         if request.method == "GET" and tail and "/" not in tail:
             response = await handle_get_job(state, request, tail)
             response.endpoint = "GET /v1/jobs/{id}"

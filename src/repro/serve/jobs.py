@@ -31,9 +31,10 @@ from __future__ import annotations
 import asyncio
 import time
 import uuid
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.api.config import RunConfig
+from repro.lab.backends import SharedDirQueue
 from repro.lab.cache import ResultCache
 from repro.lab.campaign import Campaign, Cell
 from repro.lab.executor import run_cell
@@ -74,10 +75,18 @@ def single_cell(spec_name: str, strategy: str, x: Sequence[int], config: RunConf
 class Job:
     """One submitted campaign: cells, progress counters, partial results."""
 
-    def __init__(self, job_id: str, name: str, cells: List[Cell]) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        name: str,
+        cells: List[Cell],
+        queue_dir: Optional[str] = None,
+    ) -> None:
         self.id = job_id
         self.name = name
         self.cells = cells
+        self.queue_dir = queue_dir
+        self.worker_stats: Dict[str, Dict[str, Any]] = {}
         self.state = "queued"
         self.error: Optional[str] = None
         self.created = time.time()
@@ -117,9 +126,18 @@ class Job:
 
     def results(self) -> List[CellResult]:
         """Rows so far, in deterministic cell order (not completion order)."""
-        return [
-            self._rows[cell.cell_id] for cell in self.cells if cell.cell_id in self._rows
-        ]
+        return list(self.results_iter())
+
+    def results_iter(self) -> Iterator[CellResult]:
+        """Stream rows so far in deterministic cell order (never a list).
+
+        The NDJSON results endpoint serializes straight off this iterator, so
+        a million-cell job's results are never buffered as one response body.
+        """
+        for cell in self.cells:
+            row = self._rows.get(cell.cell_id)
+            if row is not None:
+                yield row
 
     def to_dict(self, include_results: bool = True) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
@@ -135,6 +153,12 @@ class Job:
                 "errors": self.errors,
             },
         }
+        if self.queue_dir is not None:
+            payload["backend"] = {
+                "name": "shared-dir",
+                "queue_dir": self.queue_dir,
+                "workers": self.worker_stats,
+            }
         if include_results:
             payload["results"] = [row.to_dict() for row in self.results()]
         return payload
@@ -156,6 +180,8 @@ class JobManager:
         self.cache = cache
         self.metrics = metrics
         self.queue_limit = queue_limit
+        #: Poll interval for shared-dir jobs (workers signal via the filesystem).
+        self.shared_dir_poll = 0.2
         self.jobs: Dict[str, Job] = {}
         self._tasks: Dict[str, asyncio.Task] = {}
 
@@ -203,8 +229,20 @@ class JobManager:
 
     # -- job lifecycle --------------------------------------------------------------
 
-    def submit(self, campaign: Campaign, cells: Optional[List[Cell]] = None) -> Job:
-        """Admit a campaign as a job, or raise :class:`QueueFullError`."""
+    def submit(
+        self,
+        campaign: Campaign,
+        cells: Optional[List[Cell]] = None,
+        queue_dir: Optional[str] = None,
+    ) -> Job:
+        """Admit a campaign as a job, or raise :class:`QueueFullError`.
+
+        With ``queue_dir`` the job's cache misses are *enqueued* on a
+        :class:`~repro.lab.backends.SharedDirQueue` instead of fanned out to
+        the server's own pool: external ``python -m repro worker`` processes
+        claim and execute them, and the job task folds rows in as shards
+        complete.  Same cells, same cache keys — just a different executor.
+        """
         if cells is None:
             cells = campaign.expand()
         backlog = self.pending_cells
@@ -215,7 +253,7 @@ class JobManager:
                 f"{len(cells)}, limit is {self.queue_limit}",
                 retry_after=max(1, backlog // 100),
             )
-        job = Job(uuid.uuid4().hex[:12], campaign.name, cells)
+        job = Job(uuid.uuid4().hex[:12], campaign.name, cells, queue_dir=queue_dir)
         self.jobs[job.id] = job
         self.metrics.record_job_event("submitted")
         self._tasks[job.id] = asyncio.get_running_loop().create_task(self._run(job))
@@ -248,36 +286,40 @@ class JobManager:
                 else:
                     to_run.append(cell)
 
-            by_future: Dict[asyncio.Future, Cell] = {}
-            if not job.cancel_event.is_set():
-                for cell in to_run:
-                    by_future[loop.run_in_executor(self.pool, run_cell, cell)] = cell
+            if job.queue_dir is not None:
+                if not job.cancel_event.is_set():
+                    await self._run_shared_dir(job, to_run)
+            else:
+                by_future: Dict[asyncio.Future, Cell] = {}
+                if not job.cancel_event.is_set():
+                    for cell in to_run:
+                        by_future[loop.run_in_executor(self.pool, run_cell, cell)] = cell
 
-            pending = set(by_future)
-            waiter = asyncio.ensure_future(job.cancel_event.wait())
-            try:
-                while pending:
-                    done, still_pending = await asyncio.wait(
-                        pending | {waiter}, return_when=asyncio.FIRST_COMPLETED
-                    )
-                    pending = still_pending - {waiter}
-                    for future in done - {waiter}:
-                        if future.cancelled():
-                            continue
-                        cell = by_future[future]
-                        row = future.result()  # run_cell never raises
-                        job.record(cell, row, from_cache=False)
-                        self.metrics.record_engine_executed(cell.engine)
-                        self.metrics.record_job_event("cells_executed")
-                        self.cache_publish(cell, row)
-                    if job.cancel_event.is_set():
-                        for future in pending:
-                            future.cancel()
-                        if pending:
-                            await asyncio.gather(*pending, return_exceptions=True)
-                        pending = set()
-            finally:
-                waiter.cancel()
+                pending = set(by_future)
+                waiter = asyncio.ensure_future(job.cancel_event.wait())
+                try:
+                    while pending:
+                        done, still_pending = await asyncio.wait(
+                            pending | {waiter}, return_when=asyncio.FIRST_COMPLETED
+                        )
+                        pending = still_pending - {waiter}
+                        for future in done - {waiter}:
+                            if future.cancelled():
+                                continue
+                            cell = by_future[future]
+                            row = future.result()  # run_cell never raises
+                            job.record(cell, row, from_cache=False)
+                            self.metrics.record_engine_executed(cell.engine)
+                            self.metrics.record_job_event("cells_executed")
+                            self.cache_publish(cell, row)
+                        if job.cancel_event.is_set():
+                            for future in pending:
+                                future.cancel()
+                            if pending:
+                                await asyncio.gather(*pending, return_exceptions=True)
+                            pending = set()
+                finally:
+                    waiter.cancel()
 
             if job.cancel_event.is_set():
                 job.state = "cancelled"
@@ -291,6 +333,48 @@ class JobManager:
             self.metrics.record_job_event("failed")
         finally:
             job.finished = time.time()
+
+    async def _run_shared_dir(self, job: Job, to_run: List[Cell]) -> None:
+        """Drive a job's cache misses through a shared-dir work queue.
+
+        The server never executes these cells itself: it enqueues them and
+        polls the queue's ``done/`` markers, folding merged rows in as
+        external workers complete shards.  All filesystem traffic runs on the
+        loop's thread executor so the event loop stays responsive.  Rows
+        stream into ``job._rows`` incrementally, so ``GET .../results``
+        observes partial progress exactly as it does for pool jobs.
+        """
+        loop = asyncio.get_running_loop()
+        queue = SharedDirQueue(job.queue_dir)
+        by_id = {cell.cell_id: cell for cell in to_run}
+        await loop.run_in_executor(None, queue.enqueue, to_run)
+        folded: Set[str] = set()
+        while folded != set(by_id):
+            if job.cancel_event.is_set():
+                break
+            done = await loop.run_in_executor(None, queue.done_ids)
+            fresh = (done & set(by_id)) - folded
+            if fresh:
+                rows = await loop.run_in_executor(None, queue.merged_rows, fresh)
+                for cell_id in sorted(fresh):
+                    row = rows.get(cell_id)
+                    if row is None:
+                        continue  # done marker ahead of the row flush; next poll
+                    cell = by_id[cell_id]
+                    job.record(cell, row, from_cache=False)
+                    self.metrics.record_engine_executed(cell.engine)
+                    self.metrics.record_job_event("cells_executed")
+                    self.cache_publish(cell, row)
+                    folded.add(cell_id)
+                job.worker_stats = await loop.run_in_executor(None, queue.worker_stats)
+                continue  # something landed; re-poll immediately
+            try:
+                await asyncio.wait_for(
+                    job.cancel_event.wait(), timeout=self.shared_dir_poll
+                )
+            except asyncio.TimeoutError:
+                pass
+        job.worker_stats = await loop.run_in_executor(None, queue.worker_stats)
 
     async def shutdown(self) -> None:
         """Cancel every live job and wait for their tasks to settle."""

@@ -149,16 +149,40 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
 
 @dataclass
 class Response:
-    """A response-to-be: status, JSON payload (or raw body), extra headers."""
+    """A response-to-be: status, JSON payload (or raw body), extra headers.
+
+    A response may instead carry a ``stream`` — an iterator of byte chunks
+    written incrementally with no ``Content-Length`` and ``Connection:
+    close`` framing (close-delimited HTTP/1.1, the chunked-encoding-free way
+    to stream).  Streaming responses never buffer the full body server-side;
+    the job-results NDJSON endpoint uses this so million-cell results flow
+    row by row.
+    """
 
     status: int = 200
     payload: Any = None
     headers: Dict[str, str] = field(default_factory=dict)
     body: Optional[bytes] = None
+    #: Byte-chunk iterator for close-delimited streaming (see class docs).
+    stream: Optional[Any] = None
     #: Route template label (e.g. ``"GET /v1/jobs/{id}"``) for metrics.
     endpoint: str = ""
 
+    def encode_stream_head(self) -> bytes:
+        """The header block for a streaming response (no body bytes)."""
+        reason = HTTPStatus(self.status).phrase if self.status in HTTPStatus._value2member_map_ else ""
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        base = {
+            "Content-Type": JSON_CONTENT_TYPE,
+            "Connection": "close",
+        }
+        base.update(self.headers)
+        lines.extend(f"{name}: {value}" for name, value in base.items())
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
     def encode(self, keep_alive: bool = True) -> bytes:
+        if self.stream is not None:
+            raise ValueError("streaming responses are written by the server loop")
         body = self.body if self.body is not None else canonical_json(self.payload)
         reason = HTTPStatus(self.status).phrase if self.status in HTTPStatus._value2member_map_ else ""
         lines = [f"HTTP/1.1 {self.status} {reason}"]

@@ -172,6 +172,18 @@ class ReproServer:
                     self.state.metrics.record_request(
                         endpoint, response.status, time.perf_counter() - started
                     )
+                if response.stream is not None:
+                    # Close-delimited streaming: headers first, then chunks as
+                    # they are produced, draining per chunk so a slow client
+                    # backpressures the generator instead of buffering the
+                    # body server-side.  The connection cannot be kept alive
+                    # (no Content-Length), so this request ends it.
+                    writer.write(response.encode_stream_head())
+                    await writer.drain()
+                    for chunk in response.stream:
+                        writer.write(chunk)
+                        await writer.drain()
+                    return
                 keep_alive = request.keep_alive
                 writer.write(response.encode(keep_alive=keep_alive))
                 await writer.drain()

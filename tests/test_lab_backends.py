@@ -1,0 +1,306 @@
+"""Distributed work-queue backends: lease protocol, shard merge, serial identity.
+
+The correctness story under test: cells are deterministic and content
+addressed, so *claims* only prevent duplicate work (never duplicate rows) and
+the merged view of any number of worker shards — including after a worker is
+SIGKILLed mid-run and its cells reclaimed — is canonical-JSON-identical to a
+serial run of the same campaign.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.api.config import RunConfig
+from repro.lab.backends import (
+    LocalPoolBackend,
+    SharedDirBackend,
+    SharedDirQueue,
+    cell_from_dict,
+    cell_to_dict,
+    worker_loop,
+)
+from repro.lab.campaign import Campaign, SweepGrid, run_campaign
+from repro.lab.executor import PoolExecutor, SerialExecutor
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def tiny_campaign(seed=7, grid="0:3", name="backend-test"):
+    return Campaign(
+        name=name,
+        specs=["minimum"],
+        inputs=SweepGrid.parse(grid, dimension=2),
+        engines=("python",),
+        configs=(RunConfig(trials=2),),
+        seed=seed,
+    )
+
+
+def canonical(rows):
+    return [
+        json.dumps(r.deterministic_dict(), sort_keys=True, separators=(",", ":"))
+        for r in rows
+    ]
+
+
+class TestCellSerialization:
+    def test_round_trip(self):
+        for cell in tiny_campaign().expand():
+            rebuilt = cell_from_dict(json.loads(json.dumps(cell_to_dict(cell))))
+            assert rebuilt == cell
+            assert rebuilt.cell_id == cell.cell_id
+            assert rebuilt.cache_key() == cell.cache_key()
+
+
+class TestSharedDirQueue:
+    def test_enqueue_is_idempotent(self, tmp_path):
+        queue = SharedDirQueue(str(tmp_path / "q"))
+        cells = tiny_campaign().expand()
+        assert queue.enqueue(cells) == len(cells)
+        assert queue.enqueue(cells) == 0  # tokens already issued
+        assert queue.sealed()
+        assert set(queue.manifest()["cell_ids"]) == {c.cell_id for c in cells}
+
+    def test_claim_is_exclusive_and_exhaustive(self, tmp_path):
+        queue = SharedDirQueue(str(tmp_path / "q"))
+        cells = tiny_campaign().expand()
+        queue.enqueue(cells)
+        claimed = []
+        # two workers alternate claims; every cell must be handed out exactly once
+        while True:
+            cell = queue.claim("worker-a") or queue.claim("worker-b")
+            if cell is None:
+                break
+            claimed.append(cell.cell_id)
+        assert sorted(claimed) == sorted(c.cell_id for c in cells)
+        assert len(set(claimed)) == len(claimed)
+
+    def test_expired_lease_is_reclaimable(self, tmp_path):
+        queue = SharedDirQueue(str(tmp_path / "q"), lease_ttl=0.2)
+        cells = tiny_campaign(grid="0:1").expand()
+        queue.enqueue(cells)
+        first = queue.claim("dying-worker")
+        assert first is not None
+        # the holder "dies": never renews, never completes
+        assert queue.claim("other-worker") is None  # lease still live
+        time.sleep(0.3)
+        second = queue.claim("other-worker")
+        assert second is not None
+        assert second.cell_id == first.cell_id
+
+    def test_renew_extends_only_the_holders_lease(self, tmp_path):
+        queue = SharedDirQueue(str(tmp_path / "q"), lease_ttl=0.2)
+        (cell,) = tiny_campaign(grid="0:1").expand()[:1]
+        queue.enqueue([cell])
+        assert queue.claim("holder") is not None
+        assert queue.renew(cell.cell_id, "holder", ttl=30.0) is True
+        assert queue.renew(cell.cell_id, "impostor") is False
+        time.sleep(0.3)
+        # renewed past the ttl, so nobody else can steal it
+        assert queue.claim("impostor") is None
+
+    def test_merged_rows_dedupe_across_shards(self, tmp_path):
+        queue = SharedDirQueue(str(tmp_path / "q"))
+        cells = tiny_campaign(grid="0:2").expand()
+        queue.enqueue(cells)
+        rows = [SerialExecutor().map([c]).__next__() for c in cells]
+        # the same cell completed by two different workers (the reclaim race)
+        queue.complete(cells[0].cell_id, "worker-a", rows[0])
+        queue.complete(cells[0].cell_id, "worker-b", rows[0])
+        for cell, row in zip(cells[1:], rows[1:]):
+            queue.complete(cell.cell_id, "worker-b", row)
+        merged = queue.merged_rows({c.cell_id for c in cells})
+        assert set(merged) == {c.cell_id for c in cells}
+        assert canonical(merged[c.cell_id] for c in cells) == canonical(rows)
+        assert queue.all_done()
+
+    def test_done_marker_always_has_a_row_behind_it(self, tmp_path):
+        queue = SharedDirQueue(str(tmp_path / "q"))
+        (cell,) = tiny_campaign(grid="0:1").expand()[:1]
+        queue.enqueue([cell])
+        assert queue.claim("w") is not None
+        (row,) = SerialExecutor().map([cell])
+        queue.complete(cell.cell_id, "w", row)
+        assert cell.cell_id in queue.done_ids()
+        assert cell.cell_id in queue.merged_rows()
+        # lease and token are gone: nothing is claimable
+        assert queue.claim("other") is None
+
+
+class TestLocalPoolBackend:
+    def test_rows_bit_identical_to_pool_executor(self):
+        cells = tiny_campaign().expand()
+        backend_rows = list(LocalPoolBackend(workers=2).map(cells))
+        pool_rows = list(PoolExecutor(workers=2).map(cells))
+        assert canonical(backend_rows) == canonical(pool_rows)
+        assert [r.cell_id for r in backend_rows] == [c.cell_id for c in cells]
+
+
+class TestSharedDirBackendIdentity:
+    def test_participating_run_identical_to_serial(self, tmp_path):
+        campaign = tiny_campaign()
+        serial = run_campaign(campaign, str(tmp_path / "serial"), cache_dir=None)
+        backend = SharedDirBackend(queue_dir=str(tmp_path / "queue"))
+        sharded = run_campaign(
+            campaign, str(tmp_path / "sharded"), cache_dir=None, executor=backend
+        )
+        assert canonical(sharded.results) == canonical(serial.results)
+        assert sharded.summary.correct_rate == serial.summary.correct_rate
+
+    def test_worker_stats_folded_into_provenance(self, tmp_path):
+        backend = SharedDirBackend(queue_dir=str(tmp_path / "queue"))
+        run_campaign(tiny_campaign(), str(tmp_path / "out"), cache_dir=None, executor=backend)
+        provenance = json.loads((tmp_path / "out" / "provenance.json").read_text())
+        assert "workers" in provenance
+        (stats,) = provenance["workers"].values()
+        assert stats["executed"] == 9
+        assert stats["errors"] == 0
+        assert stats["wall_s"] > 0
+
+    def test_trace_shards_merged_by_cell_id(self, tmp_path):
+        from repro.obs.trace import read_trace
+
+        campaign = tiny_campaign(grid="0:2")
+        backend = SharedDirBackend(queue_dir=str(tmp_path / "queue"), trace=True)
+        run_campaign(
+            campaign, str(tmp_path / "out"), cache_dir=None, executor=backend, trace=True
+        )
+        records = read_trace(str(tmp_path / "out" / "trace.jsonl"))
+        spans = [r for r in records if r.get("name") == "lab.cell"]
+        cell_ids = [span["attrs"]["cell"] for span in spans]
+        assert sorted(cell_ids) == sorted(c.cell_id for c in campaign.expand())
+        assert len(set(cell_ids)) == len(cell_ids)  # merged, not concatenated
+
+    def test_nonparticipating_backend_raises_on_stall(self, tmp_path):
+        backend = SharedDirBackend(
+            queue_dir=str(tmp_path / "queue"),
+            participate=False,
+            poll=0.05,
+            stall_timeout=0.5,
+        )
+        with pytest.raises(RuntimeError, match="stalled"):
+            list(backend.map(tiny_campaign(grid="0:1").expand()))
+
+
+class TestWorkerLoop:
+    def test_drains_a_sealed_queue_and_exits(self, tmp_path):
+        queue = SharedDirQueue(str(tmp_path / "q"))
+        cells = tiny_campaign().expand()
+        queue.enqueue(cells)
+        stats = worker_loop(str(tmp_path / "q"), worker_id="solo", max_idle=10.0)
+        assert stats["executed"] == len(cells)
+        assert stats["errors"] == 0
+        assert queue.all_done()
+        assert queue.worker_stats()["solo"]["executed"] == len(cells)
+
+    def test_reclaims_a_dead_workers_cells(self, tmp_path):
+        # a worker claims two cells' worth of leases and dies without completing
+        queue = SharedDirQueue(str(tmp_path / "q"), lease_ttl=0.2)
+        cells = tiny_campaign(grid="0:2").expand()
+        queue.enqueue(cells)
+        assert queue.claim("dead-worker") is not None
+        assert queue.claim("dead-worker") is not None
+        time.sleep(0.3)
+        worker_loop(
+            str(tmp_path / "q"), worker_id="survivor", lease_ttl=0.2, max_idle=10.0
+        )
+        merged = queue.merged_rows()
+        assert set(merged) == {c.cell_id for c in cells}
+        serial = list(SerialExecutor().map(cells))
+        assert canonical(merged[c.cell_id] for c in cells) == canonical(serial)
+
+
+def spawn_worker(queue_dir, worker_id, lease_ttl="1.0", extra=()):
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--queue-dir", str(queue_dir),
+            "--worker-id", worker_id,
+            "--lease-ttl", lease_ttl,
+            "--poll", "0.05",
+            "--max-idle", "30",
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+class TestWorkerSubprocesses:
+    def test_two_workers_merge_identical_to_serial(self, tmp_path):
+        campaign = tiny_campaign(grid="0:4", name="two-worker")
+        serial = run_campaign(campaign, str(tmp_path / "serial"), cache_dir=None)
+
+        queue_dir = tmp_path / "queue"
+        workers = [spawn_worker(queue_dir, f"w{i}") for i in range(2)]
+        try:
+            backend = SharedDirBackend(
+                queue_dir=str(queue_dir), participate=False, poll=0.05
+            )
+            sharded = run_campaign(
+                campaign, str(tmp_path / "sharded"), cache_dir=None, executor=backend
+            )
+        finally:
+            for proc in workers:
+                try:
+                    proc.wait(timeout=60)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+        assert canonical(sharded.results) == canonical(serial.results)
+        provenance = json.loads((tmp_path / "sharded" / "provenance.json").read_text())
+        assert set(provenance["workers"]) >= {"w0", "w1"}
+
+    def test_sigkilled_worker_resumes_without_duplicates(self, tmp_path):
+        campaign = tiny_campaign(grid="0:4", name="kill-resume")
+        cells = campaign.expand()
+        serial = list(SerialExecutor().map(cells))
+
+        queue_dir = tmp_path / "queue"
+        queue = SharedDirQueue(str(queue_dir), lease_ttl=1.0)
+        queue.enqueue(cells)
+
+        victim = spawn_worker(queue_dir, "victim")
+        try:
+            deadline = time.monotonic() + 60
+            while len(queue.done_ids()) < 3 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert queue.done_ids(), "victim worker never completed a cell"
+        finally:
+            victim.send_signal(signal.SIGKILL)
+            victim.wait()
+
+        # the survivor must reclaim whatever the victim held and finish the queue
+        worker_loop(
+            str(queue_dir), worker_id="survivor", lease_ttl=1.0, poll=0.05,
+            max_idle=30.0,
+        )
+        assert queue.all_done()
+        merged = queue.merged_rows({c.cell_id for c in cells})
+        assert canonical(merged[c.cell_id] for c in cells) == canonical(serial)
+
+        # resuming the campaign over the same queue folds the rows with no
+        # duplicates and no re-execution
+        backend = SharedDirBackend(
+            queue_dir=str(queue_dir), participate=False, poll=0.05
+        )
+        resumed = run_campaign(
+            campaign, str(tmp_path / "out"), cache_dir=None, executor=backend
+        )
+        assert resumed.total_cells == len(cells)
+        assert canonical(resumed.results) == canonical(serial)
+        row_ids = [r.cell_id for r in resumed.results]
+        assert len(set(row_ids)) == len(row_ids)

@@ -244,6 +244,70 @@ class TestResultStore:
             handle.write('{"cell_id": "c2", "trunc')  # kill -9 mid-write
         assert store.completed_ids() == {"c1"}
 
+    def test_duplicate_cell_id_last_write_wins(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        store.append(self.row("c1", output_mode=1))
+        store.append(self.row("c2"))
+        store.append(self.row("c1", output_mode=7))  # re-executed after a reclaim
+        rows = store.load()
+        assert [r.cell_id for r in rows] == ["c2", "c1"]  # file order of the winners
+        assert rows[1].output_mode == 7
+        assert store.completed_ids() == {"c1", "c2"}
+        assert len(store) == 2
+        assert store.last_scan.duplicates == 1
+        assert store.last_scan.corrupt_total == 0
+
+    def test_dedupe_false_restores_the_raw_view(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        store.append(self.row("c1", output_mode=1))
+        store.append(self.row("c1", output_mode=7))
+        raw = list(store.iter_rows(dedupe=False))
+        assert [r.output_mode for r in raw] == [1, 7]
+
+    def test_interior_corrupt_line_warns_and_is_counted(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        store.append(self.row("c1"))
+        store.append(self.row("c2"))
+        lines = open(store.path).readlines()
+        lines[0] = '{"cell_id": "c1", "trunc\n'  # torn line buried mid-file
+        with open(store.path, "w") as handle:
+            handle.writelines(lines)
+        with pytest.warns(UserWarning, match="corrupt"):
+            rows = store.load()
+        assert [r.cell_id for r in rows] == ["c2"]
+        assert store.last_scan.corrupt_interior == 1
+        assert store.last_scan.corrupt_tail == 0
+        # c1 is no longer completed, so a resume re-runs it instead of
+        # silently dropping it
+        with pytest.warns(UserWarning):
+            assert store.completed_ids() == {"c2"}
+
+    def test_torn_tail_stays_silent(self, tmp_path):
+        # an interrupted append is the *expected* crash artifact, not damage
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        store.append(self.row("c1"))
+        with open(store.path, "a") as handle:
+            handle.write('{"cell_id": "c2", "trunc')
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert store.completed_ids() == {"c1"}
+        assert store.last_scan.corrupt_tail == 1
+        assert store.last_scan.corrupt_interior == 0
+
+    def test_fast_scan_plausible_but_unparseable_line_is_skipped(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        store.append(self.row("c1"))
+        with open(store.path, "a") as handle:
+            # matches the cell_id fast-scan regex and ends in "}", but is not
+            # JSON — iter_rows must skip and count it, not crash mid-stream
+            handle.write('{"cell_id":"zz",garbage}\n')
+        store.append(self.row("c2"))
+        rows = store.load()
+        assert {r.cell_id for r in rows} == {"c1", "c2"}
+        assert store.last_scan.corrupt_interior == 1
+
     def test_deterministic_dict_drops_provenance_only(self):
         row = self.row(cached=True)
         deterministic = row.deterministic_dict()
@@ -307,6 +371,29 @@ class TestCampaignCacheAndResume:
         assert resumed.already_done == 4
         assert resumed.executed == resumed.total_cells - 4
         assert [r.deterministic_dict() for r in resumed.results] == before
+
+    def test_resume_after_interior_corruption_reruns_only_damaged_cells(self, tmp_path):
+        out = str(tmp_path / "out")
+        full = run_campaign(tiny_campaign(), out, cache_dir=None)
+        before = [r.deterministic_dict() for r in full.results]
+        store_path = tmp_path / "out" / "results.jsonl"
+        lines = store_path.read_text().splitlines(keepends=True)
+        lines[2] = '{"cell_id": "mangled-by-a-disk-fault\n'  # interior damage
+        store_path.write_text("".join(lines))
+
+        with pytest.warns(UserWarning, match="corrupt"):
+            resumed = run_campaign(tiny_campaign(), out, cache_dir=None)
+        # only the damaged cell re-ran, and the merged view has no duplicates
+        assert resumed.already_done == 8
+        assert resumed.executed == 1
+        assert [r.deterministic_dict() for r in resumed.results] == before
+        row_ids = [r.cell_id for r in resumed.results]
+        assert len(set(row_ids)) == len(row_ids)
+        # the skip is surfaced, not silent: summary counter + report line
+        assert resumed.summary.corrupt_lines_skipped == 1
+        from repro.lab.aggregate import format_report
+
+        assert "corrupt" in format_report(resumed.summary)
 
     def test_unseeded_cells_never_touch_the_cache(self, tmp_path):
         cache_dir = str(tmp_path / "cache")

@@ -191,6 +191,37 @@ class TestCliSmoke:
         assert result.stdout.strip() == f"repro {repro.__version__}"
 
 
+class TestReportStreaming:
+    def test_report_never_materializes_the_row_list(self, tmp_path, monkeypatch, capsys):
+        # the tripwire: `repro report` must fold store.iter_rows() in one
+        # streaming pass — store.load() materializes every row and would make
+        # million-cell reports O(rows) in memory
+        from repro.api.config import RunConfig
+        from repro.lab import cli
+        from repro.lab.campaign import Campaign, SweepGrid, run_campaign
+        from repro.lab.store import ResultStore
+
+        campaign = Campaign(
+            name="stream-test",
+            specs=["minimum"],
+            inputs=SweepGrid.parse("0:3", dimension=2),
+            engines=("python",),
+            configs=(RunConfig(trials=2),),
+            seed=5,
+        )
+        out = tmp_path / "camp"
+        run_campaign(campaign, str(out), cache_dir=None)
+
+        def tripwire(self):
+            raise AssertionError("report must stream iter_rows(), never store.load()")
+
+        monkeypatch.setattr(ResultStore, "load", tripwire)
+        assert cli.main(["report", str(out), "--profile"]) == 0
+        output = capsys.readouterr().out
+        assert "stream-test" in output
+        assert "slowest cells" in output or "profile" in output.lower()
+
+
 def write_bench_file(path, **throughputs):
     path.write_text(
         json.dumps(

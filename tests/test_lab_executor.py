@@ -125,3 +125,37 @@ class TestTimeout:
         cell = seeded_cells()[0]
         assert run_cell_with_timeout(cell, timeout=None).ok
         assert run_cell_with_timeout(cell, timeout=30).ok
+
+    def test_preexisting_itimer_is_restored_not_clobbered(self):
+        # a host process (e.g. a worker loop with its own watchdog) may have
+        # an ITIMER_REAL armed; running a cell under a timeout must put the
+        # caller's timer back, shortened by the elapsed time, not zero it
+        import signal as signal_module
+
+        fired = []
+        previous_handler = signal_module.signal(
+            signal_module.SIGALRM, lambda signum, frame: fired.append(signum)
+        )
+        try:
+            signal_module.setitimer(signal_module.ITIMER_REAL, 60.0)
+            cell = seeded_cells()[0]
+            assert run_cell_with_timeout(cell, timeout=5.0).ok
+            remaining, _interval = signal_module.setitimer(
+                signal_module.ITIMER_REAL, 0.0
+            )
+            assert 0.0 < remaining <= 60.0
+            # the cell's own handler is gone too: ours is back in place
+            assert signal_module.getsignal(signal_module.SIGALRM) is not previous_handler
+            assert fired == []
+        finally:
+            signal_module.setitimer(signal_module.ITIMER_REAL, 0.0)
+            signal_module.signal(signal_module.SIGALRM, previous_handler)
+
+    def test_no_preexisting_itimer_stays_disarmed(self):
+        import signal as signal_module
+
+        signal_module.setitimer(signal_module.ITIMER_REAL, 0.0)
+        cell = seeded_cells()[0]
+        assert run_cell_with_timeout(cell, timeout=5.0).ok
+        remaining, interval = signal_module.setitimer(signal_module.ITIMER_REAL, 0.0)
+        assert remaining == 0.0 and interval == 0.0

@@ -339,6 +339,166 @@ class TestJobs:
             assert status == 404
 
 
+class TestJobResultsStreaming:
+    """``GET /v1/jobs/{id}/results`` — close-delimited NDJSON, row by row."""
+
+    def submit_and_wait(self, client, **overrides):
+        fields = dict(
+            name="ndjson",
+            specs=["minimum"],
+            grid="0:3",
+            engines=["python"],
+            config=FAST_CONFIG,
+            seed=5,
+        )
+        fields.update(overrides)
+        job = client.submit_job(**fields)
+        client.wait_for_job(job["id"])
+        return job["id"]
+
+    def test_stream_yields_one_row_per_cell(self, client):
+        job_id = self.submit_and_wait(client)
+        rows = list(client.job_results(job_id))
+        assert len(rows) == 9
+        assert all(row["correct"] for row in rows)
+        # same rows (and order) as the buffered job payload
+        assert rows == client.job(job_id)["results"]
+
+    def test_stream_is_framed_without_content_length(self, client):
+        import http.client
+
+        job_id = self.submit_and_wait(client)
+        connection = http.client.HTTPConnection(client.host, client.port, timeout=30)
+        try:
+            connection.request("GET", f"/v1/jobs/{job_id}/results")
+            response = connection.getresponse()
+            assert response.status == 200
+            headers = {k.lower(): v for k, v in response.getheaders()}
+            assert headers["content-type"] == "application/x-ndjson"
+            assert headers["connection"] == "close"
+            assert "content-length" not in headers  # close-delimited: no buffering
+            assert headers["x-repro-job-state"] == "done"
+            lines = [line for line in response.read().split(b"\n") if line]
+            assert len(lines) == 9
+            for line in lines:
+                json.loads(line)
+        finally:
+            connection.close()
+
+    def test_deterministic_stream_matches_local_campaign(self, client, tmp_path):
+        from repro.lab.campaign import Campaign, run_campaign
+
+        config = RunConfig(
+            trials=FAST_CONFIG["trials"],
+            seed=FAST_CONFIG["seed"],
+            engine="python",
+            max_steps=FAST_CONFIG["max_steps"],
+        )
+        campaign = Campaign(
+            name="ndjson",
+            specs=[("minimum", "auto")],
+            inputs=[(2, 6), (8, 1)],
+            engines=("python",),
+            configs=(config,),
+            seed=13,
+        )
+        local = run_campaign(campaign, str(tmp_path / "runs"), cache_dir=None)
+        job_id = self.submit_and_wait(
+            client, grid=None, inputs=[[2, 6], [8, 1]], seed=13
+        )
+        streamed = list(client.job_results(job_id, deterministic=True))
+        assert [canonical_json(row) for row in streamed] == [
+            canonical_json(r.deterministic_dict()) for r in local.results
+        ]
+
+    def test_unknown_job_stream_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            list(client.job_results("nope"))
+        assert excinfo.value.status == 404
+
+
+class TestSharedDirJobs:
+    """Jobs with ``backend: shared-dir`` fan out to external worker processes."""
+
+    def test_shared_dir_job_completes_via_external_worker(self, tmp_path):
+        import threading
+
+        from repro.lab.backends import worker_loop
+
+        queue_dir = str(tmp_path / "queue")
+        # workers=0: the server has no pool of its own — every cell must be
+        # executed by the external worker serving the queue directory
+        with ServerThread(port=0, workers=0, cache_dir=str(tmp_path / "cache")) as srv:
+            client = ServeClient("127.0.0.1", srv.port)
+            job = client.submit_job(
+                name="sharded",
+                specs=["minimum"],
+                grid="0:3",
+                engines=["python"],
+                config=FAST_CONFIG,
+                seed=5,
+                backend="shared-dir",
+                queue_dir=queue_dir,
+            )
+            assert job["backend"] == "shared-dir"
+            worker = threading.Thread(
+                target=worker_loop,
+                kwargs=dict(queue_dir=queue_dir, worker_id="ext", max_idle=60.0),
+                daemon=True,
+            )
+            worker.start()
+            done = client.wait_for_job(job["id"], timeout=120)
+            worker.join(timeout=120)
+            streamed = list(client.job_results(job["id"], deterministic=True))
+
+        assert done["state"] == "done"
+        assert done["progress"]["executed"] == 9
+        assert done["backend"]["queue_dir"] == queue_dir
+        assert done["backend"]["workers"]["ext"]["executed"] == 9
+        assert len(streamed) == 9
+
+        # deterministic identity with an in-process run of the same grid
+        from repro.lab.campaign import Campaign, SweepGrid, run_campaign
+
+        config = RunConfig(
+            trials=FAST_CONFIG["trials"],
+            seed=FAST_CONFIG["seed"],
+            engine="python",
+            max_steps=FAST_CONFIG["max_steps"],
+        )
+        campaign = Campaign(
+            name="sharded",
+            specs=[("minimum", "auto")],
+            inputs=SweepGrid.parse("0:3", dimension=2),
+            engines=("python",),
+            configs=(config,),
+            seed=5,
+        )
+        local = run_campaign(campaign, str(tmp_path / "runs"), cache_dir=None)
+        assert [canonical_json(row) for row in streamed] == [
+            canonical_json(r.deterministic_dict()) for r in local.results
+        ]
+
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ({"backend": "shared-dir"}, "queue_dir"),
+            ({"backend": "warp", "queue_dir": "/tmp/q"}, "'backend'"),
+            ({"backend": "local", "queue_dir": "/tmp/q"}, "queue_dir"),
+            ({"queue_dir": ""}, "queue_dir"),
+        ],
+    )
+    def test_backend_rejections_name_the_field(self, client, payload, fragment):
+        body_fields = {
+            "name": "bad", "specs": ["minimum"], "inputs": [[1, 2]],
+            "engines": ["python"], "config": FAST_CONFIG,
+        }
+        body_fields.update(payload)
+        status, _, body = client.request("POST", "/v1/jobs", body_fields)
+        assert status == 400, body
+        assert fragment in json.loads(body)["error"]
+
+
 class TestValidation:
     """Every bad request is a 400 whose message names the offending field."""
 
